@@ -1,0 +1,104 @@
+// Package repro's top-level benchmarks regenerate every evaluation figure
+// of the paper (Figures 9, 10 and 11, panels (a) random and (b) clustered).
+// Each benchmark iteration performs the full fault-count sweep of one
+// panel, so `go test -bench=Figure` re-derives the complete data series;
+// run cmd/mfpsim for the tabulated values.
+//
+// The Ablation benchmarks compare the paper's two centralized MFP
+// solutions (concave-section scan vs labelling-scheme emulation) and the
+// distributed construction on identical inputs.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/dmfp"
+	"repro/internal/experiments"
+	"repro/internal/fault"
+	"repro/internal/grid"
+	"repro/internal/mfp"
+	"repro/internal/nodeset"
+)
+
+// benchConfig is the paper's sweep with one trial per point, sized so a
+// single benchmark iteration regenerates a full figure panel.
+func benchConfig(model fault.Model) experiments.Config {
+	cfg := experiments.Default(model, 1)
+	return cfg
+}
+
+func BenchmarkFigure9Random(b *testing.B) {
+	cfg := benchConfig(fault.Random)
+	for i := 0; i < b.N; i++ {
+		experiments.Figure9(cfg)
+	}
+}
+
+func BenchmarkFigure9Clustered(b *testing.B) {
+	cfg := benchConfig(fault.Clustered)
+	for i := 0; i < b.N; i++ {
+		experiments.Figure9(cfg)
+	}
+}
+
+func BenchmarkFigure10Random(b *testing.B) {
+	cfg := benchConfig(fault.Random)
+	for i := 0; i < b.N; i++ {
+		experiments.Figure10(cfg)
+	}
+}
+
+func BenchmarkFigure10Clustered(b *testing.B) {
+	cfg := benchConfig(fault.Clustered)
+	for i := 0; i < b.N; i++ {
+		experiments.Figure10(cfg)
+	}
+}
+
+func BenchmarkFigure11Random(b *testing.B) {
+	cfg := benchConfig(fault.Random)
+	for i := 0; i < b.N; i++ {
+		experiments.Figure11(cfg)
+	}
+}
+
+func BenchmarkFigure11Clustered(b *testing.B) {
+	cfg := benchConfig(fault.Clustered)
+	for i := 0; i < b.N; i++ {
+		experiments.Figure11(cfg)
+	}
+}
+
+// paperScaleFaults returns the paper's largest workload: 800 clustered
+// faults on a 100x100 mesh.
+func paperScaleFaults(b *testing.B) (grid.Mesh, *nodeset.Set) {
+	b.Helper()
+	m := grid.New(100, 100)
+	return m, fault.NewInjector(m, fault.Clustered, 1).Inject(800)
+}
+
+// Ablation: the two centralized solutions of Section 3.1 produce identical
+// polygons; the scan solution avoids the per-component sub-mesh labelling.
+func BenchmarkAblationCentralizedScan(b *testing.B) {
+	m, faults := paperScaleFaults(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mfp.Build(m, faults)
+	}
+}
+
+func BenchmarkAblationCentralizedLabelling(b *testing.B) {
+	m, faults := paperScaleFaults(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mfp.BuildLabelling(m, faults)
+	}
+}
+
+func BenchmarkAblationDistributed(b *testing.B) {
+	m, faults := paperScaleFaults(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dmfp.Build(m, faults)
+	}
+}

@@ -1,0 +1,143 @@
+// Command mfpsim regenerates the data of the paper's evaluation figures on
+// a simulated 2-D mesh.
+//
+// Usage examples:
+//
+//	mfpsim -figure 9 -dist random            # Figure 9 (a)
+//	mfpsim -figure 11 -dist clustered        # Figure 11 (b)
+//	mfpsim -figure 0 -dist both              # every figure, both models
+//	mfpsim -figure 10 -dist random -csv      # machine-readable output
+//	mfpsim -mesh 50 -faults 50,100,150 -trials 10
+//
+// Figure 9 tables are printed as log10 of the disabled-node count, matching
+// the paper's y-axis; -csv always emits raw values.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/fault"
+	"repro/internal/stats"
+)
+
+func main() {
+	figure := flag.Int("figure", 0, "figure to reproduce: 9, 10 or 11 (0 = all)")
+	dist := flag.String("dist", "both", "fault distribution: random, clustered or both")
+	mesh := flag.Int("mesh", 100, "mesh side length n (the paper uses 100)")
+	faultsFlag := flag.String("faults", "", "comma-separated fault counts (default: 100..800 step 100)")
+	trials := flag.Int("trials", 30, "trials per data point")
+	seed := flag.Int64("seed", 1, "base seed for the fault injectors")
+	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	verify := flag.Bool("verify", false, "re-run the sweeps and check every claim of the paper's Section 4")
+	flag.Parse()
+
+	if *verify {
+		ok := true
+		for _, c := range experiments.VerifyClaims(*trials) {
+			verdict := "PASS"
+			if !c.Holds {
+				verdict = "FAIL"
+				ok = false
+			}
+			fmt.Printf("[%s] %-22s %s\n        measured: %s\n", verdict, c.ID, c.Statement, c.Detail)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	}
+
+	models, err := parseModels(*dist)
+	if err != nil {
+		fatal(err)
+	}
+	counts, err := parseCounts(*faultsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	figures := []int{9, 10, 11}
+	if *figure != 0 {
+		figures = []int{*figure}
+	}
+
+	for _, model := range models {
+		cfg := experiments.Default(model, *trials)
+		cfg.MeshSize = *mesh
+		cfg.BaseSeed = *seed
+		if len(counts) > 0 {
+			cfg.FaultCounts = counts
+		}
+		for _, fig := range figures {
+			tab, err := experiments.Figure(fig, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			if *csv {
+				fmt.Printf("# figure %d, %s fault distribution, %dx%d mesh, %d trials\n",
+					fig, model, *mesh, *mesh, *trials)
+				fmt.Print(tab.CSV(nil))
+				continue
+			}
+			fmt.Printf("Figure %d — %s (%s fault distribution model, %dx%d mesh, %d trials)\n",
+				fig, figureCaption(fig), model, *mesh, *mesh, *trials)
+			var transform func(float64) float64
+			if fig == 9 {
+				transform = stats.Log10
+				fmt.Println("(values are log10 of the node count, as in the paper's y-axis)")
+			}
+			fmt.Print(tab.Format(transform))
+			fmt.Println()
+		}
+	}
+}
+
+func figureCaption(fig int) string {
+	switch fig {
+	case 9:
+		return "average number of non-faulty but disabled nodes"
+	case 10:
+		return "average size of fault regions"
+	case 11:
+		return "average number of rounds for status determination"
+	}
+	return ""
+}
+
+func parseModels(dist string) ([]fault.Model, error) {
+	switch dist {
+	case "both":
+		return []fault.Model{fault.Random, fault.Clustered}, nil
+	default:
+		m, err := fault.ParseModel(dist)
+		if err != nil {
+			return nil, err
+		}
+		return []fault.Model{m}, nil
+	}
+}
+
+func parseCounts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("invalid fault count %q", p)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mfpsim:", err)
+	os.Exit(2)
+}

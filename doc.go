@@ -1,0 +1,15 @@
+// Package repro is a complete Go reproduction of Wu & Jiang, "On
+// Constructing the Minimum Orthogonal Convex Polygon in 2-D Faulty Meshes"
+// (IPDPS 2004): the fault models, the three fault-region constructions
+// (rectangular faulty blocks, sub-minimum faulty polygons, and the paper's
+// minimum faulty polygons in centralized and distributed form), the
+// fault-tolerant extended e-cube routing they enable, and the simulation
+// harness that regenerates the paper's evaluation (Figures 9-11).
+//
+// Start at internal/core for the library API, cmd/mfpsim to reproduce the
+// figures (including `-verify`, which re-checks every claim of the paper's
+// Section 4 against a fresh run), and the examples directory for runnable
+// walkthroughs of the paper's worked figures. DESIGN.md maps every
+// subsystem and experiment; EXPERIMENTS.md records measured-vs-paper
+// results.
+package repro

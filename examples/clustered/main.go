@@ -1,0 +1,44 @@
+// Clustered fault injection at scale: the paper's clustered fault
+// distribution model on a 100x100 mesh, showing how the three fault models
+// diverge as faults accumulate — the headline result of the evaluation.
+//
+//	go run ./examples/clustered
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/grid"
+)
+
+func main() {
+	m := grid.New(100, 100)
+	fmt.Printf("%v, clustered fault distribution model (adjacent neighbours fail at twice the rate)\n\n", m)
+	fmt.Printf("%8s %12s %12s %12s %14s %14s\n",
+		"faults", "FB disabled", "FP disabled", "MFP disabled", "FP savings", "MFP savings")
+
+	for _, n := range []int{100, 200, 400, 800} {
+		faults := fault.NewInjector(m, fault.Clustered, 42).Inject(n)
+		c := core.Construct(m, faults, core.Options{})
+		if err := c.Validate(); err != nil {
+			log.Fatal(err)
+		}
+		fb := c.DisabledNonFaulty(core.FB)
+		fp := c.DisabledNonFaulty(core.FP)
+		mfp := c.DisabledNonFaulty(core.MFP)
+		fmt.Printf("%8d %12d %12d %12d %13.1f%% %13.1f%%\n",
+			n, fb, fp, mfp, savings(fb, fp), savings(fb, mfp))
+	}
+	fmt.Println("\nsavings = fraction of the faulty blocks' disabled non-faulty nodes that the")
+	fmt.Println("polygon model re-enables. The paper reports ~50% for FP and ~90% for MFP.")
+}
+
+func savings(fb, other int) float64 {
+	if fb == 0 {
+		return 0
+	}
+	return 100 * float64(fb-other) / float64(fb)
+}

@@ -1,0 +1,46 @@
+// Torus support: a faulty component straddling the wraparound seam is
+// unwrapped, closed into its minimum orthogonal convex polygon, and mapped
+// back to raw coordinates.
+//
+//	go run ./examples/torus
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/nodeset"
+	"repro/internal/render"
+	"repro/internal/status"
+)
+
+func main() {
+	m := grid.NewTorus(12, 8)
+	// A U-shaped component across the X seam: columns 11 and 1 are its
+	// arms, column 0 row 3 its base; the cavity (0,4) must be disabled.
+	faults := nodeset.FromCoords(m,
+		grid.XY(11, 3), grid.XY(11, 4), grid.XY(11, 5),
+		grid.XY(0, 3),
+		grid.XY(1, 3), grid.XY(1, 4), grid.XY(1, 5))
+
+	c := core.Construct(m, faults, core.Options{})
+	if err := c.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%v — a faulty U across the wraparound seam\n\n", m)
+	fmt.Print(render.Classes(m, func(cc grid.Coord) status.Class {
+		return c.Class(core.MFP, cc)
+	}))
+	fmt.Println()
+	fmt.Print(render.Legend())
+
+	comp := c.Minimum.Components[0]
+	fmt.Printf("\ncomponent (raw):      %v\n", comp.Nodes)
+	fmt.Printf("unwrap offsets:       (%d,%d)\n", comp.OffX, comp.OffY)
+	fmt.Printf("unwrapped bounds:     %v\n", comp.Bounds)
+	fmt.Printf("minimum polygon:      %v\n", c.Minimum.Polygons[0])
+	fmt.Printf("disabled non-faulty:  %d (the cavity cells)\n", c.DisabledNonFaulty(core.MFP))
+}

@@ -1,0 +1,21 @@
+package block
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/grid"
+)
+
+func benchBuild(b *testing.B, model fault.Model, n int) {
+	m := grid.New(100, 100)
+	f := fault.NewInjector(m, model, 1).Inject(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(m, f)
+	}
+}
+
+func BenchmarkBuild100Random(b *testing.B)    { benchBuild(b, fault.Random, 100) }
+func BenchmarkBuild800Random(b *testing.B)    { benchBuild(b, fault.Random, 800) }
+func BenchmarkBuild800Clustered(b *testing.B) { benchBuild(b, fault.Clustered, 800) }

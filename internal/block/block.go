@@ -1,0 +1,179 @@
+// Package block implements labelling scheme 1 of the paper (the growing
+// phase) and the extraction of rectangular faulty blocks, the classic fault
+// model the paper improves upon.
+//
+// Labelling scheme 1: all faulty nodes are unsafe and all non-faulty nodes
+// start safe; a non-faulty node becomes unsafe when it has a faulty or
+// unsafe neighbour in both dimensions. The scheme is monotone, runs in
+// synchronous rounds of neighbour exchange (counted, as in Figure 11), and
+// its fixpoint partitions the unsafe nodes into disjoint rectangular faulty
+// blocks.
+package block
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+	"repro/internal/nodeset"
+	"repro/internal/sim"
+)
+
+// Node states of labelling scheme 1.
+const (
+	stateSafe uint8 = iota
+	stateUnsafe
+	stateFaulty
+)
+
+// Result is the outcome of running labelling scheme 1 on a fault set.
+type Result struct {
+	Mesh   grid.Mesh
+	Faults *nodeset.Set
+	// Unsafe holds every unsafe node, faulty and non-faulty alike. Under
+	// the faulty-block model all of these nodes are disabled.
+	Unsafe *nodeset.Set
+	// Regions are the connected unsafe regions (the blocks, as node sets).
+	Regions []*nodeset.Set
+	// Blocks are the rectangles spanned by each region, index-aligned with
+	// Regions. On a non-torus mesh every region is exactly its rectangle.
+	Blocks []grid.Rect
+	// Rounds is the number of synchronous rounds of neighbour information
+	// exchange needed to reach the fixpoint.
+	Rounds int
+}
+
+// unsafeish reports whether a labelling-scheme-1 state blocks routing.
+func unsafeish(v uint8) bool { return v == stateUnsafe || v == stateFaulty }
+
+// rule is labelling scheme 1. Faulty and unsafe states are absorbing.
+func rule(_ grid.Coord, self uint8, neighbor func(grid.Direction) (uint8, bool)) uint8 {
+	if self != stateSafe {
+		return self
+	}
+	xDim := false
+	if v, ok := neighbor(grid.East); ok && unsafeish(v) {
+		xDim = true
+	} else if v, ok := neighbor(grid.West); ok && unsafeish(v) {
+		xDim = true
+	}
+	if !xDim {
+		return stateSafe
+	}
+	if v, ok := neighbor(grid.North); ok && unsafeish(v) {
+		return stateUnsafe
+	}
+	if v, ok := neighbor(grid.South); ok && unsafeish(v) {
+		return stateUnsafe
+	}
+	return stateSafe
+}
+
+// Build runs labelling scheme 1 to its fixpoint and extracts the faulty
+// blocks. faults must be a set over m.
+func Build(m grid.Mesh, faults *nodeset.Set) *Result {
+	if faults.Mesh() != m {
+		panic("block: fault set is over a different mesh")
+	}
+	eng := sim.New(m, func(c grid.Coord) uint8 {
+		if faults.Has(c) {
+			return stateFaulty
+		}
+		return stateSafe
+	}, rule)
+	// Scheme 1 adds at most one "ring" per round; the mesh diameter bounds
+	// the round count with a wide margin.
+	rounds := eng.Run(m.Size() + 1)
+
+	unsafe := nodeset.New(m)
+	for i := 0; i < m.Size(); i++ {
+		if unsafeish(eng.StateAt(i)) {
+			unsafe.AddIndex(i)
+		}
+	}
+	res := &Result{Mesh: m, Faults: faults.Clone(), Unsafe: unsafe, Rounds: rounds}
+	res.Regions = connectedRegions(m, unsafe)
+	res.Blocks = make([]grid.Rect, len(res.Regions))
+	for i, r := range res.Regions {
+		res.Blocks[i] = r.Bounds()
+	}
+	return res
+}
+
+// connectedRegions splits s into 4-connected regions in deterministic
+// (row-major seed) order.
+func connectedRegions(m grid.Mesh, s *nodeset.Set) []*nodeset.Set {
+	var regions []*nodeset.Set
+	seen := nodeset.New(m)
+	var queue []grid.Coord
+	var buf []grid.Coord
+	s.Each(func(c grid.Coord) {
+		if seen.Has(c) {
+			return
+		}
+		region := nodeset.New(m)
+		queue = append(queue[:0], c)
+		seen.Add(c)
+		region.Add(c)
+		for len(queue) > 0 {
+			cur := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			buf = m.Neighbors4(cur, buf[:0])
+			for _, n := range buf {
+				if s.Has(n) && !seen.Has(n) {
+					seen.Add(n)
+					region.Add(n)
+					queue = append(queue, n)
+				}
+			}
+		}
+		regions = append(regions, region)
+	})
+	return regions
+}
+
+// DisabledNonFaulty returns the number of non-faulty nodes disabled by the
+// faulty-block model: every unsafe non-faulty node. This is the FB curve of
+// Figure 9.
+func (r *Result) DisabledNonFaulty() int { return r.Unsafe.Len() - r.Faults.Len() }
+
+// MeanBlockSize returns the average number of nodes (faulty plus non-faulty)
+// per faulty block, the FB curve of Figure 10. It returns 0 when there are
+// no blocks.
+func (r *Result) MeanBlockSize() float64 {
+	if len(r.Regions) == 0 {
+		return 0
+	}
+	total := 0
+	for _, reg := range r.Regions {
+		total += reg.Len()
+	}
+	return float64(total) / float64(len(r.Regions))
+}
+
+// Validate checks the structural invariants of the faulty-block model:
+// every fault is covered, regions are disjoint, and (on a non-torus mesh)
+// each region fills its bounding rectangle exactly. It returns a descriptive
+// error when an invariant is violated; algorithm tests rely on it.
+func (r *Result) Validate() error {
+	if !r.Unsafe.ContainsAll(r.Faults) {
+		return fmt.Errorf("block: %d faults outside the unsafe region",
+			nodeset.Subtract(r.Faults, r.Unsafe).Len())
+	}
+	covered := nodeset.New(r.Mesh)
+	for i, reg := range r.Regions {
+		if !covered.Disjoint(reg) {
+			return fmt.Errorf("block: region %d overlaps a previous region", i)
+		}
+		covered.UnionWith(reg)
+		if !r.Mesh.Torus {
+			if reg.Len() != r.Blocks[i].Area() {
+				return fmt.Errorf("block: region %d is not rectangular: %d nodes in %v",
+					i, reg.Len(), r.Blocks[i])
+			}
+		}
+	}
+	if !covered.Equal(r.Unsafe) {
+		return fmt.Errorf("block: regions do not partition the unsafe set")
+	}
+	return nil
+}

@@ -1,0 +1,210 @@
+package block
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/grid"
+	"repro/internal/nodeset"
+)
+
+func TestNoFaults(t *testing.T) {
+	m := grid.New(8, 8)
+	res := Build(m, nodeset.New(m))
+	if res.Unsafe.Len() != 0 || len(res.Blocks) != 0 || res.Rounds != 0 {
+		t.Fatalf("empty fault set should yield nothing: %+v", res)
+	}
+	if err := res.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleFault(t *testing.T) {
+	m := grid.New(8, 8)
+	res := Build(m, nodeset.FromCoords(m, grid.XY(3, 3)))
+	if res.Unsafe.Len() != 1 {
+		t.Fatalf("single fault should stay a 1x1 block, got %v", res.Unsafe)
+	}
+	if len(res.Blocks) != 1 || res.Blocks[0].Area() != 1 {
+		t.Fatalf("Blocks = %v", res.Blocks)
+	}
+	if res.DisabledNonFaulty() != 0 {
+		t.Fatalf("DisabledNonFaulty = %d", res.DisabledNonFaulty())
+	}
+	if res.Rounds != 0 {
+		t.Fatalf("no growth should take 0 rounds, got %d", res.Rounds)
+	}
+}
+
+// Two diagonal faults force the in-between corners unsafe, growing a full
+// 2x2 block (the canonical example of scheme 1).
+func TestDiagonalPairGrowsSquare(t *testing.T) {
+	m := grid.New(8, 8)
+	res := Build(m, nodeset.FromCoords(m, grid.XY(2, 2), grid.XY(3, 3)))
+	if res.Unsafe.Len() != 4 {
+		t.Fatalf("unsafe = %v, want full 2x2 square", res.Unsafe)
+	}
+	for _, c := range []grid.Coord{grid.XY(2, 3), grid.XY(3, 2)} {
+		if !res.Unsafe.Has(c) {
+			t.Errorf("corner %v should be unsafe", c)
+		}
+	}
+	if len(res.Blocks) != 1 {
+		t.Fatalf("Blocks = %v, want one", res.Blocks)
+	}
+	want := grid.Rect{MinX: 2, MinY: 2, MaxX: 3, MaxY: 3}
+	if res.Blocks[0] != want {
+		t.Fatalf("block = %v, want %v", res.Blocks[0], want)
+	}
+	if res.DisabledNonFaulty() != 2 {
+		t.Fatalf("DisabledNonFaulty = %d, want 2", res.DisabledNonFaulty())
+	}
+	if res.Rounds != 1 {
+		t.Fatalf("rounds = %d, want 1", res.Rounds)
+	}
+	if err := res.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A long diagonal staircase grows into its full bounding square, the
+// worst-case inflation the paper's polygon model avoids.
+func TestStaircaseGrowsToSquare(t *testing.T) {
+	m := grid.New(12, 12)
+	faults := nodeset.New(m)
+	for i := 0; i < 5; i++ {
+		faults.Add(grid.XY(2+i, 2+i))
+	}
+	res := Build(m, faults)
+	if res.Unsafe.Len() != 25 {
+		t.Fatalf("unsafe size = %d, want 25 (5x5)", res.Unsafe.Len())
+	}
+	if res.DisabledNonFaulty() != 20 {
+		t.Fatalf("disabled non-faulty = %d, want 20", res.DisabledNonFaulty())
+	}
+	if len(res.Blocks) != 1 || res.Blocks[0].Area() != 25 {
+		t.Fatalf("blocks = %v", res.Blocks)
+	}
+	if err := res.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Faults in the same column separated by one safe node must NOT merge:
+// the in-between node has unsafe neighbours in only one dimension.
+func TestColumnGapStaysSafe(t *testing.T) {
+	m := grid.New(8, 8)
+	res := Build(m, nodeset.FromCoords(m, grid.XY(3, 2), grid.XY(3, 4)))
+	if res.Unsafe.Has(grid.XY(3, 3)) {
+		t.Fatal("(3,3) has faulty neighbours in one dimension only; must stay safe")
+	}
+	if len(res.Blocks) != 2 {
+		t.Fatalf("want two separate 1x1 blocks, got %v", res.Blocks)
+	}
+}
+
+func TestSeparateFaultsSeparateBlocks(t *testing.T) {
+	m := grid.New(16, 16)
+	res := Build(m, nodeset.FromCoords(m, grid.XY(1, 1), grid.XY(10, 10), grid.XY(14, 2)))
+	if len(res.Blocks) != 3 {
+		t.Fatalf("blocks = %v, want 3", res.Blocks)
+	}
+	if res.DisabledNonFaulty() != 0 {
+		t.Fatal("isolated faults should disable nobody")
+	}
+}
+
+func TestBorderFaults(t *testing.T) {
+	m := grid.New(6, 6)
+	// Corner fault plus diagonal: the growth clips at the border.
+	res := Build(m, nodeset.FromCoords(m, grid.XY(0, 0), grid.XY(1, 1)))
+	if res.Unsafe.Len() != 4 {
+		t.Fatalf("unsafe = %v", res.Unsafe)
+	}
+	if err := res.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultSetOverWrongMeshPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched mesh")
+		}
+	}()
+	Build(grid.New(4, 4), nodeset.New(grid.New(5, 5)))
+}
+
+func TestRoundsGrowWithBlockSize(t *testing.T) {
+	m := grid.New(24, 24)
+	small := nodeset.FromCoords(m, grid.XY(2, 2), grid.XY(3, 3))
+	large := nodeset.New(m)
+	for i := 0; i < 8; i++ {
+		large.Add(grid.XY(2+i, 2+i))
+	}
+	rs := Build(m, small).Rounds
+	rl := Build(m, large).Rounds
+	if rl <= rs {
+		t.Fatalf("rounds should grow with block diagonal: small=%d large=%d", rs, rl)
+	}
+}
+
+// Property: on random fault sets, all invariants hold and the result is a
+// fixpoint (re-running scheme 1 with blocks as faults changes nothing).
+func TestRandomInvariants(t *testing.T) {
+	m := grid.New(30, 30)
+	for seed := int64(0); seed < 20; seed++ {
+		for _, model := range []fault.Model{fault.Random, fault.Clustered} {
+			faults := fault.NewInjector(m, model, seed).Inject(40)
+			res := Build(m, faults)
+			if err := res.Validate(); err != nil {
+				t.Fatalf("seed %d %v: %v", seed, model, err)
+			}
+			// Fixpoint: treating every unsafe node as faulty must not grow
+			// the region any further.
+			again := Build(m, res.Unsafe)
+			if !again.Unsafe.Equal(res.Unsafe) {
+				t.Fatalf("seed %d %v: scheme 1 result is not a fixpoint", seed, model)
+			}
+			// Blocks must be pairwise non-adjacent rectangles: grown by one
+			// node they may touch, but the rectangles themselves must be
+			// disjoint.
+			for i := range res.Blocks {
+				for j := i + 1; j < len(res.Blocks); j++ {
+					if res.Blocks[i].Intersects(res.Blocks[j]) {
+						t.Fatalf("seed %d: blocks %v and %v overlap", seed, res.Blocks[i], res.Blocks[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// Property: adding a fault never shrinks the unsafe region (monotonicity).
+func TestMonotoneInFaults(t *testing.T) {
+	m := grid.New(20, 20)
+	rng := rand.New(rand.NewSource(5))
+	faults := nodeset.New(m)
+	prev := nodeset.New(m)
+	for i := 0; i < 30; i++ {
+		faults.Add(grid.XY(rng.Intn(m.W), rng.Intn(m.H)))
+		res := Build(m, faults)
+		if !res.Unsafe.ContainsAll(prev) {
+			t.Fatalf("step %d: unsafe region shrank after adding a fault", i)
+		}
+		prev = res.Unsafe
+	}
+}
+
+func TestMeanBlockSize(t *testing.T) {
+	m := grid.New(16, 16)
+	if got := Build(m, nodeset.New(m)).MeanBlockSize(); got != 0 {
+		t.Fatalf("empty MeanBlockSize = %v", got)
+	}
+	// One 2x2 block and one isolated fault: mean (4+1)/2.
+	res := Build(m, nodeset.FromCoords(m, grid.XY(2, 2), grid.XY(3, 3), grid.XY(10, 10)))
+	if got := res.MeanBlockSize(); got != 2.5 {
+		t.Fatalf("MeanBlockSize = %v, want 2.5", got)
+	}
+}

@@ -1,0 +1,57 @@
+package block
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/nodeset"
+)
+
+func fixture(t *testing.T) *Result {
+	t.Helper()
+	m := grid.New(10, 10)
+	r := Build(m, nodeset.FromCoords(m, grid.XY(2, 2), grid.XY(3, 3), grid.XY(7, 7)))
+	if err := r.Validate(); err != nil {
+		t.Fatalf("fixture invalid: %v", err)
+	}
+	return r
+}
+
+func TestValidateCatchesUncoveredFault(t *testing.T) {
+	r := fixture(t)
+	r.Faults.Add(grid.XY(9, 0))
+	if err := r.Validate(); err == nil || !strings.Contains(err.Error(), "faults outside") {
+		t.Fatalf("uncovered fault not caught: %v", err)
+	}
+}
+
+func TestValidateCatchesOverlappingRegions(t *testing.T) {
+	r := fixture(t)
+	r.Regions = append(r.Regions, r.Regions[0])
+	r.Blocks = append(r.Blocks, r.Blocks[0])
+	if err := r.Validate(); err == nil || !strings.Contains(err.Error(), "overlaps") {
+		t.Fatalf("overlap not caught: %v", err)
+	}
+}
+
+func TestValidateCatchesNonRectangularRegion(t *testing.T) {
+	r := fixture(t)
+	// Punch a hole in a region without updating its rectangle.
+	r.Regions[0].Remove(grid.XY(2, 2))
+	err := r.Validate()
+	if err == nil {
+		t.Fatal("non-rectangular region not caught")
+	}
+	if !strings.Contains(err.Error(), "rectangular") && !strings.Contains(err.Error(), "partition") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestValidateCatchesPartitionMismatch(t *testing.T) {
+	r := fixture(t)
+	r.Unsafe.Add(grid.XY(9, 9))
+	if err := r.Validate(); err == nil || !strings.Contains(err.Error(), "partition") {
+		t.Fatalf("partition mismatch not caught: %v", err)
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/grid"
+	"repro/internal/nodeset"
+	"repro/internal/status"
+)
+
+func TestConstructAllModels(t *testing.T) {
+	m := grid.New(20, 20)
+	faults := fault.NewInjector(m, fault.Clustered, 7).Inject(25)
+	c := Construct(m, faults, Options{Distributed: true, EmulateRounds: true})
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Containment chain in the metrics.
+	if c.DisabledNonFaulty(MFP) > c.DisabledNonFaulty(FP) ||
+		c.DisabledNonFaulty(FP) > c.DisabledNonFaulty(FB) {
+		t.Fatalf("containment violated: FB=%d FP=%d MFP=%d",
+			c.DisabledNonFaulty(FB), c.DisabledNonFaulty(FP), c.DisabledNonFaulty(MFP))
+	}
+	if c.DistributedRounds() == 0 {
+		t.Fatal("distributed rounds should be positive with faults present")
+	}
+}
+
+func TestClassClassification(t *testing.T) {
+	m := grid.New(12, 12)
+	// The staircase: FB disables the square, FP/MFP shrink back fully.
+	faults := nodeset.New(m)
+	for i := 0; i < 4; i++ {
+		faults.Add(grid.XY(4+i, 4+i))
+	}
+	c := Construct(m, faults, Options{})
+	if got := c.Class(FB, grid.XY(4, 4)); got != status.Faulty {
+		t.Fatalf("fault classified %v", got)
+	}
+	// (5,4) is inside the block: disabled under FB, enabled under MFP.
+	if got := c.Class(FB, grid.XY(5, 4)); got != status.Disabled {
+		t.Fatalf("FB corner = %v", got)
+	}
+	if got := c.Class(MFP, grid.XY(5, 4)); got != status.Enabled {
+		t.Fatalf("MFP corner = %v, want enabled (white)", got)
+	}
+	if got := c.Class(MFP, grid.XY(0, 0)); got != status.Safe {
+		t.Fatalf("far node = %v", got)
+	}
+}
+
+func TestMetricsPerModel(t *testing.T) {
+	m := grid.New(16, 16)
+	faults := nodeset.FromCoords(m, grid.XY(3, 3), grid.XY(4, 4))
+	c := Construct(m, faults, Options{EmulateRounds: true})
+	if got := c.MeanRegionSize(FB); got != 4 {
+		t.Fatalf("FB mean size = %v, want 4 (a 2x2 block)", got)
+	}
+	if got := c.MeanRegionSize(MFP); got != 2 {
+		t.Fatalf("MFP mean size = %v, want 2", got)
+	}
+	// FP re-enables both non-faulty corners; the remaining two faults are
+	// 8-adjacent, forming one polygon of size 2.
+	if got := c.MeanRegionSize(FP); got != 2 {
+		t.Fatalf("FP mean size = %v, want 2", got)
+	}
+	if c.Rounds(FB) != 1 {
+		t.Fatalf("FB rounds = %d", c.Rounds(FB))
+	}
+	if c.Rounds(FP) < c.Rounds(FB) {
+		t.Fatal("FP rounds include the growing phase")
+	}
+}
+
+func TestModelString(t *testing.T) {
+	if FB.String() != "FB" || FP.String() != "FP" || MFP.String() != "MFP" {
+		t.Fatal("model names")
+	}
+}
+
+func TestEmptyFaults(t *testing.T) {
+	m := grid.New(8, 8)
+	c := Construct(m, nodeset.New(m), Options{Distributed: true, EmulateRounds: true})
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, model := range []Model{FB, FP, MFP} {
+		if c.DisabledNonFaulty(model) != 0 || c.MeanRegionSize(model) != 0 || c.Rounds(model) != 0 {
+			t.Fatalf("%v: non-zero metrics on empty faults", model)
+		}
+	}
+}
+
+func TestTorusCentralizedOnly(t *testing.T) {
+	m := grid.NewTorus(10, 10)
+	faults := nodeset.FromCoords(m, grid.XY(9, 5), grid.XY(0, 5))
+	c := Construct(m, faults, Options{EmulateRounds: true})
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Minimum.Polygons) != 1 {
+		t.Fatalf("wrap pair should form one polygon, got %d", len(c.Minimum.Polygons))
+	}
+}

@@ -1,0 +1,39 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/nodeset"
+)
+
+// A diagonal fault chain is the worst case for the rectangular faulty
+// block model: scheme 1 grows it into a full square, while the minimum
+// faulty polygon keeps exactly the faults.
+func ExampleConstruct() {
+	m := grid.New(10, 10)
+	faults := nodeset.FromCoords(m,
+		grid.XY(3, 3), grid.XY(4, 4), grid.XY(5, 5))
+
+	c := core.Construct(m, faults, core.Options{})
+	fmt.Println("FB disables:", c.DisabledNonFaulty(core.FB))
+	fmt.Println("MFP disables:", c.DisabledNonFaulty(core.MFP))
+	// Output:
+	// FB disables: 6
+	// MFP disables: 0
+}
+
+func ExampleConstruction_Class() {
+	m := grid.New(10, 10)
+	faults := nodeset.FromCoords(m, grid.XY(2, 2), grid.XY(3, 3))
+	c := core.Construct(m, faults, core.Options{})
+
+	fmt.Println(c.Class(core.FB, grid.XY(2, 3)))  // inside the grown block
+	fmt.Println(c.Class(core.MFP, grid.XY(2, 3))) // removed from the polygon
+	fmt.Println(c.Class(core.MFP, grid.XY(2, 2))) // the fault itself
+	// Output:
+	// disabled
+	// enabled
+	// faulty
+}

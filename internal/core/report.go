@@ -1,0 +1,28 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report renders a one-screen text summary of the construction: the
+// metrics of all three models side by side, in the shape of the paper's
+// evaluation tables. It is what the examples and tools print.
+func (c *Construction) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v, %d faults\n", c.Mesh, c.Faults.Len())
+	fmt.Fprintf(&b, "%-6s %18s %14s %10s\n", "model", "disabled non-faulty", "mean size", "rounds")
+	for _, m := range []Model{FB, FP, MFP} {
+		rounds := "-"
+		if m != MFP || c.MinimumRounds > 0 {
+			rounds = fmt.Sprintf("%d", c.Rounds(m))
+		}
+		fmt.Fprintf(&b, "%-6s %19d %14.2f %10s\n",
+			m, c.DisabledNonFaulty(m), c.MeanRegionSize(m), rounds)
+	}
+	if c.Distributed != nil {
+		fmt.Fprintf(&b, "distributed MFP: %d rounds over %d components\n",
+			c.Distributed.Rounds, len(c.Distributed.Components))
+	}
+	return b.String()
+}

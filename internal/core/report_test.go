@@ -1,0 +1,93 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/grid"
+	"repro/internal/nodeset"
+	"repro/internal/status"
+)
+
+func TestReportContents(t *testing.T) {
+	m := grid.New(20, 20)
+	faults := fault.NewInjector(m, fault.Clustered, 2).Inject(15)
+	c := Construct(m, faults, Options{Distributed: true, EmulateRounds: true})
+	rep := c.Report()
+	for _, want := range []string{"FB", "FP", "MFP", "distributed MFP", "15 faults"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestReportWithoutOptionalParts(t *testing.T) {
+	m := grid.New(10, 10)
+	c := Construct(m, nodeset.FromCoords(m, grid.XY(3, 3)), Options{})
+	rep := c.Report()
+	if strings.Contains(rep, "distributed") {
+		t.Fatalf("report mentions distributed without Options.Distributed:\n%s", rep)
+	}
+	// MFP rounds were not emulated: shown as "-".
+	if !strings.Contains(rep, "-") {
+		t.Fatalf("missing placeholder for un-emulated rounds:\n%s", rep)
+	}
+}
+
+func TestClassPanicsOnUnknownModel(t *testing.T) {
+	m := grid.New(5, 5)
+	c := Construct(m, nodeset.New(m), Options{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown model should panic")
+		}
+	}()
+	c.Class(Model(9), grid.XY(0, 0))
+}
+
+func TestMeanRegionSizePanicsOnUnknownModel(t *testing.T) {
+	m := grid.New(5, 5)
+	c := Construct(m, nodeset.New(m), Options{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown model should panic")
+		}
+	}()
+	c.MeanRegionSize(Model(9))
+}
+
+func TestRoundsPanicsOnUnknownModel(t *testing.T) {
+	m := grid.New(5, 5)
+	c := Construct(m, nodeset.New(m), Options{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown model should panic")
+		}
+	}()
+	c.Rounds(Model(9))
+}
+
+func TestDistributedRoundsWithoutOption(t *testing.T) {
+	m := grid.New(5, 5)
+	c := Construct(m, nodeset.New(m), Options{})
+	if c.DistributedRounds() != 0 {
+		t.Fatal("DistributedRounds without the option should be 0")
+	}
+	if Model(9).String() != "model(9)" {
+		t.Fatal("unknown model string")
+	}
+}
+
+func TestDisabledSharing(t *testing.T) {
+	m := grid.New(8, 8)
+	faults := nodeset.FromCoords(m, grid.XY(2, 2), grid.XY(3, 3))
+	c := Construct(m, faults, Options{})
+	d := c.Disabled(FB)
+	if !d.Has(grid.XY(2, 3)) {
+		t.Fatal("FB disabled set should include the grown corner")
+	}
+	if got := c.Class(FP, grid.XY(2, 3)); got != status.Enabled {
+		t.Fatalf("FP corner class = %v", got)
+	}
+}

@@ -1,0 +1,26 @@
+package dmfp
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/grid"
+)
+
+func BenchmarkBuild800Clustered(b *testing.B) {
+	m := grid.New(100, 100)
+	f := fault.NewInjector(m, fault.Clustered, 1).Inject(800)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(m, f)
+	}
+}
+
+func BenchmarkBuild800Random(b *testing.B) {
+	m := grid.New(100, 100)
+	f := fault.NewInjector(m, fault.Random, 1).Inject(800)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(m, f)
+	}
+}

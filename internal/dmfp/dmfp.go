@@ -1,0 +1,374 @@
+// Package dmfp implements the paper's distributed solution (Section 3.2)
+// for constructing minimum orthogonal convex polygons.
+//
+// For every faulty component, boundary nodes form a ring around it. The
+// west-most south-west (outer or inner) corner wins the initiator election
+// (the overwriting rule) and its initiation message circulates clockwise,
+// carrying the boundary array V[1..n](E,S,W,N). Boundary nodes update the
+// array and recognize themselves as notification end nodes of concave
+// row/column sections (the four cases of Figure 6); each end node then
+// notifies disable status along its section, routing around blocking
+// polygons (other components) where the section is obstructed (Figure 7).
+// Closed concave regions (holes) are handled by inner rings initiated at
+// inner south-west corners (Figure 5 (c)).
+//
+// The package both computes the resulting status (property-tested to equal
+// the centralized construction) and accounts the number of rounds of
+// neighbour-to-neighbour message hops, the DMFP curve of Figure 11: ring
+// circulation and section notification proceed one hop per round, all
+// components in parallel.
+//
+// Per the fault-tolerant-routing literature, the distributed construction
+// assumes a non-torus mesh; rings around components that touch the mesh
+// border traverse a one-cell virtual halo (such relay positions are counted
+// in rounds but never disabled).
+package dmfp
+
+import (
+	"fmt"
+
+	"repro/internal/component"
+	"repro/internal/grid"
+	"repro/internal/nodeset"
+	"repro/internal/polygon"
+)
+
+// Result holds the distributed construction's outcome.
+type Result struct {
+	Mesh   grid.Mesh
+	Faults *nodeset.Set
+	// Components are the faulty components; Polygons[i] is the region
+	// disabled on behalf of Components[i] (its minimum faulty polygon,
+	// including any blocking faulty nodes inside its concave sections).
+	Components []*component.Component
+	Polygons   []*nodeset.Set
+	// Disabled is every node that ends disabled: all faults plus every
+	// non-faulty node notified by a concave-section end node.
+	Disabled *nodeset.Set
+	// Rounds is the number of rounds until the whole network is stable:
+	// the maximum over components of ring circulation plus notification.
+	Rounds int
+	// RingLengths holds each component's outer boundary-ring length.
+	RingLengths []int
+}
+
+// fired is a concave section recognized by a notification end node.
+type fired struct {
+	sec polygon.Section
+	// pos is the hop index in the ring walk at which the end node fired.
+	pos int
+	// fromLow is true when the end node is at the section's low end.
+	fromLow bool
+}
+
+// record is a boundary entry of the boundary array V. The paper keeps the
+// single most recently visited node per type per row/column and remarks
+// that refinements (holding the second most recent, removing redundant
+// portions) are "more involved and skipped"; a fixed-depth record provably
+// misses gaps when winding cavities interleave several gaps of one line in
+// the traversal order. This implementation therefore keeps the full visit
+// history per line (consecutive duplicate visits collapsed), which restores
+// exactness while keeping the message payload O(ring length).
+type record struct{ vals []int }
+
+const undef = -1
+
+func (r *record) push(v int) {
+	if n := len(r.vals); n > 0 && r.vals[n-1] == v {
+		return // the same boundary node re-visited at a ring pinch
+	}
+	r.vals = append(r.vals, v)
+}
+
+// matchMax returns the largest recorded value satisfying pred, or undef.
+func (r *record) matchMax(pred func(int) bool) int {
+	best := undef
+	for _, v := range r.vals {
+		if pred(v) && (best == undef || v > best) {
+			best = v
+		}
+	}
+	return best
+}
+
+// matchMin returns the smallest recorded value satisfying pred, or undef.
+func (r *record) matchMin(pred func(int) bool) int {
+	best := undef
+	for _, v := range r.vals {
+		if pred(v) && (best == undef || v < best) {
+			best = v
+		}
+	}
+	return best
+}
+
+func newRecords(n int) []record { return make([]record, n) }
+
+// walkAndDetect circulates the initiation message along the ring walk,
+// maintaining the boundary array and collecting the fired sections.
+func walkAndDetect(m grid.Mesh, comp *nodeset.Set, walk []grid.Coord) []fired {
+	vN := newRecords(m.W) // per column: rows of north boundary nodes
+	vS := newRecords(m.W) // per column: rows of south boundary nodes
+	vE := newRecords(m.H) // per row: columns of east boundary nodes
+	vW := newRecords(m.H) // per row: columns of west boundary nodes
+
+	var fires []fired
+	for pos, c := range walk {
+		if !m.Contains(c) {
+			continue // virtual halo relay: no processor here
+		}
+		// Boundary types of the current node with respect to the component.
+		east := comp.Has(grid.XY(c.X-1, c.Y))  // component to the west
+		west := comp.Has(grid.XY(c.X+1, c.Y))  // component to the east
+		north := comp.Has(grid.XY(c.X, c.Y-1)) // component to the south
+		south := comp.Has(grid.XY(c.X, c.Y+1)) // component to the north
+
+		// Update all matching entries with the same timestamp.
+		if east {
+			vE[c.Y].push(c.X)
+		}
+		if west {
+			vW[c.Y].push(c.X)
+		}
+		if north {
+			vN[c.X].push(c.Y)
+		}
+		if south {
+			vS[c.X].push(c.Y)
+		}
+
+		// Notification end node checks (Figure 6 cases). The widest
+		// matching record is used; merged sections remain safe because
+		// every node between two component cells on a line belongs to the
+		// minimum polygon anyway.
+		if east {
+			if w := vW[c.Y].matchMax(func(v int) bool { return v >= c.X }); w != undef {
+				fires = append(fires, fired{
+					sec:     polygon.Section{Horizontal: true, Line: c.Y, Lo: c.X, Hi: w},
+					pos:     pos,
+					fromLow: true,
+				})
+			}
+		}
+		if west {
+			if e := vE[c.Y].matchMin(func(v int) bool { return v <= c.X }); e != undef {
+				fires = append(fires, fired{
+					sec:     polygon.Section{Horizontal: true, Line: c.Y, Lo: e, Hi: c.X},
+					pos:     pos,
+					fromLow: false,
+				})
+			}
+		}
+		if north {
+			if s := vS[c.X].matchMax(func(v int) bool { return v >= c.Y }); s != undef {
+				fires = append(fires, fired{
+					sec:     polygon.Section{Horizontal: false, Line: c.X, Lo: c.Y, Hi: s},
+					pos:     pos,
+					fromLow: true,
+				})
+			}
+		}
+		if south {
+			if n := vN[c.X].matchMin(func(v int) bool { return v <= c.Y }); n != undef {
+				fires = append(fires, fired{
+					sec:     polygon.Section{Horizontal: false, Line: c.X, Lo: n, Hi: c.Y},
+					pos:     pos,
+					fromLow: false,
+				})
+			}
+		}
+	}
+	return fires
+}
+
+// ringIndex locates cells on a component's outer ring for detour routing.
+type ringIndex struct {
+	pos map[grid.Coord]int
+	n   int
+}
+
+func indexRing(walk []grid.Coord) *ringIndex {
+	idx := &ringIndex{pos: make(map[grid.Coord]int, len(walk)), n: len(walk)}
+	for i, c := range walk {
+		if _, ok := idx.pos[c]; !ok {
+			idx.pos[c] = i
+		}
+	}
+	return idx
+}
+
+// arc returns the hop count between two ring cells along the shorter
+// direction. Cells missing from the ring cost a full circulation, a safe
+// upper bound.
+func (r *ringIndex) arc(a, b grid.Coord) int {
+	ia, oka := r.pos[a]
+	ib, okb := r.pos[b]
+	if !oka || !okb {
+		return r.n
+	}
+	d := ia - ib
+	if d < 0 {
+		d = -d
+	}
+	if r.n-d < d {
+		d = r.n - d
+	}
+	return d
+}
+
+// notifier carries the shared state needed to deliver section notifications.
+type notifier struct {
+	mesh    grid.Mesh
+	faults  *nodeset.Set
+	compOf  []int // dense index -> component id, -1 for non-faulty
+	rings   []*ringIndex
+	polys   []*nodeset.Set
+	overall *nodeset.Set
+}
+
+// deliver walks the fired section from its end node, detouring around
+// blocking polygons, marking every section node into the component's
+// polygon. It returns the number of message hops used.
+func (n *notifier) deliver(compID int, f fired) int {
+	cells := f.sec.Nodes()
+	if !f.fromLow {
+		for i, j := 0, len(cells)-1; i < j; i, j = i+1, j-1 {
+			cells[i], cells[j] = cells[j], cells[i]
+		}
+	}
+	mark := func(c grid.Coord) {
+		n.polys[compID].Add(c)
+		n.overall.Add(c)
+	}
+	hops := 0
+	mark(cells[0]) // the end node itself is a section node
+	i := 1
+	cur := cells[0]
+	for i < len(cells) {
+		c := cells[i]
+		if !n.faults.Has(c) {
+			hops++
+			mark(c)
+			cur = c
+			i++
+			continue
+		}
+		// A blocking polygon: advance past the contiguous faulty stretch
+		// (one component's cells; distinct components are never 4-adjacent)
+		// and route around its boundary ring.
+		blocker := n.compOf[n.mesh.Index(c)]
+		j := i
+		for j < len(cells) && n.faults.Has(cells[j]) {
+			mark(cells[j]) // faulty section nodes are already disabled; they
+			j++            // still belong to the section's polygon
+		}
+		if j == len(cells) {
+			// The section ends inside the blocking stretch (merged
+			// sections can end at another gap's faulty border); nothing
+			// left to notify.
+			break
+		}
+		q := cells[j]
+		hops += n.rings[blocker].arc(cur, q)
+		mark(q)
+		cur = q
+		i = j + 1
+	}
+	return hops
+}
+
+// Build runs the distributed construction. It panics on a torus; the
+// distributed ring protocol is defined for meshes (the paper's simulation
+// setting).
+func Build(m grid.Mesh, faults *nodeset.Set) *Result {
+	if m.Torus {
+		panic("dmfp: the distributed construction requires a non-torus mesh")
+	}
+	if faults.Mesh() != m {
+		panic("dmfp: fault set is over a different mesh")
+	}
+	comps := component.Find(faults)
+	res := &Result{
+		Mesh:        m,
+		Faults:      faults.Clone(),
+		Components:  comps,
+		Polygons:    make([]*nodeset.Set, len(comps)),
+		Disabled:    faults.Clone(),
+		RingLengths: make([]int, len(comps)),
+	}
+
+	compOf := make([]int, m.Size())
+	for i := range compOf {
+		compOf[i] = -1
+	}
+	outer := make([][]grid.Coord, len(comps))
+	rings := make([]*ringIndex, len(comps))
+	for id, c := range comps {
+		c.Nodes.Each(func(cc grid.Coord) { compOf[m.Index(cc)] = id })
+		outer[id] = rotateToInitiator(outerRing(c.Nodes), c.Nodes)
+		rings[id] = indexRing(outer[id])
+		res.RingLengths[id] = len(outer[id])
+		res.Polygons[id] = c.Nodes.Clone()
+	}
+
+	n := &notifier{
+		mesh:    m,
+		faults:  faults,
+		compOf:  compOf,
+		rings:   rings,
+		polys:   res.Polygons,
+		overall: res.Disabled,
+	}
+
+	for id, c := range comps {
+		compRounds := len(outer[id]) // the ring circulation itself
+		process := func(walk []grid.Coord) {
+			for _, f := range walkAndDetect(m, c.Nodes, walk) {
+				hops := n.deliver(id, f)
+				if t := f.pos + hops; t > compRounds {
+					compRounds = t
+				}
+			}
+		}
+		process(outer[id])
+		// Closed concave regions: inner rings on each enclosed cavity,
+		// initiated at their own inner south-west corners.
+		for _, hole := range holes(m, c.Nodes) {
+			inner := rotateToInitiator(boundaryWalk(hole), c.Nodes)
+			if len(inner) > compRounds {
+				compRounds = len(inner)
+			}
+			process(inner)
+		}
+		if compRounds > res.Rounds {
+			res.Rounds = compRounds
+		}
+	}
+	return res
+}
+
+// DisabledNonFaulty returns the number of non-faulty nodes disabled by the
+// distributed construction.
+func (r *Result) DisabledNonFaulty() int { return r.Disabled.Len() - r.Faults.Len() }
+
+// Validate cross-checks the distributed result against the centralized
+// definition: every polygon must be exactly the orthogonal convex closure
+// of its component, and the disabled set must be the union of faults and
+// polygons.
+func (r *Result) Validate() error {
+	union := r.Faults.Clone()
+	for i, p := range r.Polygons {
+		want := r.Components[i].Closure()
+		if !p.Equal(want) {
+			missing := nodeset.Subtract(want, p)
+			extra := nodeset.Subtract(p, want)
+			return fmt.Errorf("dmfp: polygon %d differs from the minimum polygon (missing %v, extra %v)",
+				i, missing, extra)
+		}
+		union.UnionWith(p)
+	}
+	if !union.Equal(r.Disabled) {
+		return fmt.Errorf("dmfp: disabled set is not faults ∪ polygons")
+	}
+	return nil
+}

@@ -1,0 +1,285 @@
+package dmfp
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/grid"
+	"repro/internal/mfp"
+	"repro/internal/nodeset"
+)
+
+func TestEmpty(t *testing.T) {
+	m := grid.New(8, 8)
+	r := Build(m, nodeset.New(m))
+	if r.Disabled.Len() != 0 || r.Rounds != 0 || len(r.Polygons) != 0 {
+		t.Fatalf("empty: %+v", r)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleton(t *testing.T) {
+	m := grid.New(8, 8)
+	r := Build(m, nodeset.FromCoords(m, grid.XY(4, 4)))
+	if r.DisabledNonFaulty() != 0 {
+		t.Fatalf("singleton disables nothing, got %d", r.DisabledNonFaulty())
+	}
+	// The boundary ring of a single fault is its 8 neighbours; the
+	// initiation message needs 8 hops to circle it.
+	if len(r.RingLengths) != 1 || r.RingLengths[0] != 8 {
+		t.Fatalf("ring lengths = %v, want [8]", r.RingLengths)
+	}
+	if r.Rounds != 8 {
+		t.Fatalf("rounds = %d, want 8", r.Rounds)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUShapeSection(t *testing.T) {
+	m := grid.New(10, 10)
+	faults := nodeset.FromCoords(m,
+		grid.XY(2, 2), grid.XY(2, 3), grid.XY(3, 2), grid.XY(4, 2), grid.XY(4, 3))
+	r := Build(m, faults)
+	if r.DisabledNonFaulty() != 1 || !r.Disabled.Has(grid.XY(3, 3)) {
+		t.Fatalf("U cavity not disabled: %v", r.Disabled)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A closed cavity (hole) is handled by an inner ring: a fault ring around a
+// safe node must disable that node.
+func TestClosedConcaveRegion(t *testing.T) {
+	m := grid.New(10, 10)
+	faults := nodeset.New(m)
+	for _, c := range []grid.Coord{
+		grid.XY(3, 3), grid.XY(4, 3), grid.XY(5, 3),
+		grid.XY(3, 4), grid.XY(5, 4),
+		grid.XY(3, 5), grid.XY(4, 5), grid.XY(5, 5),
+	} {
+		faults.Add(c)
+	}
+	r := Build(m, faults)
+	if !r.Disabled.Has(grid.XY(4, 4)) {
+		t.Fatal("hole cell (4,4) must be disabled by the inner ring")
+	}
+	if r.DisabledNonFaulty() != 1 {
+		t.Fatalf("disabled non-faulty = %d, want 1", r.DisabledNonFaulty())
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A wide (3x3) hole: interior cells are notified through sections whose end
+// nodes sit on the inner ring.
+func TestWideHole(t *testing.T) {
+	m := grid.New(12, 12)
+	faults := nodeset.New(m)
+	for x := 2; x <= 8; x++ {
+		faults.Add(grid.XY(x, 2))
+		faults.Add(grid.XY(x, 8))
+	}
+	for y := 2; y <= 8; y++ {
+		faults.Add(grid.XY(2, y))
+		faults.Add(grid.XY(8, y))
+	}
+	r := Build(m, faults)
+	// Everything strictly inside the ring must be disabled: 5x5 cavity.
+	if r.DisabledNonFaulty() != 25 {
+		t.Fatalf("disabled non-faulty = %d, want 25", r.DisabledNonFaulty())
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Figure 8 of the paper: one component of ten faults, reconstructed from the
+// worked example's clues (notification end nodes and their sections). The
+// paper's figure uses Y growing downward; coordinates here are mirrored
+// (y_up = 6 - y_down) to our Y-north convention.
+func TestFigure8Scenario(t *testing.T) {
+	m := grid.New(8, 8)
+	mirror := func(x, yDown int) grid.Coord { return grid.XY(x, 6-yDown) }
+	faults := nodeset.New(m)
+	for _, c := range [][2]int{
+		{1, 1}, {2, 2}, {3, 2}, {1, 3}, {4, 3}, {1, 4}, {4, 4}, {2, 5}, {4, 5}, {3, 6},
+	} {
+		faults.Add(mirror(c[0], c[1]))
+	}
+	r := Build(m, faults)
+	if len(r.Components) != 1 {
+		t.Fatalf("components = %d, want 1", len(r.Components))
+	}
+	// Sections from the worked example: column 1 gap {(1,2)}, column 2 gap
+	// {(2,3),(2,4)}, row 3 gap {(2,3),(3,3)}, row 4 gap {(2,4),(3,4)},
+	// row 5 gap {(3,5)}, column 3 gap {(3,3),(3,4),(3,5)}.
+	want := nodeset.New(m)
+	for _, c := range [][2]int{
+		{1, 2}, {2, 3}, {2, 4}, {3, 3}, {3, 4}, {3, 5},
+	} {
+		want.Add(mirror(c[0], c[1]))
+	}
+	gotExtra := nodeset.Subtract(r.Disabled, faults)
+	if !gotExtra.Equal(want) {
+		t.Fatalf("disabled non-faulty = %v, want %v", gotExtra, want)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Figure 7 of the paper: a concave column/row section of one component is
+// obstructed by blocking polygons (other components); the notification must
+// route around them and the blocked faulty nodes still belong to the outer
+// component's polygon.
+func TestBlockingPolygons(t *testing.T) {
+	m := grid.New(14, 14)
+	faults := nodeset.New(m)
+	// Component 1: a U with a wide cavity (arms x=0 and x=6, base y=0).
+	for y := 0; y <= 5; y++ {
+		faults.Add(grid.XY(0, y))
+		faults.Add(grid.XY(6, y))
+	}
+	for x := 0; x <= 6; x++ {
+		faults.Add(grid.XY(x, 0))
+	}
+	// Component 2: a bar inside the cavity blocking row sections.
+	faults.Add(grid.XY(2, 3))
+	faults.Add(grid.XY(3, 3))
+	faults.Add(grid.XY(4, 3))
+
+	r := Build(m, faults)
+	if len(r.Components) != 2 {
+		t.Fatalf("components = %d, want 2", len(r.Components))
+	}
+	// The whole cavity (5x5 minus nothing) is disabled: 25 cells, of which
+	// 3 are component 2's faults.
+	if got := r.DisabledNonFaulty(); got != 22 {
+		t.Fatalf("disabled non-faulty = %d, want 22", got)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The distributed construction must agree exactly with the centralized one
+// on random instances under both fault models.
+func TestEquivalenceWithCentralized(t *testing.T) {
+	for _, model := range []fault.Model{fault.Random, fault.Clustered} {
+		for seed := int64(0); seed < 15; seed++ {
+			m := grid.New(40, 40)
+			faults := fault.NewInjector(m, model, seed).Inject(120)
+			dist := Build(m, faults)
+			cent := mfp.Build(m, faults)
+			if !dist.Disabled.Equal(cent.Disabled) {
+				onlyD := nodeset.Subtract(dist.Disabled, cent.Disabled)
+				onlyC := nodeset.Subtract(cent.Disabled, dist.Disabled)
+				t.Fatalf("%v seed %d: distributed≠centralized (dist-only %v, cent-only %v)",
+					model, seed, onlyD, onlyC)
+			}
+			if err := dist.Validate(); err != nil {
+				t.Fatalf("%v seed %d: %v", model, seed, err)
+			}
+		}
+	}
+}
+
+// Faults on the mesh border: the ring uses halo relays but the result must
+// still match the centralized construction.
+func TestBorderFaults(t *testing.T) {
+	m := grid.New(8, 8)
+	cases := []*nodeset.Set{
+		nodeset.FromCoords(m, grid.XY(0, 0)),
+		nodeset.FromCoords(m, grid.XY(0, 0), grid.XY(1, 1)),
+		nodeset.FromCoords(m, grid.XY(7, 7), grid.XY(6, 6), grid.XY(7, 5)),
+		nodeset.FromCoords(m, grid.XY(0, 3), grid.XY(0, 5), grid.XY(1, 4)),
+		nodeset.FromCoords(m, grid.XY(3, 0), grid.XY(4, 0), grid.XY(5, 0), grid.XY(3, 7)),
+	}
+	for i, faults := range cases {
+		dist := Build(m, faults)
+		cent := mfp.Build(m, faults)
+		if !dist.Disabled.Equal(cent.Disabled) {
+			t.Fatalf("case %d: border handling diverged: %v vs %v",
+				i, dist.Disabled, cent.Disabled)
+		}
+		if err := dist.Validate(); err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+	}
+}
+
+// Rounds must exceed the centralized emulation (the ring must circle the
+// component) but track component size, not block size.
+func TestRoundsOrdering(t *testing.T) {
+	m := grid.New(40, 40)
+	var sumD, sumC int
+	for seed := int64(0); seed < 8; seed++ {
+		faults := fault.NewInjector(m, fault.Clustered, seed).Inject(120)
+		d := Build(m, faults)
+		c := mfp.BuildLabelling(m, faults)
+		sumD += d.Rounds
+		sumC += c.Rounds
+		if err := d.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+	if sumD <= sumC {
+		t.Fatalf("DMFP rounds (%d) should exceed CMFP rounds (%d)", sumD, sumC)
+	}
+}
+
+// A spiral-shaped component exercises winding cavities where sections of
+// the same row are visited non-contiguously (the case needing the two-deep
+// boundary records).
+func TestSpiralComponent(t *testing.T) {
+	m := grid.New(16, 16)
+	faults := nodeset.New(m)
+	// A rectangular spiral: outer wall open at the top-left, winding in.
+	for x := 2; x <= 10; x++ {
+		faults.Add(grid.XY(x, 2))
+	}
+	for y := 2; y <= 10; y++ {
+		faults.Add(grid.XY(10, y))
+	}
+	for x := 4; x <= 10; x++ {
+		faults.Add(grid.XY(x, 10))
+	}
+	for y := 4; y <= 10; y++ {
+		faults.Add(grid.XY(4, y))
+	}
+	for x := 4; x <= 8; x++ {
+		faults.Add(grid.XY(x, 4))
+	}
+	for y := 4; y <= 8; y++ {
+		faults.Add(grid.XY(8, y))
+	}
+	for x := 6; x <= 8; x++ {
+		faults.Add(grid.XY(x, 8))
+	}
+	dist := Build(m, faults)
+	cent := mfp.Build(m, faults)
+	if !dist.Disabled.Equal(cent.Disabled) {
+		t.Fatalf("spiral diverged: dist-only %v, cent-only %v",
+			nodeset.Subtract(dist.Disabled, cent.Disabled),
+			nodeset.Subtract(cent.Disabled, dist.Disabled))
+	}
+	if err := dist.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTorusPanics(t *testing.T) {
+	m := grid.NewTorus(8, 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("torus should panic")
+		}
+	}()
+	Build(m, nodeset.New(m))
+}

@@ -1,0 +1,124 @@
+package dmfp
+
+import (
+	"repro/internal/grid"
+	"repro/internal/nodeset"
+)
+
+// This file simulates the ring-construction protocol at the message level:
+// every south-west corner of a component launches an initiation message
+// simultaneously, messages advance one boundary node per round, and each
+// node applies the paper's overwriting rule — an arriving message whose
+// initiator ID is dominated by one the node has already relayed is
+// discarded, and the message with the smaller x (then smaller y) initiator
+// overwrites the rest. The construction in Build uses the analytic
+// shortcut (rotate the ring to the dominant corner, charge one full
+// circulation); RingElection exists to verify that shortcut against the
+// actual dynamics.
+
+// ElectionResult reports the outcome of a simulated ring election.
+type ElectionResult struct {
+	// Winner is the initiator whose message survives and completes the
+	// circle.
+	Winner grid.Coord
+	// Rounds is the number of rounds until the winner's message returns to
+	// its initiator.
+	Rounds int
+	// Launched is the number of initiation messages at round zero.
+	Launched int
+	// Killed is the number of messages discarded by the overwriting rule.
+	Killed int
+}
+
+// dominates reports whether initiator a overwrites initiator b under the
+// paper's priority: smaller x first, then smaller y.
+func dominates(a, b grid.Coord) bool {
+	if a.X != b.X {
+		return a.X < b.X
+	}
+	return a.Y < b.Y
+}
+
+// RingElection simulates the multi-initiator ring construction on the
+// component's outer boundary ring and returns the surviving initiator and
+// the round count. All south-west corners (outer and inner) launch at
+// round zero; messages advance one walk position per round; each boundary
+// node relays a message only if no previously-relayed message at that node
+// dominates it.
+func RingElection(comp *nodeset.Set) ElectionResult {
+	walk := outerRing(comp)
+	res := ElectionResult{}
+	if len(walk) == 0 {
+		return res
+	}
+
+	type message struct {
+		initiator grid.Coord
+		pos       int // current index in walk
+		travelled int
+		dead      bool
+	}
+	var msgs []*message
+	for i, c := range walk {
+		if isSWCorner(c, comp) {
+			// A corner appearing several times in a pinched walk launches
+			// from its first occurrence only.
+			first := true
+			for _, m := range msgs {
+				if m.initiator == c {
+					first = false
+				}
+			}
+			if first {
+				msgs = append(msgs, &message{initiator: c, pos: i})
+			}
+		}
+	}
+	res.Launched = len(msgs)
+	if len(msgs) == 0 {
+		// No corner (can happen only for degenerate walks): fall back to a
+		// single message from the walk start.
+		msgs = append(msgs, &message{initiator: walk[0]})
+		res.Launched = 1
+	}
+
+	// best[i] is the dominant initiator ID relayed through walk position i
+	// so far; a position relays only improving IDs.
+	best := make([]*grid.Coord, len(walk))
+	for _, m := range msgs {
+		id := m.initiator
+		best[m.pos] = &id
+	}
+
+	for round := 1; ; round++ {
+		if round > 4*len(walk)+8 {
+			panic("dmfp: ring election did not converge")
+		}
+		progressed := false
+		for _, m := range msgs {
+			if m.dead {
+				continue
+			}
+			m.pos = (m.pos + 1) % len(walk)
+			m.travelled++
+			if m.travelled == len(walk) {
+				// The message returned to its initiator: the ring is
+				// constructed.
+				res.Winner = m.initiator
+				res.Rounds = round
+				return res
+			}
+			if b := best[m.pos]; b != nil && dominates(*b, m.initiator) {
+				m.dead = true
+				res.Killed++
+				continue
+			}
+			id := m.initiator
+			best[m.pos] = &id
+			progressed = true
+		}
+		if !progressed {
+			panic("dmfp: all election messages died")
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package dmfp
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/grid"
+	"repro/internal/mfp"
+	"repro/internal/nodeset"
+)
+
+func TestRingElectionSingleton(t *testing.T) {
+	m := grid.New(8, 8)
+	comp := nodeset.FromCoords(m, grid.XY(4, 4))
+	res := RingElection(comp)
+	if res.Winner != grid.XY(3, 3) {
+		t.Fatalf("winner = %v, want the SW corner (3,3)", res.Winner)
+	}
+	if res.Rounds != 8 {
+		t.Fatalf("rounds = %d, want 8 (one circulation)", res.Rounds)
+	}
+	if res.Launched != 1 || res.Killed != 0 {
+		t.Fatalf("launched=%d killed=%d", res.Launched, res.Killed)
+	}
+}
+
+func TestRingElectionEmpty(t *testing.T) {
+	m := grid.New(4, 4)
+	res := RingElection(nodeset.New(m))
+	if res.Rounds != 0 || res.Launched != 0 {
+		t.Fatalf("empty election: %+v", res)
+	}
+}
+
+// An L opening north-east has two south-west corners (the outer one at the
+// bend's diagonal and the inner one in the pocket); both launch, the
+// overwriting rule kills the loser, and the survivor needs exactly one
+// full circulation.
+func TestRingElectionMultiInitiator(t *testing.T) {
+	m := grid.New(14, 14)
+	comp := nodeset.FromCoords(m,
+		grid.XY(4, 4), grid.XY(5, 4), grid.XY(6, 4),
+		grid.XY(4, 5), grid.XY(4, 6))
+	res := RingElection(comp)
+	if res.Launched < 2 {
+		t.Fatalf("staircase should have several initiators, got %d", res.Launched)
+	}
+	if res.Killed != res.Launched-1 {
+		t.Fatalf("all but one message must die: launched=%d killed=%d",
+			res.Launched, res.Killed)
+	}
+	ring := outerRing(comp)
+	if res.Rounds != len(ring) {
+		t.Fatalf("rounds = %d, want ring length %d", res.Rounds, len(ring))
+	}
+	// The survivor is the dominant corner the analytic shortcut picks.
+	want := rotateToInitiator(ring, comp)[0]
+	if res.Winner != want {
+		t.Fatalf("winner = %v, want %v", res.Winner, want)
+	}
+}
+
+// The message-level election must agree with the analytic shortcut used by
+// Build (winner and round count) on random components.
+func TestRingElectionMatchesAnalyticAccounting(t *testing.T) {
+	m := grid.New(30, 30)
+	for seed := int64(0); seed < 12; seed++ {
+		faults := fault.NewInjector(m, fault.Clustered, seed).Inject(60)
+		for i, comp := range mfp.Build(m, faults).Components {
+			res := RingElection(comp.Nodes)
+			walk := rotateToInitiator(outerRing(comp.Nodes), comp.Nodes)
+			if res.Winner != walk[0] {
+				t.Fatalf("seed %d comp %d: winner %v, analytic %v",
+					seed, i, res.Winner, walk[0])
+			}
+			if res.Rounds != len(walk) {
+				t.Fatalf("seed %d comp %d: rounds %d, analytic %d",
+					seed, i, res.Rounds, len(walk))
+			}
+		}
+	}
+}

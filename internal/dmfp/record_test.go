@@ -1,0 +1,94 @@
+package dmfp
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/nodeset"
+)
+
+func TestRecordPushDedupes(t *testing.T) {
+	var r record
+	r.push(3)
+	r.push(3) // ring pinch: the same boundary node visited twice in a row
+	r.push(7)
+	if len(r.vals) != 2 || r.vals[0] != 3 || r.vals[1] != 7 {
+		t.Fatalf("vals = %v", r.vals)
+	}
+}
+
+func TestRecordMatchers(t *testing.T) {
+	var r record
+	if r.matchMax(func(int) bool { return true }) != undef {
+		t.Fatal("empty record must report undef")
+	}
+	for _, v := range []int{5, 2, 9, 4} {
+		r.push(v)
+	}
+	if got := r.matchMax(func(v int) bool { return v >= 3 }); got != 9 {
+		t.Fatalf("matchMax = %d, want 9", got)
+	}
+	if got := r.matchMin(func(v int) bool { return v >= 3 }); got != 4 {
+		t.Fatalf("matchMin = %d, want 4", got)
+	}
+	if got := r.matchMax(func(v int) bool { return v > 100 }); got != undef {
+		t.Fatalf("matchMax no-match = %d", got)
+	}
+}
+
+func TestRingIndexArc(t *testing.T) {
+	walk := []grid.Coord{
+		grid.XY(0, 0), grid.XY(1, 0), grid.XY(2, 0), grid.XY(2, 1),
+		grid.XY(2, 2), grid.XY(1, 2), grid.XY(0, 2), grid.XY(0, 1),
+	}
+	idx := indexRing(walk)
+	if got := idx.arc(grid.XY(0, 0), grid.XY(2, 0)); got != 2 {
+		t.Fatalf("forward arc = %d, want 2", got)
+	}
+	// The shorter way around wins.
+	if got := idx.arc(grid.XY(0, 0), grid.XY(0, 1)); got != 1 {
+		t.Fatalf("wrap arc = %d, want 1", got)
+	}
+	// Unknown cells cost a full circulation (safe upper bound).
+	if got := idx.arc(grid.XY(9, 9), grid.XY(0, 0)); got != len(walk) {
+		t.Fatalf("missing-cell arc = %d, want %d", got, len(walk))
+	}
+}
+
+// The fired-section delivery must count detour hops: blocking polygons in
+// a concave region can only increase the round count of the same geometry.
+func TestNotificationDetourCostsRounds(t *testing.T) {
+	m := grid.New(18, 18)
+	buildU := func(withBlocker bool) *Result {
+		faults := nodeset.New(m)
+		for y := 2; y <= 6; y++ {
+			faults.Add(grid.XY(2, y))
+			faults.Add(grid.XY(10, y))
+		}
+		for x := 2; x <= 10; x++ {
+			faults.Add(grid.XY(x, 2))
+		}
+		if withBlocker {
+			faults.Add(grid.XY(5, 4))
+			faults.Add(grid.XY(6, 4))
+			faults.Add(grid.XY(7, 4))
+		}
+		r := Build(m, faults)
+		if err := r.Validate(); err != nil {
+			t.Fatalf("withBlocker=%v: %v", withBlocker, err)
+		}
+		return r
+	}
+	free := buildU(false)
+	blocked := buildU(true)
+	if blocked.Rounds < free.Rounds {
+		t.Fatalf("blocking polygons cannot reduce rounds: %d < %d",
+			blocked.Rounds, free.Rounds)
+	}
+	// The cavity is fully disabled in both cases; the blocker's faults
+	// replace three formerly non-faulty cavity cells.
+	if free.DisabledNonFaulty() != blocked.DisabledNonFaulty()+3 {
+		t.Fatalf("cavity accounting: free=%d blocked=%d",
+			free.DisabledNonFaulty(), blocked.DisabledNonFaulty())
+	}
+}

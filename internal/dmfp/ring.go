@@ -1,0 +1,64 @@
+package dmfp
+
+import (
+	"repro/internal/grid"
+	"repro/internal/nodeset"
+	"repro/internal/polygon"
+)
+
+// outerRing, boundaryWalk and holes delegate to the shared contour-tracing
+// geometry; this file keeps only the initiator-election logic, which is
+// specific to the distributed protocol.
+
+func outerRing(region *nodeset.Set) []grid.Coord { return polygon.OuterRing(region) }
+
+// Ring returns a component's boundary ring rotated to start at its
+// dominant initiator — the walk the initiation message follows. It is
+// exposed for visualisation and diagnostics.
+func Ring(comp *nodeset.Set) []grid.Coord {
+	return rotateToInitiator(outerRing(comp), comp)
+}
+
+func boundaryWalk(region *nodeset.Set) []grid.Coord { return polygon.BoundaryWalk(region) }
+
+func holes(_ grid.Mesh, comp *nodeset.Set) []*nodeset.Set { return polygon.Holes(comp) }
+
+// rotateToInitiator rotates the cyclic walk so it starts at the dominant
+// initiator: the south-west (outer or inner) corner with the smallest x and
+// then the smallest y, per the paper's overwriting rule. If the walk has no
+// such corner the walk is returned unchanged.
+func rotateToInitiator(walk []grid.Coord, comp *nodeset.Set) []grid.Coord {
+	best := -1
+	for i, c := range walk {
+		if !isSWCorner(c, comp) {
+			continue
+		}
+		if best < 0 || c.X < walk[best].X || (c.X == walk[best].X && c.Y < walk[best].Y) {
+			best = i
+		}
+	}
+	if best <= 0 {
+		return walk
+	}
+	out := make([]grid.Coord, 0, len(walk))
+	out = append(out, walk[best:]...)
+	out = append(out, walk[:best]...)
+	return out
+}
+
+// isSWCorner reports whether the boundary node is a south-west outer corner
+// (its north neighbour is a west boundary node and its east neighbour is a
+// south boundary node) or a south-west inner corner (it is an east and a
+// north boundary node at the same time).
+func isSWCorner(c grid.Coord, comp *nodeset.Set) bool {
+	if comp.Has(c) {
+		return false
+	}
+	// Outer: diagonal NE cell in the component, but neither the N nor the E
+	// cell.
+	outer := comp.Has(grid.XY(c.X+1, c.Y+1)) &&
+		!comp.Has(grid.XY(c.X+1, c.Y)) && !comp.Has(grid.XY(c.X, c.Y+1))
+	// Inner: component to the west and to the south.
+	inner := comp.Has(grid.XY(c.X-1, c.Y)) && comp.Has(grid.XY(c.X, c.Y-1))
+	return outer || inner
+}

@@ -1,0 +1,93 @@
+package dmfp
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/nodeset"
+)
+
+func TestIsSWCornerOuter(t *testing.T) {
+	m := grid.New(8, 8)
+	comp := nodeset.FromCoords(m, grid.XY(3, 3), grid.XY(4, 3), grid.XY(3, 4), grid.XY(4, 4))
+	// The outer south-west corner of a 2x2 block sits diagonally below-left.
+	if !isSWCorner(grid.XY(2, 2), comp) {
+		t.Fatal("(2,2) should be the outer SW corner")
+	}
+	// Other diagonal corners are not SW corners.
+	for _, c := range []grid.Coord{grid.XY(5, 2), grid.XY(2, 5), grid.XY(5, 5)} {
+		if isSWCorner(c, comp) {
+			t.Fatalf("%v wrongly detected as SW corner", c)
+		}
+	}
+	// Component cells are never corners.
+	if isSWCorner(grid.XY(3, 3), comp) {
+		t.Fatal("component cell detected as corner")
+	}
+}
+
+func TestIsSWCornerInner(t *testing.T) {
+	m := grid.New(8, 8)
+	// An L opening north-east: the pocket cell has the component to its
+	// west and south — an inner SW corner.
+	comp := nodeset.FromCoords(m,
+		grid.XY(2, 2), grid.XY(3, 2), grid.XY(4, 2), grid.XY(2, 3), grid.XY(2, 4))
+	if !isSWCorner(grid.XY(3, 3), comp) {
+		t.Fatal("(3,3) should be an inner SW corner (component west and south)")
+	}
+}
+
+func TestRotateToInitiatorPicksWestmost(t *testing.T) {
+	m := grid.New(12, 12)
+	comp := nodeset.FromCoords(m, grid.XY(4, 4), grid.XY(5, 4), grid.XY(4, 5), grid.XY(5, 5))
+	walk := rotateToInitiator(outerRing(comp), comp)
+	// The dominant initiator (overwriting rule: smallest x, then smallest
+	// y) of a block at (4,4) is the outer SW corner (3,3).
+	if walk[0] != grid.XY(3, 3) {
+		t.Fatalf("walk starts at %v, want the west-most SW corner (3,3)", walk[0])
+	}
+}
+
+func TestRotateToInitiatorMultipleCorners(t *testing.T) {
+	m := grid.New(14, 14)
+	// A staircase has several SW corners (outer and inner); the rotation
+	// must pick the one with the smallest x then y among them.
+	comp := nodeset.FromCoords(m,
+		grid.XY(4, 4), grid.XY(5, 5), grid.XY(6, 6))
+	walk := rotateToInitiator(outerRing(comp), comp)
+	best := walk[0]
+	for _, c := range walk {
+		if !isSWCorner(c, comp) {
+			continue
+		}
+		if c.X < best.X || (c.X == best.X && c.Y < best.Y) {
+			t.Fatalf("walk starts at %v but %v dominates", best, c)
+		}
+	}
+	if !isSWCorner(best, comp) {
+		t.Fatalf("walk start %v is not a SW corner", best)
+	}
+}
+
+func TestRotatePreservesCycle(t *testing.T) {
+	m := grid.New(10, 10)
+	comp := nodeset.FromCoords(m, grid.XY(5, 5))
+	ring := outerRing(comp)
+	rotated := rotateToInitiator(ring, comp)
+	if len(rotated) != len(ring) {
+		t.Fatal("rotation changed ring length")
+	}
+	// Same multiset of cells.
+	count := map[grid.Coord]int{}
+	for _, c := range ring {
+		count[c]++
+	}
+	for _, c := range rotated {
+		count[c]--
+	}
+	for c, n := range count {
+		if n != 0 {
+			t.Fatalf("cell %v count off by %d after rotation", c, n)
+		}
+	}
+}

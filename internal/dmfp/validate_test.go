@@ -1,0 +1,48 @@
+package dmfp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/nodeset"
+)
+
+func validDistResult(t *testing.T) *Result {
+	t.Helper()
+	m := grid.New(12, 12)
+	faults := nodeset.FromCoords(m,
+		grid.XY(3, 3), grid.XY(3, 4), grid.XY(4, 3), grid.XY(5, 3), grid.XY(5, 4))
+	r := Build(m, faults)
+	if err := r.Validate(); err != nil {
+		t.Fatalf("fixture invalid: %v", err)
+	}
+	return r
+}
+
+func TestValidateCatchesPolygonDrift(t *testing.T) {
+	r := validDistResult(t)
+	r.Polygons[0].Add(grid.XY(0, 0))
+	err := r.Validate()
+	if err == nil || !strings.Contains(err.Error(), "differs") {
+		t.Fatalf("drifted polygon not caught: %v", err)
+	}
+}
+
+func TestValidateCatchesDisabledDrift(t *testing.T) {
+	r := validDistResult(t)
+	r.Disabled.Add(grid.XY(10, 10))
+	err := r.Validate()
+	if err == nil || !strings.Contains(err.Error(), "faults ∪ polygons") {
+		t.Fatalf("drifted disabled set not caught: %v", err)
+	}
+}
+
+func TestBuildRejectsForeignFaultSet(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("foreign mesh fault set should panic")
+		}
+	}()
+	Build(grid.New(5, 5), nodeset.New(grid.New(6, 6)))
+}

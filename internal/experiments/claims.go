@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/fault"
+	"repro/internal/stats"
+)
+
+// Claim is one of the paper's prose claims evaluated against a fresh
+// simulation run.
+type Claim struct {
+	// ID names the claim ("fig9-ordering", ...).
+	ID string
+	// Statement quotes or paraphrases the paper.
+	Statement string
+	// Holds reports whether the measured data supports the claim.
+	Holds bool
+	// Detail carries the measured numbers behind the verdict.
+	Detail string
+}
+
+// VerifyClaims re-runs the paper's sweeps at the given trial count and
+// evaluates every quantitative claim of Section 4 against the fresh data.
+// It is the repository's executable regression test for the reproduction
+// itself.
+func VerifyClaims(trials int) []Claim {
+	var claims []Claim
+
+	type sweep struct {
+		model fault.Model
+		fig9  *stats.Table
+		fig10 *stats.Table
+		fig11 *stats.Table
+	}
+	sweeps := make([]sweep, 0, 2)
+	for _, model := range []fault.Model{fault.Random, fault.Clustered} {
+		cfg := Default(model, trials)
+		sweeps = append(sweeps, sweep{
+			model: model,
+			fig9:  Figure9(cfg),
+			fig10: Figure10(cfg),
+			fig11: Figure11(cfg),
+		})
+	}
+	at := func(t *stats.Table, name string, x int) float64 {
+		for _, s := range t.Series {
+			if s.Name == name {
+				if p := s.At(x); p != nil {
+					return p.Mean()
+				}
+			}
+		}
+		return math.NaN()
+	}
+	const top = 800
+
+	// Claim 1: the polygon models cover all faults with fewer non-faulty
+	// nodes, MFP fewest (Figure 9 ordering).
+	ordering := true
+	detail := ""
+	for _, sw := range sweeps {
+		for _, x := range sw.fig9.Xs() {
+			fb, fp, mfp := at(sw.fig9, "FB", x), at(sw.fig9, "FP", x), at(sw.fig9, "MFP", x)
+			if mfp > fp+1e-9 || fp > fb+1e-9 {
+				ordering = false
+				detail = fmt.Sprintf("%s@%d: FB=%.1f FP=%.1f MFP=%.1f", sw.model, x, fb, fp, mfp)
+			}
+		}
+	}
+	if detail == "" {
+		detail = "MFP ≤ FP ≤ FB at every swept point, both models"
+	}
+	claims = append(claims, Claim{
+		ID:        "fig9-ordering",
+		Statement: "the faulty polygon covers all the faults but contains fewer non-faulty nodes than the faulty block",
+		Holds:     ordering,
+		Detail:    detail,
+	})
+
+	// Claim 2: FP re-enables about 50% of FB's disabled nodes (clustered,
+	// at scale). Accept a generous band around the paper's headline.
+	cl := sweeps[1]
+	fb, fp, mfp := at(cl.fig9, "FB", top), at(cl.fig9, "FP", top), at(cl.fig9, "MFP", top)
+	fpSavings := (fb - fp) / fb
+	claims = append(claims, Claim{
+		ID:        "fp-50-percent",
+		Statement: "under the sub-minimum faulty polygon model, 50% of non-faulty nodes contained in the faulty blocks can be enabled",
+		Holds:     fpSavings > 0.25 && fpSavings < 0.85,
+		Detail:    fmt.Sprintf("clustered@%d: FP re-enables %.0f%% of FB's %.0f disabled nodes", top, 100*fpSavings, fb),
+	})
+
+	// Claim 3: MFP re-enables about 90%.
+	mfpSavings := (fb - mfp) / fb
+	claims = append(claims, Claim{
+		ID:        "mfp-90-percent",
+		Statement: "under the minimum faulty polygon model, 90% of non-faulty nodes contained in the faulty blocks can be enabled",
+		Holds:     mfpSavings > 0.8,
+		Detail:    fmt.Sprintf("clustered@%d: MFP re-enables %.0f%% of FB's disabled nodes", top, 100*mfpSavings),
+	})
+
+	// Claim 4: MFP regions are the smallest of the three (Figure 10) and
+	// stay small at 800 faults.
+	smallest := true
+	for _, sw := range sweeps {
+		for _, x := range sw.fig10.Xs() {
+			fbS, fpS, mfpS := at(sw.fig10, "FB", x), at(sw.fig10, "FP", x), at(sw.fig10, "MFP", x)
+			if mfpS > fpS+1e-9 || mfpS > fbS+1e-9 {
+				smallest = false
+			}
+		}
+	}
+	mfpSizeTop := at(cl.fig10, "MFP", top)
+	claims = append(claims, Claim{
+		ID:        "fig10-mfp-smallest",
+		Statement: "the average size of MFP is the least of the three; it does not increase much even when the number of faults reaches 800",
+		Holds:     smallest && mfpSizeTop < 4,
+		Detail: fmt.Sprintf("MFP smallest at every point; clustered@%d MFP size %.2f vs FB %.1f",
+			top, mfpSizeTop, at(cl.fig10, "FB", top)),
+	})
+
+	// Claim 5: FP needs more rounds than FB (extra shrinking phase).
+	fpRounds := true
+	for _, sw := range sweeps {
+		for _, x := range sw.fig11.Xs() {
+			if at(sw.fig11, "FP", x) < at(sw.fig11, "FB", x)-1e-9 {
+				fpRounds = false
+			}
+		}
+	}
+	claims = append(claims, Claim{
+		ID:        "fig11-fp-over-fb",
+		Statement: "the number of rounds for status determination under FP is more than that of FB",
+		Holds:     fpRounds,
+		Detail:    "FP ≥ FB rounds at every swept point, both models",
+	})
+
+	// Claim 6: CMFP needs far fewer rounds than FB at scale.
+	cmfpOK := at(cl.fig11, "CMFP", top) < at(cl.fig11, "FB", top) &&
+		at(sweeps[0].fig11, "CMFP", top) < at(sweeps[0].fig11, "FB", top)
+	claims = append(claims, Claim{
+		ID:        "fig11-cmfp-below-fb",
+		Statement: "the number of rounds needed under the CMFP is much less than that of FB",
+		Holds:     cmfpOK,
+		Detail: fmt.Sprintf("@%d rounds: CMFP %.1f vs FB %.1f (clustered), %.1f vs %.1f (random)",
+			top, at(cl.fig11, "CMFP", top), at(cl.fig11, "FB", top),
+			at(sweeps[0].fig11, "CMFP", top), at(sweeps[0].fig11, "FB", top)),
+	})
+
+	// Claim 7: DMFP needs more rounds than CMFP but fewer than FP at scale.
+	dmfpOK := true
+	for _, sw := range sweeps {
+		for _, x := range sw.fig11.Xs() {
+			if at(sw.fig11, "DMFP", x) < at(sw.fig11, "CMFP", x) {
+				dmfpOK = false
+			}
+		}
+		if at(sw.fig11, "DMFP", top) > at(sw.fig11, "FP", top) {
+			dmfpOK = false
+		}
+	}
+	claims = append(claims, Claim{
+		ID:        "fig11-dmfp-between",
+		Statement: "the distributed solution needs more rounds than the centralized solution but still much less than FP",
+		Holds:     dmfpOK,
+		Detail: fmt.Sprintf("@%d rounds: DMFP %.1f between CMFP %.1f and FP %.1f (clustered)",
+			top, at(cl.fig11, "DMFP", top), at(cl.fig11, "CMFP", top), at(cl.fig11, "FP", top)),
+	})
+
+	return claims
+}

@@ -1,0 +1,22 @@
+package experiments
+
+import "testing"
+
+// The reproduction's own regression test: every quantitative claim of the
+// paper's Section 4 must hold on a fresh sweep.
+func TestAllPaperClaimsHold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-sweep claim verification")
+	}
+	claims := VerifyClaims(5)
+	if len(claims) != 7 {
+		t.Fatalf("expected 7 claims, got %d", len(claims))
+	}
+	for _, c := range claims {
+		if !c.Holds {
+			t.Errorf("claim %s FAILED: %s (%s)", c.ID, c.Statement, c.Detail)
+		} else {
+			t.Logf("claim %s holds: %s", c.ID, c.Detail)
+		}
+	}
+}

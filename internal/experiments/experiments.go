@@ -1,0 +1,132 @@
+// Package experiments is the harness that regenerates the paper's
+// evaluation (Section 4): the data series of Figures 9, 10 and 11 on a
+// simulated n×n mesh under the random and clustered fault distribution
+// models. The same harness backs the mfpsim command and the repository's
+// benchmarks, so both always produce the same numbers for the same
+// configuration.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/grid"
+	"repro/internal/stats"
+)
+
+// Config describes one sweep, defaulting to the paper's setting: a 100×100
+// mesh, 100..800 faults in steps of 100, both phases of the construction.
+type Config struct {
+	// MeshSize is the side length n of the n×n mesh (paper: 100).
+	MeshSize int
+	// FaultCounts are the swept numbers of faulty nodes (paper: up to 800).
+	FaultCounts []int
+	// Trials is the number of independent fault sets per point.
+	Trials int
+	// Model selects the fault distribution model.
+	Model fault.Model
+	// BaseSeed derives per-trial seeds; a fixed base makes sweeps
+	// reproducible.
+	BaseSeed int64
+}
+
+// Default returns the paper's configuration for the given distribution
+// model with the requested number of trials.
+func Default(model fault.Model, trials int) Config {
+	return Config{
+		MeshSize:    100,
+		FaultCounts: []int{100, 200, 300, 400, 500, 600, 700, 800},
+		Trials:      trials,
+		Model:       model,
+		BaseSeed:    1,
+	}
+}
+
+func (c Config) validate() {
+	if c.MeshSize <= 0 || c.Trials <= 0 || len(c.FaultCounts) == 0 {
+		panic(fmt.Sprintf("experiments: invalid config %+v", c))
+	}
+}
+
+// seedFor gives every (point, trial) pair its own deterministic stream.
+func (c Config) seedFor(faults, trial int) int64 {
+	return c.BaseSeed + int64(faults)*1_000_003 + int64(trial)
+}
+
+// Figure9 reproduces Figure 9: the average number of non-faulty but
+// disabled nodes in the whole network under FB, FP and MFP. The paper plots
+// log10 of these counts; pass the table through stats.Log10 when printing.
+func Figure9(cfg Config) *stats.Table {
+	cfg.validate()
+	m := grid.New(cfg.MeshSize, cfg.MeshSize)
+	fb := stats.NewSeries("FB")
+	fp := stats.NewSeries("FP")
+	mfp := stats.NewSeries("MFP")
+	for _, n := range cfg.FaultCounts {
+		for trial := 0; trial < cfg.Trials; trial++ {
+			faults := fault.NewInjector(m, cfg.Model, cfg.seedFor(n, trial)).Inject(n)
+			c := core.Construct(m, faults, core.Options{})
+			fb.Observe(n, float64(c.DisabledNonFaulty(core.FB)))
+			fp.Observe(n, float64(c.DisabledNonFaulty(core.FP)))
+			mfp.Observe(n, float64(c.DisabledNonFaulty(core.MFP)))
+		}
+	}
+	return &stats.Table{XLabel: "faults", Series: []*stats.Series{fb, fp, mfp}}
+}
+
+// Figure10 reproduces Figure 10: the average size (faulty plus non-faulty
+// nodes) of a fault region under FB, FP and MFP.
+func Figure10(cfg Config) *stats.Table {
+	cfg.validate()
+	m := grid.New(cfg.MeshSize, cfg.MeshSize)
+	fb := stats.NewSeries("FB")
+	fp := stats.NewSeries("FP")
+	mfp := stats.NewSeries("MFP")
+	for _, n := range cfg.FaultCounts {
+		for trial := 0; trial < cfg.Trials; trial++ {
+			faults := fault.NewInjector(m, cfg.Model, cfg.seedFor(n, trial)).Inject(n)
+			c := core.Construct(m, faults, core.Options{})
+			fb.Observe(n, c.MeanRegionSize(core.FB))
+			fp.Observe(n, c.MeanRegionSize(core.FP))
+			mfp.Observe(n, c.MeanRegionSize(core.MFP))
+		}
+	}
+	return &stats.Table{XLabel: "faults", Series: []*stats.Series{fb, fp, mfp}}
+}
+
+// Figure11 reproduces Figure 11: the average number of rounds of status
+// determination in the whole network under FB, FP, CMFP (centralized) and
+// DMFP (distributed).
+func Figure11(cfg Config) *stats.Table {
+	cfg.validate()
+	m := grid.New(cfg.MeshSize, cfg.MeshSize)
+	fb := stats.NewSeries("FB")
+	fp := stats.NewSeries("FP")
+	cmfp := stats.NewSeries("CMFP")
+	dmfp := stats.NewSeries("DMFP")
+	for _, n := range cfg.FaultCounts {
+		for trial := 0; trial < cfg.Trials; trial++ {
+			faults := fault.NewInjector(m, cfg.Model, cfg.seedFor(n, trial)).Inject(n)
+			c := core.Construct(m, faults, core.Options{Distributed: true, EmulateRounds: true})
+			fb.Observe(n, float64(c.Rounds(core.FB)))
+			fp.Observe(n, float64(c.Rounds(core.FP)))
+			cmfp.Observe(n, float64(c.Rounds(core.MFP)))
+			dmfp.Observe(n, float64(c.DistributedRounds()))
+		}
+	}
+	return &stats.Table{XLabel: "faults", Series: []*stats.Series{fb, fp, cmfp, dmfp}}
+}
+
+// Figure runs the numbered figure (9, 10 or 11).
+func Figure(number int, cfg Config) (*stats.Table, error) {
+	switch number {
+	case 9:
+		return Figure9(cfg), nil
+	case 10:
+		return Figure10(cfg), nil
+	case 11:
+		return Figure11(cfg), nil
+	}
+	return nil, fmt.Errorf("experiments: the paper has no figure %d sweep (9, 10 or 11)", number)
+}

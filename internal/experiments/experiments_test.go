@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/stats"
+)
+
+// small returns a fast configuration for unit testing the harness; the
+// paper-scale run lives in the benchmarks and the mfpsim command.
+func small(model fault.Model) Config {
+	return Config{
+		MeshSize:    30,
+		FaultCounts: []int{20, 60, 120},
+		Trials:      3,
+		Model:       model,
+		BaseSeed:    11,
+	}
+}
+
+func meanAt(t *stats.Table, name string, x int) float64 {
+	for _, s := range t.Series {
+		if s.Name == name {
+			p := s.At(x)
+			if p == nil {
+				return -1
+			}
+			return p.Mean()
+		}
+	}
+	return -1
+}
+
+func TestFigure9Shape(t *testing.T) {
+	for _, model := range []fault.Model{fault.Random, fault.Clustered} {
+		tab := Figure9(small(model))
+		for _, x := range []int{20, 60, 120} {
+			fb := meanAt(tab, "FB", x)
+			fp := meanAt(tab, "FP", x)
+			mfp := meanAt(tab, "MFP", x)
+			if fb < 0 || fp < 0 || mfp < 0 {
+				t.Fatalf("%v: missing point at %d", model, x)
+			}
+			// The paper's headline: MFP disables fewer non-faulty nodes
+			// than FP, which disables fewer than FB.
+			if mfp > fp || fp > fb {
+				t.Fatalf("%v x=%d: ordering broken FB=%v FP=%v MFP=%v", model, x, fb, fp, mfp)
+			}
+		}
+		// Disabled counts grow with fault count under FB.
+		if meanAt(tab, "FB", 120) < meanAt(tab, "FB", 20) {
+			t.Fatalf("%v: FB curve not growing", model)
+		}
+	}
+}
+
+func TestFigure10Shape(t *testing.T) {
+	tab := Figure10(small(fault.Clustered))
+	for _, x := range []int{20, 60, 120} {
+		fb := meanAt(tab, "FB", x)
+		fp := meanAt(tab, "FP", x)
+		mfp := meanAt(tab, "MFP", x)
+		// Average region size: MFP smallest, FB largest.
+		if mfp > fp+1e-9 || mfp > fb+1e-9 {
+			t.Fatalf("x=%d: MFP not the smallest: FB=%v FP=%v MFP=%v", x, fb, fp, mfp)
+		}
+		if fb < fp-1e-9 {
+			t.Fatalf("x=%d: FB smaller than FP: FB=%v FP=%v", x, fb, fp)
+		}
+	}
+}
+
+func TestFigure11Shape(t *testing.T) {
+	tab := Figure11(small(fault.Clustered))
+	x := 120
+	fb := meanAt(tab, "FB", x)
+	fp := meanAt(tab, "FP", x)
+	cmfp := meanAt(tab, "CMFP", x)
+	dmfp := meanAt(tab, "DMFP", x)
+	// The paper's ordering at high fault counts: FP > FB, CMFP below both,
+	// DMFP above CMFP.
+	if fp < fb {
+		t.Fatalf("FP rounds (%v) should exceed FB rounds (%v)", fp, fb)
+	}
+	if cmfp >= fp {
+		t.Fatalf("CMFP rounds (%v) should be below FP rounds (%v)", cmfp, fp)
+	}
+	if dmfp <= cmfp {
+		t.Fatalf("DMFP rounds (%v) should exceed CMFP rounds (%v)", dmfp, cmfp)
+	}
+}
+
+func TestFigureDispatch(t *testing.T) {
+	if _, err := Figure(12, small(fault.Random)); err == nil {
+		t.Fatal("figure 12 should be rejected")
+	}
+	for _, n := range []int{9, 10, 11} {
+		cfg := small(fault.Random)
+		cfg.FaultCounts = []int{10}
+		cfg.Trials = 1
+		if _, err := Figure(n, cfg); err != nil {
+			t.Fatalf("figure %d: %v", n, err)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := small(fault.Random)
+	a := Figure9(cfg).CSV(nil)
+	b := Figure9(cfg).CSV(nil)
+	if a != b {
+		t.Fatal("same config must give identical sweeps")
+	}
+}
+
+func TestDefaultMatchesPaper(t *testing.T) {
+	cfg := Default(fault.Clustered, 5)
+	if cfg.MeshSize != 100 {
+		t.Fatal("the paper simulates a 100x100 mesh")
+	}
+	if len(cfg.FaultCounts) != 8 || cfg.FaultCounts[7] != 800 {
+		t.Fatal("the paper sweeps up to 800 faults")
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid config should panic")
+		}
+	}()
+	Figure9(Config{})
+}

@@ -1,0 +1,21 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+)
+
+func BenchmarkInjectRandom800(b *testing.B) {
+	m := grid.New(100, 100)
+	for i := 0; i < b.N; i++ {
+		NewInjector(m, Random, int64(i)).Inject(800)
+	}
+}
+
+func BenchmarkInjectClustered800(b *testing.B) {
+	m := grid.New(100, 100)
+	for i := 0; i < b.N; i++ {
+		NewInjector(m, Clustered, int64(i)).Inject(800)
+	}
+}

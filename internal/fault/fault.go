@@ -1,0 +1,151 @@
+// Package fault implements the two fault-distribution models of the paper's
+// simulation section: the random fault distribution model and the clustered
+// fault distribution model.
+//
+// Faults are injected sequentially, matching the paper's "all faults are
+// sequentially added to the network". Under the clustered model every node
+// starts with the same failure rate; after a fault (x, y) is inserted, the
+// failure rate of its eight adjacent neighbours is doubled, so at any moment
+// there are exactly two failure rates in the system.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/grid"
+	"repro/internal/nodeset"
+)
+
+// Model identifies a fault-distribution model.
+type Model int
+
+const (
+	// Random is the random fault distribution model: every non-faulty node
+	// is equally likely to fail next.
+	Random Model = iota
+	// Clustered is the clustered fault distribution model: nodes adjacent
+	// (8-neighbourhood) to an existing fault fail at twice the base rate,
+	// so faults tend to form clusters.
+	Clustered
+)
+
+// String returns the model name used in CLI flags and reports.
+func (m Model) String() string {
+	switch m {
+	case Random:
+		return "random"
+	case Clustered:
+		return "clustered"
+	}
+	return fmt.Sprintf("model(%d)", int(m))
+}
+
+// ParseModel converts a CLI flag value to a Model.
+func ParseModel(s string) (Model, error) {
+	switch s {
+	case "random":
+		return Random, nil
+	case "clustered":
+		return Clustered, nil
+	}
+	return 0, fmt.Errorf("fault: unknown model %q (want random or clustered)", s)
+}
+
+// Injector draws fault sets for a mesh under a given model. It is
+// deterministic for a given seed, so every experiment is reproducible.
+type Injector struct {
+	mesh  grid.Mesh
+	model Model
+	rng   *rand.Rand
+}
+
+// NewInjector returns an injector over mesh m using the given model and
+// seed.
+func NewInjector(m grid.Mesh, model Model, seed int64) *Injector {
+	return &Injector{mesh: m, model: model, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Inject draws count distinct faulty nodes sequentially and returns them as
+// a set. It panics when count is negative or exceeds the mesh size.
+func (in *Injector) Inject(count int) *nodeset.Set {
+	if count < 0 || count > in.mesh.Size() {
+		panic(fmt.Sprintf("fault: cannot inject %d faults into %v", count, in.mesh))
+	}
+	switch in.model {
+	case Random:
+		return in.injectRandom(count)
+	case Clustered:
+		return in.injectClustered(count)
+	}
+	panic(fmt.Sprintf("fault: unknown model %d", int(in.model)))
+}
+
+// injectRandom samples count distinct nodes uniformly via a partial
+// Fisher-Yates shuffle of the node indices.
+func (in *Injector) injectRandom(count int) *nodeset.Set {
+	n := in.mesh.Size()
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	faults := nodeset.New(in.mesh)
+	for i := 0; i < count; i++ {
+		j := i + in.rng.Intn(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+		faults.AddIndex(idx[i])
+	}
+	return faults
+}
+
+// injectClustered samples nodes with weight 1, doubled to 2 once the node is
+// 8-adjacent to any existing fault. Sampling uses rejection against the
+// maximum weight, which stays O(1) expected per draw because weights are
+// only ever 1 or 2.
+func (in *Injector) injectClustered(count int) *nodeset.Set {
+	n := in.mesh.Size()
+	faults := nodeset.New(in.mesh)
+	boosted := make([]bool, n) // true when 8-adjacent to a fault
+	var buf []grid.Coord
+	for drawn := 0; drawn < count; {
+		i := in.rng.Intn(n)
+		if faults.HasIndex(i) {
+			continue
+		}
+		// Accept with probability weight/2: weight-2 (boosted) nodes always
+		// accept, weight-1 nodes accept half the time.
+		if !boosted[i] && in.rng.Intn(2) == 0 {
+			continue
+		}
+		faults.AddIndex(i)
+		drawn++
+		c := in.mesh.CoordAt(i)
+		buf = in.mesh.Neighbors8(c, buf[:0])
+		for _, nb := range buf {
+			boosted[in.mesh.Index(nb)] = true
+		}
+	}
+	return faults
+}
+
+// ClusterCoefficient reports the fraction of faults that have at least one
+// faulty 8-neighbour. It is a cheap sanity metric used by tests to verify
+// that the clustered model actually clusters.
+func ClusterCoefficient(faults *nodeset.Set) float64 {
+	if faults.Empty() {
+		return 0
+	}
+	m := faults.Mesh()
+	adj := 0
+	var buf []grid.Coord
+	faults.Each(func(c grid.Coord) {
+		buf = m.Neighbors8(c, buf[:0])
+		for _, nb := range buf {
+			if faults.Has(nb) {
+				adj++
+				return
+			}
+		}
+	})
+	return float64(adj) / float64(faults.Len())
+}

@@ -1,0 +1,119 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+)
+
+func TestModelString(t *testing.T) {
+	if Random.String() != "random" || Clustered.String() != "clustered" {
+		t.Fatal("model names wrong")
+	}
+}
+
+func TestParseModel(t *testing.T) {
+	if m, err := ParseModel("random"); err != nil || m != Random {
+		t.Errorf("ParseModel(random) = %v, %v", m, err)
+	}
+	if m, err := ParseModel("clustered"); err != nil || m != Clustered {
+		t.Errorf("ParseModel(clustered) = %v, %v", m, err)
+	}
+	if _, err := ParseModel("weird"); err == nil {
+		t.Error("ParseModel should reject unknown models")
+	}
+}
+
+func TestInjectCounts(t *testing.T) {
+	m := grid.New(20, 20)
+	for _, model := range []Model{Random, Clustered} {
+		for _, count := range []int{0, 1, 17, 100} {
+			in := NewInjector(m, model, 1)
+			got := in.Inject(count)
+			if got.Len() != count {
+				t.Errorf("%v: Inject(%d) produced %d faults", model, count, got.Len())
+			}
+			got.Each(func(c grid.Coord) {
+				if !m.Contains(c) {
+					t.Errorf("%v: fault %v outside mesh", model, c)
+				}
+			})
+		}
+	}
+}
+
+func TestInjectFullMesh(t *testing.T) {
+	m := grid.New(5, 5)
+	for _, model := range []Model{Random, Clustered} {
+		got := NewInjector(m, model, 3).Inject(m.Size())
+		if got.Len() != m.Size() {
+			t.Errorf("%v: full injection got %d", model, got.Len())
+		}
+	}
+}
+
+func TestInjectPanicsOnBadCount(t *testing.T) {
+	m := grid.New(4, 4)
+	for _, count := range []int{-1, 17} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Inject(%d) did not panic", count)
+				}
+			}()
+			NewInjector(m, Random, 1).Inject(count)
+		}()
+	}
+}
+
+func TestDeterminismPerSeed(t *testing.T) {
+	m := grid.New(30, 30)
+	for _, model := range []Model{Random, Clustered} {
+		a := NewInjector(m, model, 99).Inject(50)
+		b := NewInjector(m, model, 99).Inject(50)
+		if !a.Equal(b) {
+			t.Errorf("%v: same seed produced different fault sets", model)
+		}
+		c := NewInjector(m, model, 100).Inject(50)
+		if a.Equal(c) {
+			t.Errorf("%v: different seeds produced identical fault sets", model)
+		}
+	}
+}
+
+// The clustered model must produce measurably more adjacency than the random
+// model at the same density; this is the defining property of the model.
+func TestClusteredModelClusters(t *testing.T) {
+	m := grid.New(100, 100)
+	const faults = 300
+	var randomCoef, clusterCoef float64
+	const trials = 10
+	for seed := int64(0); seed < trials; seed++ {
+		randomCoef += ClusterCoefficient(NewInjector(m, Random, seed).Inject(faults))
+		clusterCoef += ClusterCoefficient(NewInjector(m, Clustered, seed).Inject(faults))
+	}
+	randomCoef /= trials
+	clusterCoef /= trials
+	if clusterCoef <= randomCoef {
+		t.Fatalf("clustered coefficient %.3f not above random %.3f", clusterCoef, randomCoef)
+	}
+	// With doubling rates the gap should be clearly visible, not marginal.
+	if clusterCoef < randomCoef+0.05 {
+		t.Fatalf("clustering effect too weak: clustered %.3f vs random %.3f", clusterCoef, randomCoef)
+	}
+}
+
+func TestClusterCoefficientEmpty(t *testing.T) {
+	m := grid.New(5, 5)
+	if got := ClusterCoefficient(NewInjector(m, Random, 1).Inject(0)); got != 0 {
+		t.Fatalf("empty coefficient = %v", got)
+	}
+}
+
+func TestInjectOnTorus(t *testing.T) {
+	m := grid.NewTorus(10, 10)
+	got := NewInjector(m, Clustered, 5).Inject(30)
+	if got.Len() != 30 {
+		t.Fatalf("torus injection got %d", got.Len())
+	}
+}

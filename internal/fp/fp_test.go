@@ -1,0 +1,159 @@
+package fp
+
+import (
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/fault"
+	"repro/internal/grid"
+	"repro/internal/nodeset"
+)
+
+func build(m grid.Mesh, faults *nodeset.Set) (*block.Result, *Result) {
+	b := block.Build(m, faults)
+	return b, Build(b)
+}
+
+func TestNoFaults(t *testing.T) {
+	m := grid.New(8, 8)
+	b, r := build(m, nodeset.New(m))
+	if r.Disabled.Len() != 0 || len(r.Polygons) != 0 || r.Rounds() != 0 {
+		t.Fatalf("empty: %+v", r)
+	}
+	if err := r.Validate(b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Two diagonal faults grow a 2x2 block; scheme 2 re-enables both non-faulty
+// corners (each has two enabled outside neighbours), leaving only the two
+// faults disabled.
+func TestDiagonalPairShrinksBack(t *testing.T) {
+	m := grid.New(8, 8)
+	b, r := build(m, nodeset.FromCoords(m, grid.XY(2, 2), grid.XY(3, 3)))
+	if r.Disabled.Len() != 2 {
+		t.Fatalf("disabled = %v, want just the faults", r.Disabled)
+	}
+	if r.DisabledNonFaulty() != 0 {
+		t.Fatalf("DisabledNonFaulty = %d", r.DisabledNonFaulty())
+	}
+	if b.DisabledNonFaulty() != 2 {
+		t.Fatalf("block should disable 2, got %d", b.DisabledNonFaulty())
+	}
+	// One 8-connected polygon containing both faults.
+	if len(r.Polygons) != 1 || r.Polygons[0].Len() != 2 {
+		t.Fatalf("polygons = %v", r.Polygons)
+	}
+	if err := r.Validate(b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The staircase grows to a 5x5 block but the polygon shrinks back to the
+// stairs: scheme 2 peels every non-faulty corner.
+func TestStaircaseShrinks(t *testing.T) {
+	m := grid.New(12, 12)
+	faults := nodeset.New(m)
+	for i := 0; i < 5; i++ {
+		faults.Add(grid.XY(2+i, 2+i))
+	}
+	b, r := build(m, faults)
+	if got := b.DisabledNonFaulty(); got != 20 {
+		t.Fatalf("block disables %d", got)
+	}
+	if got := r.DisabledNonFaulty(); got != 0 {
+		t.Fatalf("staircase is already convex; FP should disable 0 non-faulty, got %d (%v)",
+			got, r.Disabled)
+	}
+	if err := r.Validate(b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A U-shaped fault pattern must keep its cavity disabled: enabling it would
+// break orthogonal convexity.
+func TestUShapeKeepsCavity(t *testing.T) {
+	m := grid.New(10, 10)
+	u := nodeset.FromCoords(m,
+		grid.XY(2, 2), grid.XY(2, 3),
+		grid.XY(3, 2),
+		grid.XY(4, 2), grid.XY(4, 3))
+	b, r := build(m, u)
+	if !r.Disabled.Has(grid.XY(3, 3)) {
+		t.Fatal("U cavity (3,3) must stay disabled")
+	}
+	if r.DisabledNonFaulty() < 1 {
+		t.Fatal("U shape needs at least the cavity disabled")
+	}
+	if err := r.Validate(b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShrinkNeverBelowFaults(t *testing.T) {
+	m := grid.New(20, 20)
+	for seed := int64(0); seed < 10; seed++ {
+		faults := fault.NewInjector(m, fault.Clustered, seed).Inject(25)
+		b, r := build(m, faults)
+		if !r.Disabled.ContainsAll(faults) {
+			t.Fatalf("seed %d: faults lost", seed)
+		}
+		if !b.Unsafe.ContainsAll(r.Disabled) {
+			t.Fatalf("seed %d: FP grew beyond FB", seed)
+		}
+	}
+}
+
+// FP is the paper's baseline claim: it never disables more non-faulty nodes
+// than FB, and on random instances it disables strictly fewer once blocks
+// grow.
+func TestImprovesOnBlocks(t *testing.T) {
+	m := grid.New(40, 40)
+	betterSomewhere := false
+	for seed := int64(0); seed < 15; seed++ {
+		faults := fault.NewInjector(m, fault.Clustered, seed).Inject(80)
+		b, r := build(m, faults)
+		if r.DisabledNonFaulty() > b.DisabledNonFaulty() {
+			t.Fatalf("seed %d: FP disabled more than FB", seed)
+		}
+		if r.DisabledNonFaulty() < b.DisabledNonFaulty() {
+			betterSomewhere = true
+		}
+		if err := r.Validate(b); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+	if !betterSomewhere {
+		t.Fatal("FP never improved on FB across 15 clustered trials; shrinking phase broken")
+	}
+}
+
+func TestRoundsAccounting(t *testing.T) {
+	m := grid.New(16, 16)
+	faults := nodeset.New(m)
+	for i := 0; i < 6; i++ {
+		faults.Add(grid.XY(3+i, 3+i))
+	}
+	b, r := build(m, faults)
+	if r.GrowRounds != b.Rounds {
+		t.Fatal("GrowRounds must mirror the block result")
+	}
+	if r.ShrinkRounds <= 0 {
+		t.Fatal("a big block must take rounds to shrink")
+	}
+	if r.Rounds() != r.GrowRounds+r.ShrinkRounds {
+		t.Fatal("Rounds() must be the sum")
+	}
+}
+
+func TestMeanPolygonSize(t *testing.T) {
+	m := grid.New(16, 16)
+	_, r := build(m, nodeset.New(m))
+	if r.MeanPolygonSize() != 0 {
+		t.Fatal("no polygons -> size 0")
+	}
+	_, r = build(m, nodeset.FromCoords(m, grid.XY(2, 2), grid.XY(10, 10)))
+	if r.MeanPolygonSize() != 1 {
+		t.Fatalf("two singleton polygons -> mean 1, got %v", r.MeanPolygonSize())
+	}
+}

@@ -1,0 +1,266 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPanicsOnBadDimensions(t *testing.T) {
+	for _, dims := range [][2]int{{0, 5}, {5, 0}, {-1, 3}, {3, -1}, {0, 0}} {
+		w, h := dims[0], dims[1]
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", w, h)
+				}
+			}()
+			New(w, h)
+		}()
+	}
+}
+
+func TestMeshSizeAndContains(t *testing.T) {
+	m := New(5, 3)
+	if got := m.Size(); got != 15 {
+		t.Fatalf("Size = %d, want 15", got)
+	}
+	cases := []struct {
+		c    Coord
+		want bool
+	}{
+		{Coord{0, 0}, true},
+		{Coord{4, 2}, true},
+		{Coord{5, 2}, false},
+		{Coord{4, 3}, false},
+		{Coord{-1, 0}, false},
+		{Coord{0, -1}, false},
+	}
+	for _, tc := range cases {
+		if got := m.Contains(tc.c); got != tc.want {
+			t.Errorf("Contains(%v) = %v, want %v", tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestIndexCoordRoundTrip(t *testing.T) {
+	m := New(7, 4)
+	for i := 0; i < m.Size(); i++ {
+		c := m.CoordAt(i)
+		if got := m.Index(c); got != i {
+			t.Fatalf("Index(CoordAt(%d)) = %d", i, got)
+		}
+	}
+}
+
+func TestIndexPanicsOutside(t *testing.T) {
+	m := New(3, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Index outside mesh did not panic")
+		}
+	}()
+	m.Index(Coord{3, 0})
+}
+
+func TestCoordAtPanicsOutside(t *testing.T) {
+	m := New(3, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CoordAt outside mesh did not panic")
+		}
+	}()
+	m.CoordAt(9)
+}
+
+func TestNeighbors4Mesh(t *testing.T) {
+	m := New(4, 4)
+	if got := len(m.Neighbors4(Coord{1, 1}, nil)); got != 4 {
+		t.Errorf("interior node: %d neighbours, want 4", got)
+	}
+	if got := len(m.Neighbors4(Coord{0, 0}, nil)); got != 2 {
+		t.Errorf("corner node: %d neighbours, want 2", got)
+	}
+	if got := len(m.Neighbors4(Coord{0, 2}, nil)); got != 3 {
+		t.Errorf("edge node: %d neighbours, want 3", got)
+	}
+}
+
+func TestNeighbors4Torus(t *testing.T) {
+	m := NewTorus(4, 4)
+	ns := m.Neighbors4(Coord{0, 0}, nil)
+	if len(ns) != 4 {
+		t.Fatalf("torus corner: %d neighbours, want 4", len(ns))
+	}
+	want := map[Coord]bool{{1, 0}: true, {3, 0}: true, {0, 1}: true, {0, 3}: true}
+	for _, n := range ns {
+		if !want[n] {
+			t.Errorf("unexpected torus neighbour %v", n)
+		}
+	}
+}
+
+func TestNeighbors8Counts(t *testing.T) {
+	m := New(5, 5)
+	if got := len(m.Neighbors8(Coord{2, 2}, nil)); got != 8 {
+		t.Errorf("interior: %d, want 8", got)
+	}
+	if got := len(m.Neighbors8(Coord{0, 0}, nil)); got != 3 {
+		t.Errorf("corner: %d, want 3", got)
+	}
+	if got := len(m.Neighbors8(Coord{0, 2}, nil)); got != 5 {
+		t.Errorf("edge: %d, want 5", got)
+	}
+	tor := NewTorus(5, 5)
+	if got := len(tor.Neighbors8(Coord{0, 0}, nil)); got != 8 {
+		t.Errorf("torus corner: %d, want 8", got)
+	}
+}
+
+func TestStepAndOpposite(t *testing.T) {
+	m := New(3, 3)
+	c := Coord{1, 1}
+	for _, d := range Directions {
+		n, ok := m.Step(c, d)
+		if !ok {
+			t.Fatalf("Step(%v,%v) should stay in mesh", c, d)
+		}
+		back, ok := m.Step(n, d.Opposite())
+		if !ok || back != c {
+			t.Errorf("Step then opposite from %v via %v gave %v", c, d, back)
+		}
+	}
+	if _, ok := m.Step(Coord{2, 2}, East); ok {
+		t.Error("stepping east off a mesh edge should fail")
+	}
+	tor := NewTorus(3, 3)
+	if n, ok := tor.Step(Coord{2, 2}, East); !ok || n != (Coord{0, 2}) {
+		t.Errorf("torus east wrap gave %v, ok=%v", n, ok)
+	}
+}
+
+func TestDirectionStrings(t *testing.T) {
+	names := map[Direction]string{East: "east", West: "west", North: "north", South: "south"}
+	for d, want := range names {
+		if d.String() != want {
+			t.Errorf("%v.String() = %q", want, d.String())
+		}
+	}
+}
+
+func TestWrapMesh(t *testing.T) {
+	m := New(4, 4)
+	if _, ok := m.Wrap(Coord{-1, 2}); ok {
+		t.Error("mesh Wrap should reject outside coordinate")
+	}
+	if c, ok := m.Wrap(Coord{3, 3}); !ok || c != (Coord{3, 3}) {
+		t.Error("mesh Wrap should pass through inside coordinate")
+	}
+}
+
+func TestWrapTorus(t *testing.T) {
+	m := NewTorus(4, 4)
+	cases := []struct{ in, want Coord }{
+		{Coord{-1, 0}, Coord{3, 0}},
+		{Coord{4, 4}, Coord{0, 0}},
+		{Coord{-5, -5}, Coord{3, 3}},
+		{Coord{7, 2}, Coord{3, 2}},
+	}
+	for _, tc := range cases {
+		if got, ok := m.Wrap(tc.in); !ok || got != tc.want {
+			t.Errorf("Wrap(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestDistMesh(t *testing.T) {
+	m := New(10, 10)
+	if got := m.Dist(Coord{0, 0}, Coord{9, 9}); got != 18 {
+		t.Errorf("Dist corner-to-corner = %d, want 18", got)
+	}
+	if got := m.Dist(Coord{3, 4}, Coord{3, 4}); got != 0 {
+		t.Errorf("Dist self = %d, want 0", got)
+	}
+}
+
+func TestDistTorus(t *testing.T) {
+	m := NewTorus(10, 10)
+	if got := m.Dist(Coord{0, 0}, Coord{9, 9}); got != 2 {
+		t.Errorf("torus Dist = %d, want 2 (wraparound)", got)
+	}
+	if got := m.Dist(Coord{0, 0}, Coord{5, 5}); got != 10 {
+		t.Errorf("torus Dist = %d, want 10", got)
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	if got := New(8, 8).Diameter(); got != 14 {
+		t.Errorf("mesh diameter = %d, want 14", got)
+	}
+	if got := NewTorus(8, 8).Diameter(); got != 8 {
+		t.Errorf("torus diameter = %d, want 8", got)
+	}
+}
+
+func TestMeshString(t *testing.T) {
+	if got := New(8, 9).String(); got != "mesh 8x9" {
+		t.Errorf("String = %q", got)
+	}
+	if got := NewTorus(2, 3).String(); got != "torus 2x3" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestCoordString(t *testing.T) {
+	if got := (Coord{2, 4}).String(); got != "(2,4)" {
+		t.Errorf("Coord.String = %q", got)
+	}
+}
+
+// Property: torus distance is symmetric and satisfies the triangle
+// inequality on random triples.
+func TestDistMetricProperties(t *testing.T) {
+	m := NewTorus(13, 7)
+	rng := rand.New(rand.NewSource(1))
+	randCoord := func() Coord { return Coord{rng.Intn(m.W), rng.Intn(m.H)} }
+	for i := 0; i < 500; i++ {
+		a, b, c := randCoord(), randCoord(), randCoord()
+		if m.Dist(a, b) != m.Dist(b, a) {
+			t.Fatalf("Dist not symmetric for %v,%v", a, b)
+		}
+		if m.Dist(a, c) > m.Dist(a, b)+m.Dist(b, c) {
+			t.Fatalf("triangle inequality violated for %v,%v,%v", a, b, c)
+		}
+	}
+}
+
+// Property: every node is a 4-neighbour of each of its 4-neighbours.
+func TestNeighborSymmetry(t *testing.T) {
+	for _, m := range []Mesh{New(6, 5), NewTorus(6, 5)} {
+		for i := 0; i < m.Size(); i++ {
+			c := m.CoordAt(i)
+			for _, n := range m.Neighbors4(c, nil) {
+				found := false
+				for _, back := range m.Neighbors4(n, nil) {
+					if back == c {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("%v: %v is neighbour of %v but not vice versa", m, n, c)
+				}
+			}
+		}
+	}
+}
+
+func TestModProperty(t *testing.T) {
+	f := func(a int16, n uint8) bool {
+		nn := int(n%31) + 1
+		got := mod(int(a), nn)
+		return got >= 0 && got < nn && (got-int(a))%nn == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

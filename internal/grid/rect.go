@@ -1,0 +1,129 @@
+package grid
+
+import "fmt"
+
+// Rect is an axis-aligned inclusive rectangle of mesh nodes, the shape of a
+// rectangular faulty block. A Rect with MaxX < MinX or MaxY < MinY is empty.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY int
+}
+
+// EmptyRect returns a canonical empty rectangle that behaves as the identity
+// for Union and Extend.
+func EmptyRect() Rect {
+	const big = int(^uint(0) >> 1)
+	return Rect{MinX: big, MinY: big, MaxX: -big - 1, MaxY: -big - 1}
+}
+
+// RectAround returns the 1×1 rectangle covering exactly c.
+func RectAround(c Coord) Rect {
+	return Rect{MinX: c.X, MinY: c.Y, MaxX: c.X, MaxY: c.Y}
+}
+
+// Empty reports whether the rectangle contains no nodes.
+func (r Rect) Empty() bool { return r.MaxX < r.MinX || r.MaxY < r.MinY }
+
+// Width returns the number of columns covered (0 when empty).
+func (r Rect) Width() int {
+	if r.Empty() {
+		return 0
+	}
+	return r.MaxX - r.MinX + 1
+}
+
+// Height returns the number of rows covered (0 when empty).
+func (r Rect) Height() int {
+	if r.Empty() {
+		return 0
+	}
+	return r.MaxY - r.MinY + 1
+}
+
+// Area returns the number of nodes covered.
+func (r Rect) Area() int { return r.Width() * r.Height() }
+
+// Contains reports whether c lies inside the rectangle.
+func (r Rect) Contains(c Coord) bool {
+	return c.X >= r.MinX && c.X <= r.MaxX && c.Y >= r.MinY && c.Y <= r.MaxY
+}
+
+// ContainsRect reports whether s lies entirely inside r. An empty s is
+// contained in everything.
+func (r Rect) ContainsRect(s Rect) bool {
+	if s.Empty() {
+		return true
+	}
+	return s.MinX >= r.MinX && s.MaxX <= r.MaxX && s.MinY >= r.MinY && s.MaxY <= r.MaxY
+}
+
+// Intersects reports whether the two rectangles share at least one node.
+func (r Rect) Intersects(s Rect) bool {
+	if r.Empty() || s.Empty() {
+		return false
+	}
+	return r.MinX <= s.MaxX && s.MinX <= r.MaxX && r.MinY <= s.MaxY && s.MinY <= r.MaxY
+}
+
+// Intersect returns the common sub-rectangle (possibly empty).
+func (r Rect) Intersect(s Rect) Rect {
+	out := Rect{
+		MinX: max(r.MinX, s.MinX),
+		MinY: max(r.MinY, s.MinY),
+		MaxX: min(r.MaxX, s.MaxX),
+		MaxY: min(r.MaxY, s.MaxY),
+	}
+	if out.Empty() {
+		return EmptyRect()
+	}
+	return out
+}
+
+// Union returns the smallest rectangle covering both r and s.
+func (r Rect) Union(s Rect) Rect {
+	if r.Empty() {
+		return s
+	}
+	if s.Empty() {
+		return r
+	}
+	return Rect{
+		MinX: min(r.MinX, s.MinX),
+		MinY: min(r.MinY, s.MinY),
+		MaxX: max(r.MaxX, s.MaxX),
+		MaxY: max(r.MaxY, s.MaxY),
+	}
+}
+
+// Extend returns the smallest rectangle covering r and the node c.
+func (r Rect) Extend(c Coord) Rect { return r.Union(RectAround(c)) }
+
+// Grow returns the rectangle inflated by k nodes on every side.
+func (r Rect) Grow(k int) Rect {
+	if r.Empty() {
+		return r
+	}
+	return Rect{MinX: r.MinX - k, MinY: r.MinY - k, MaxX: r.MaxX + k, MaxY: r.MaxY + k}
+}
+
+// Clamp returns the part of the rectangle that lies inside the mesh.
+func (r Rect) Clamp(m Mesh) Rect {
+	return r.Intersect(Rect{MinX: 0, MinY: 0, MaxX: m.W - 1, MaxY: m.H - 1})
+}
+
+// Each calls fn for every node of the rectangle in row-major order.
+func (r Rect) Each(fn func(Coord)) {
+	for y := r.MinY; y <= r.MaxY; y++ {
+		for x := r.MinX; x <= r.MaxX; x++ {
+			fn(Coord{x, y})
+		}
+	}
+}
+
+// String renders the rectangle by its two opposite corners, following the
+// paper's "[(min_x,min_y);(max_x,max_y)]" notation.
+func (r Rect) String() string {
+	if r.Empty() {
+		return "[empty]"
+	}
+	return fmt.Sprintf("[(%d,%d);(%d,%d)]", r.MinX, r.MinY, r.MaxX, r.MaxY)
+}

@@ -1,0 +1,145 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestEmptyRect(t *testing.T) {
+	e := EmptyRect()
+	if !e.Empty() {
+		t.Fatal("EmptyRect not empty")
+	}
+	if e.Area() != 0 || e.Width() != 0 || e.Height() != 0 {
+		t.Fatal("empty rect should have zero measurements")
+	}
+	if e.Contains(Coord{0, 0}) {
+		t.Fatal("empty rect contains nothing")
+	}
+	if e.String() != "[empty]" {
+		t.Fatalf("String = %q", e.String())
+	}
+}
+
+func TestRectAroundAndExtend(t *testing.T) {
+	r := RectAround(Coord{3, 4})
+	if r.Area() != 1 || !r.Contains(Coord{3, 4}) {
+		t.Fatalf("RectAround wrong: %v", r)
+	}
+	r = r.Extend(Coord{1, 6})
+	want := Rect{MinX: 1, MinY: 4, MaxX: 3, MaxY: 6}
+	if r != want {
+		t.Fatalf("Extend = %v, want %v", r, want)
+	}
+	if r.Width() != 3 || r.Height() != 3 || r.Area() != 9 {
+		t.Fatalf("measurements wrong: w=%d h=%d a=%d", r.Width(), r.Height(), r.Area())
+	}
+}
+
+func TestRectUnionIdentity(t *testing.T) {
+	r := Rect{MinX: 2, MinY: 2, MaxX: 5, MaxY: 5}
+	if got := r.Union(EmptyRect()); got != r {
+		t.Errorf("Union with empty = %v", got)
+	}
+	if got := EmptyRect().Union(r); got != r {
+		t.Errorf("empty Union r = %v", got)
+	}
+}
+
+func TestRectIntersect(t *testing.T) {
+	a := Rect{MinX: 0, MinY: 0, MaxX: 4, MaxY: 4}
+	b := Rect{MinX: 3, MinY: 2, MaxX: 8, MaxY: 8}
+	got := a.Intersect(b)
+	want := Rect{MinX: 3, MinY: 2, MaxX: 4, MaxY: 4}
+	if got != want {
+		t.Fatalf("Intersect = %v, want %v", got, want)
+	}
+	if !a.Intersects(b) || !b.Intersects(a) {
+		t.Fatal("Intersects should be true")
+	}
+	c := Rect{MinX: 5, MinY: 5, MaxX: 6, MaxY: 6}
+	if a.Intersects(c) {
+		t.Fatal("disjoint rects reported intersecting")
+	}
+	if !a.Intersect(c).Empty() {
+		t.Fatal("Intersect of disjoint rects not empty")
+	}
+}
+
+func TestRectContainsRect(t *testing.T) {
+	outer := Rect{MinX: 0, MinY: 0, MaxX: 9, MaxY: 9}
+	inner := Rect{MinX: 2, MinY: 3, MaxX: 4, MaxY: 4}
+	if !outer.ContainsRect(inner) {
+		t.Fatal("outer should contain inner")
+	}
+	if inner.ContainsRect(outer) {
+		t.Fatal("inner should not contain outer")
+	}
+	if !outer.ContainsRect(EmptyRect()) {
+		t.Fatal("everything contains the empty rect")
+	}
+}
+
+func TestRectGrowClamp(t *testing.T) {
+	m := New(10, 10)
+	r := Rect{MinX: 0, MinY: 0, MaxX: 2, MaxY: 2}
+	g := r.Grow(1)
+	want := Rect{MinX: -1, MinY: -1, MaxX: 3, MaxY: 3}
+	if g != want {
+		t.Fatalf("Grow = %v, want %v", g, want)
+	}
+	cl := g.Clamp(m)
+	want = Rect{MinX: 0, MinY: 0, MaxX: 3, MaxY: 3}
+	if cl != want {
+		t.Fatalf("Clamp = %v, want %v", cl, want)
+	}
+	if EmptyRect().Grow(2) != EmptyRect() {
+		t.Fatal("growing empty stays empty")
+	}
+}
+
+func TestRectEach(t *testing.T) {
+	r := Rect{MinX: 1, MinY: 1, MaxX: 2, MaxY: 3}
+	var seen []Coord
+	r.Each(func(c Coord) { seen = append(seen, c) })
+	if len(seen) != r.Area() {
+		t.Fatalf("Each visited %d nodes, want %d", len(seen), r.Area())
+	}
+	if seen[0] != (Coord{1, 1}) || seen[len(seen)-1] != (Coord{2, 3}) {
+		t.Fatalf("Each order wrong: %v", seen)
+	}
+}
+
+func TestRectString(t *testing.T) {
+	r := Rect{MinX: 1, MinY: 2, MaxX: 3, MaxY: 4}
+	if got := r.String(); got != "[(1,2);(3,4)]" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// Property: Union is the smallest rectangle containing both operands.
+func TestRectUnionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	randRect := func() Rect {
+		x, y := rng.Intn(20), rng.Intn(20)
+		return Rect{MinX: x, MinY: y, MaxX: x + rng.Intn(5), MaxY: y + rng.Intn(5)}
+	}
+	for i := 0; i < 300; i++ {
+		a, b := randRect(), randRect()
+		u := a.Union(b)
+		if !u.ContainsRect(a) || !u.ContainsRect(b) {
+			t.Fatalf("union %v does not contain %v and %v", u, a, b)
+		}
+		// Shrinking any side must drop a node of a or b.
+		for _, s := range []Rect{
+			{u.MinX + 1, u.MinY, u.MaxX, u.MaxY},
+			{u.MinX, u.MinY + 1, u.MaxX, u.MaxY},
+			{u.MinX, u.MinY, u.MaxX - 1, u.MaxY},
+			{u.MinX, u.MinY, u.MaxX, u.MaxY - 1},
+		} {
+			if s.ContainsRect(a) && s.ContainsRect(b) {
+				t.Fatalf("union %v of %v,%v is not minimal (shrunk %v still covers)", u, a, b, s)
+			}
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package grid3
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewPanics(t *testing.T) {
+	for _, dims := range [][3]int{{0, 1, 1}, {1, 0, 1}, {1, 1, 0}, {-1, 2, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%v) did not panic", dims)
+				}
+			}()
+			New(dims[0], dims[1], dims[2])
+		}()
+	}
+}
+
+func TestIndexRoundTrip(t *testing.T) {
+	m := New(4, 3, 5)
+	if m.Size() != 60 {
+		t.Fatalf("Size = %d", m.Size())
+	}
+	for i := 0; i < m.Size(); i++ {
+		if got := m.Index(m.CoordAt(i)); got != i {
+			t.Fatalf("round trip %d -> %d", i, got)
+		}
+	}
+}
+
+func TestIndexPanicsOutside(t *testing.T) {
+	m := New(2, 2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	m.Index(XYZ(2, 0, 0))
+}
+
+func TestContains(t *testing.T) {
+	m := New(3, 4, 5)
+	if !m.Contains(XYZ(2, 3, 4)) || m.Contains(XYZ(3, 0, 0)) ||
+		m.Contains(XYZ(0, 4, 0)) || m.Contains(XYZ(0, 0, 5)) || m.Contains(XYZ(-1, 0, 0)) {
+		t.Fatal("Contains wrong")
+	}
+}
+
+func TestNeighbors6(t *testing.T) {
+	m := New(4, 4, 4)
+	if got := len(m.Neighbors6(XYZ(1, 1, 1), nil)); got != 6 {
+		t.Fatalf("interior: %d", got)
+	}
+	if got := len(m.Neighbors6(XYZ(0, 0, 0), nil)); got != 3 {
+		t.Fatalf("corner: %d", got)
+	}
+	tor := NewTorus(4, 4, 4)
+	if got := len(tor.Neighbors6(XYZ(0, 0, 0), nil)); got != 6 {
+		t.Fatalf("torus corner: %d", got)
+	}
+}
+
+func TestNeighbors26(t *testing.T) {
+	m := New(5, 5, 5)
+	if got := len(m.Neighbors26(XYZ(2, 2, 2), nil)); got != 26 {
+		t.Fatalf("interior: %d", got)
+	}
+	if got := len(m.Neighbors26(XYZ(0, 0, 0), nil)); got != 7 {
+		t.Fatalf("corner: %d", got)
+	}
+}
+
+func TestWrapAndDist(t *testing.T) {
+	m := NewTorus(6, 6, 6)
+	if c, ok := m.Wrap(XYZ(-1, 6, 7)); !ok || c != XYZ(5, 0, 1) {
+		t.Fatalf("Wrap = %v", c)
+	}
+	if got := m.Dist(XYZ(0, 0, 0), XYZ(5, 5, 5)); got != 3 {
+		t.Fatalf("torus Dist = %d, want 3", got)
+	}
+	p := New(6, 6, 6)
+	if got := p.Dist(XYZ(0, 0, 0), XYZ(5, 5, 5)); got != 15 {
+		t.Fatalf("mesh Dist = %d, want 15", got)
+	}
+	if _, ok := p.Wrap(XYZ(-1, 0, 0)); ok {
+		t.Fatal("mesh Wrap should reject outside")
+	}
+}
+
+func TestBoxBasics(t *testing.T) {
+	b := EmptyBox()
+	if !b.Empty() || b.Volume() != 0 {
+		t.Fatal("EmptyBox wrong")
+	}
+	b = b.Extend(XYZ(1, 2, 3)).Extend(XYZ(3, 2, 1))
+	if b.Volume() != 3*1*3 {
+		t.Fatalf("Volume = %d", b.Volume())
+	}
+	if !b.Contains(XYZ(2, 2, 2)) || b.Contains(XYZ(0, 2, 2)) {
+		t.Fatal("Contains wrong")
+	}
+	count := 0
+	b.Each(func(Coord) { count++ })
+	if count != b.Volume() {
+		t.Fatalf("Each visited %d", count)
+	}
+	if b.String() != "[(1,2,1);(3,2,3)]" {
+		t.Fatalf("String = %q", b.String())
+	}
+	if EmptyBox().String() != "[empty]" {
+		t.Fatal("empty string")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if New(2, 3, 4).String() != "mesh 2x3x4" || NewTorus(2, 3, 4).String() != "torus 2x3x4" {
+		t.Fatal("mesh strings")
+	}
+	if XYZ(1, 2, 3).String() != "(1,2,3)" {
+		t.Fatal("coord string")
+	}
+}
+
+func TestDistMetric(t *testing.T) {
+	m := NewTorus(5, 7, 3)
+	rng := rand.New(rand.NewSource(2))
+	rc := func() Coord { return XYZ(rng.Intn(m.W), rng.Intn(m.H), rng.Intn(m.D)) }
+	for i := 0; i < 300; i++ {
+		a, b, c := rc(), rc(), rc()
+		if m.Dist(a, b) != m.Dist(b, a) {
+			t.Fatal("not symmetric")
+		}
+		if m.Dist(a, c) > m.Dist(a, b)+m.Dist(b, c) {
+			t.Fatal("triangle inequality")
+		}
+	}
+}

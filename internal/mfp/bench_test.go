@@ -1,0 +1,39 @@
+package mfp
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/grid"
+	"repro/internal/nodeset"
+)
+
+func benchFaults(b *testing.B, n int) (grid.Mesh, *nodeset.Set) {
+	b.Helper()
+	m := grid.New(100, 100)
+	return m, fault.NewInjector(m, fault.Clustered, 1).Inject(n)
+}
+
+func BenchmarkBuild100(b *testing.B) {
+	m, f := benchFaults(b, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(m, f)
+	}
+}
+
+func BenchmarkBuild800(b *testing.B) {
+	m, f := benchFaults(b, 800)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(m, f)
+	}
+}
+
+func BenchmarkBuildLabelling800(b *testing.B) {
+	m, f := benchFaults(b, 800)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildLabelling(m, f)
+	}
+}

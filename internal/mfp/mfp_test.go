@@ -1,0 +1,215 @@
+package mfp
+
+import (
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/fault"
+	"repro/internal/fp"
+	"repro/internal/grid"
+	"repro/internal/nodeset"
+)
+
+func TestEmpty(t *testing.T) {
+	m := grid.New(8, 8)
+	for _, r := range []*Result{Build(m, nodeset.New(m)), BuildLabelling(m, nodeset.New(m))} {
+		if r.Disabled.Len() != 0 || len(r.Polygons) != 0 || r.Rounds != 0 {
+			t.Fatalf("empty: %+v", r)
+		}
+		if err := r.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// The diagonal pair: FB disables 2 extra nodes, FP disables 0 but splits,
+// MFP keeps one polygon of exactly the two faults.
+func TestDiagonalPair(t *testing.T) {
+	m := grid.New(8, 8)
+	faults := nodeset.FromCoords(m, grid.XY(2, 2), grid.XY(3, 3))
+	r := Build(m, faults)
+	if len(r.Polygons) != 1 {
+		t.Fatalf("polygons = %d, want 1", len(r.Polygons))
+	}
+	if !r.Disabled.Equal(faults) {
+		t.Fatalf("disabled = %v, want exactly the faults", r.Disabled)
+	}
+	if r.DisabledNonFaulty() != 0 {
+		t.Fatal("diagonal pair needs no disabled non-faulty nodes")
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUShapeFillsCavityOnly(t *testing.T) {
+	m := grid.New(10, 10)
+	faults := nodeset.FromCoords(m,
+		grid.XY(2, 2), grid.XY(2, 3), grid.XY(3, 2), grid.XY(4, 2), grid.XY(4, 3))
+	r := Build(m, faults)
+	if r.DisabledNonFaulty() != 1 || !r.Disabled.Has(grid.XY(3, 3)) {
+		t.Fatalf("U-shape should disable only the cavity: %v", r.Disabled)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Figure 3 of the paper: ten faults whose faulty blocks merge, FP keeps two
+// polygons, and the right polygon partitions further under MFP. We encode
+// the scenario's essence: a cluster that FP cannot split but MFP can.
+func TestMFPPartitionsFurtherThanFP(t *testing.T) {
+	m := grid.New(20, 20)
+	// Two diagonal staircases close enough that scheme 1 merges them into
+	// one block, far enough to be distinct 8-components.
+	faults := nodeset.FromCoords(m,
+		grid.XY(3, 3), grid.XY(4, 4), grid.XY(5, 5),
+		grid.XY(7, 3), grid.XY(8, 4), grid.XY(9, 5))
+	b := block.Build(m, faults)
+	f := fp.Build(b)
+	r := Build(m, faults)
+	if len(r.Components) != 2 {
+		t.Fatalf("components = %d, want 2", len(r.Components))
+	}
+	if got, want := r.DisabledNonFaulty(), 0; got != want {
+		t.Fatalf("staircases are convex alone: MFP disables %d, want %d", got, want)
+	}
+	if f.DisabledNonFaulty() <= r.DisabledNonFaulty() && b.DisabledNonFaulty() <= r.DisabledNonFaulty() {
+		t.Fatalf("scenario too weak: FB=%d FP=%d MFP=%d",
+			b.DisabledNonFaulty(), f.DisabledNonFaulty(), r.DisabledNonFaulty())
+	}
+}
+
+// Figure 4 of the paper: two components inside one faulty block; the MFP
+// polygons must contain fewer non-faulty nodes than the FP polygon. A long
+// diagonal component grows (scheme 1) into a square that swallows a second,
+// separate component; scheme 2 then cannot re-enable the channel between
+// them, while per-component MFP construction can.
+func TestFigure4Scenario(t *testing.T) {
+	m := grid.New(16, 16)
+	faults := nodeset.New(m)
+	for i := 0; i < 6; i++ {
+		faults.Add(grid.XY(2+i, 2+i)) // component 1: a diagonal
+	}
+	faults.Add(grid.XY(6, 3)) // component 2: a single fault inside the grown square
+
+	b := block.Build(m, faults)
+	if len(b.Blocks) != 1 {
+		t.Fatalf("scenario needs one merged block, got %v", b.Blocks)
+	}
+	f := fp.Build(b)
+	r := BuildLabelling(m, faults)
+	if len(r.Components) != 2 {
+		t.Fatalf("components = %d, want 2", len(r.Components))
+	}
+	// Both components are convex on their own, so MFP disables nothing.
+	if r.DisabledNonFaulty() != 0 {
+		t.Fatalf("MFP disabled %d, want 0", r.DisabledNonFaulty())
+	}
+	// Scheme 2 keeps a gray channel between the diagonal and the inner
+	// fault disabled.
+	if f.DisabledNonFaulty() == 0 {
+		t.Fatal("FP should keep a gray channel disabled in this scenario")
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The two centralized solutions must agree exactly, and the containment
+// chain MFP ⊆ FP ⊆ FB must hold node-wise.
+func TestSolutionEquivalenceAndContainment(t *testing.T) {
+	for _, model := range []fault.Model{fault.Random, fault.Clustered} {
+		for seed := int64(0); seed < 12; seed++ {
+			m := grid.New(40, 40)
+			faults := fault.NewInjector(m, model, seed).Inject(100)
+			scan := Build(m, faults)
+			lab := BuildLabelling(m, faults)
+			if !scan.Disabled.Equal(lab.Disabled) {
+				t.Fatalf("%v seed %d: solutions disagree", model, seed)
+			}
+			for i := range scan.Polygons {
+				if !scan.Polygons[i].Equal(lab.Polygons[i]) {
+					t.Fatalf("%v seed %d: polygon %d differs", model, seed, i)
+				}
+			}
+			if err := scan.Validate(); err != nil {
+				t.Fatalf("%v seed %d: %v", model, seed, err)
+			}
+			if err := lab.Validate(); err != nil {
+				t.Fatalf("%v seed %d: %v", model, seed, err)
+			}
+
+			b := block.Build(m, faults)
+			f := fp.Build(b)
+			if !f.Disabled.ContainsAll(scan.Disabled) {
+				t.Fatalf("%v seed %d: MFP not inside FP", model, seed)
+			}
+			if !b.Unsafe.ContainsAll(f.Disabled) {
+				t.Fatalf("%v seed %d: FP not inside FB", model, seed)
+			}
+		}
+	}
+}
+
+// Emulated rounds track the largest component, while FB/FP rounds track the
+// largest block. At realistic fault densities blocks chain-merge into
+// regions far larger than any component, so on aggregate CMFP needs fewer
+// rounds than FB and FP — the Figure 11 ordering.
+func TestRoundsScaleWithComponentNotBlock(t *testing.T) {
+	m := grid.New(40, 40)
+	var sumFB, sumFP, sumCMFP int
+	for seed := int64(0); seed < 10; seed++ {
+		faults := fault.NewInjector(m, fault.Clustered, seed).Inject(150)
+		b := block.Build(m, faults)
+		f := fp.Build(b)
+		r := BuildLabelling(m, faults)
+		sumFB += b.Rounds
+		sumFP += f.Rounds()
+		sumCMFP += r.Rounds
+	}
+	if sumCMFP >= sumFB {
+		t.Fatalf("CMFP rounds (%d) should be below FB rounds (%d) at high density", sumCMFP, sumFB)
+	}
+	if sumCMFP >= sumFP {
+		t.Fatalf("CMFP rounds (%d) should be below FP rounds (%d)", sumCMFP, sumFP)
+	}
+	if sumCMFP == 0 {
+		t.Fatal("clustered instances must need at least one labelling round")
+	}
+}
+
+func TestTorusMFP(t *testing.T) {
+	m := grid.NewTorus(10, 10)
+	// An L across the seam is already orthogonal convex: nothing is added.
+	l := nodeset.FromCoords(m, grid.XY(9, 4), grid.XY(0, 4), grid.XY(0, 5))
+	r := Build(m, l)
+	if len(r.Polygons) != 1 {
+		t.Fatalf("wrap component should give one polygon, got %d", len(r.Polygons))
+	}
+	if r.DisabledNonFaulty() != 0 || !r.Disabled.Equal(l) {
+		t.Fatalf("L across the seam is convex; disabled = %v", r.Disabled)
+	}
+	// A U across the seam has a cavity that must be filled, in wrapped
+	// coordinates: the cavity of {(9,3),(9,4),(0,3),(1,3),(1,4)} is (0,4).
+	u := nodeset.FromCoords(m,
+		grid.XY(9, 3), grid.XY(9, 4), grid.XY(0, 3), grid.XY(1, 3), grid.XY(1, 4))
+	r = Build(m, u)
+	if len(r.Polygons) != 1 {
+		t.Fatalf("wrap U should give one polygon, got %d", len(r.Polygons))
+	}
+	if r.DisabledNonFaulty() != 1 || !r.Disabled.Has(grid.XY(0, 4)) {
+		t.Fatalf("wrap U cavity not filled: disabled = %v", r.Disabled)
+	}
+}
+
+func TestMeanPolygonSize(t *testing.T) {
+	m := grid.New(16, 16)
+	if got := Build(m, nodeset.New(m)).MeanPolygonSize(); got != 0 {
+		t.Fatal("empty mean should be 0")
+	}
+	faults := nodeset.FromCoords(m, grid.XY(1, 1), grid.XY(2, 2), grid.XY(10, 10))
+	if got := Build(m, faults).MeanPolygonSize(); got != 1.5 {
+		t.Fatalf("mean = %v, want 1.5", got)
+	}
+}

@@ -1,0 +1,74 @@
+package mfp
+
+// Failure-injection tests: corrupt a valid Result in each way Validate
+// guards against and assert the corruption is caught. The validators are
+// the library's safety net, so they get the same scrutiny as the
+// algorithms.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/nodeset"
+)
+
+func validResult(t *testing.T) *Result {
+	t.Helper()
+	m := grid.New(12, 12)
+	faults := nodeset.FromCoords(m,
+		grid.XY(2, 2), grid.XY(2, 3), grid.XY(3, 2), grid.XY(4, 2), grid.XY(4, 3), // U
+		grid.XY(8, 8)) // singleton
+	r := Build(m, faults)
+	if err := r.Validate(); err != nil {
+		t.Fatalf("fixture invalid: %v", err)
+	}
+	return r
+}
+
+func wantError(t *testing.T, r *Result, fragment string) {
+	t.Helper()
+	err := r.Validate()
+	if err == nil {
+		t.Fatalf("corruption not caught (want %q)", fragment)
+	}
+	if !strings.Contains(err.Error(), fragment) {
+		t.Fatalf("error %q does not mention %q", err, fragment)
+	}
+}
+
+func TestValidateCatchesCountMismatch(t *testing.T) {
+	r := validResult(t)
+	r.Polygons = r.Polygons[:1]
+	wantError(t, r, "polygons for")
+}
+
+func TestValidateCatchesMissingComponentNode(t *testing.T) {
+	r := validResult(t)
+	r.Polygons[0] = nodeset.New(r.Mesh) // lost the component
+	wantError(t, r, "misses component")
+}
+
+func TestValidateCatchesNonMinimalPolygon(t *testing.T) {
+	r := validResult(t)
+	// Inflate a polygon beyond the closure: still covers the component but
+	// is no longer minimal.
+	p := r.Polygons[0].Clone()
+	p.Add(grid.XY(0, 0))
+	r.Polygons[0] = p
+	wantError(t, r, "not the minimum")
+}
+
+func TestValidateCatchesDisabledUnionMismatch(t *testing.T) {
+	r := validResult(t)
+	r.Disabled.Add(grid.XY(11, 11))
+	wantError(t, r, "union")
+}
+
+func TestValidateCatchesFaultEscape(t *testing.T) {
+	r := validResult(t)
+	// A fault outside every polygon: corrupt faults and disabled together
+	// so earlier checks pass.
+	r.Faults.Add(grid.XY(11, 0))
+	wantError(t, r, "")
+}

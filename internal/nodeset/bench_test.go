@@ -1,0 +1,47 @@
+package nodeset
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+func randomSet(seed int64, n int) *Set {
+	m := grid.New(100, 100)
+	rng := rand.New(rand.NewSource(seed))
+	s := New(m)
+	for i := 0; i < n; i++ {
+		s.Add(grid.XY(rng.Intn(m.W), rng.Intn(m.H)))
+	}
+	return s
+}
+
+func BenchmarkAddHas(b *testing.B) {
+	m := grid.New(100, 100)
+	s := New(m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := m.CoordAt(i % m.Size())
+		s.Add(c)
+		s.Has(c)
+	}
+}
+
+func BenchmarkUnionWith(b *testing.B) {
+	x := randomSet(1, 800)
+	y := randomSet(2, 800)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Clone().UnionWith(y)
+	}
+}
+
+func BenchmarkEach800(b *testing.B) {
+	s := randomSet(3, 800)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		s.Each(func(grid.Coord) { count++ })
+	}
+}

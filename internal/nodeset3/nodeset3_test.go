@@ -1,0 +1,109 @@
+package nodeset3
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/grid3"
+)
+
+func TestBasics(t *testing.T) {
+	m := grid3.New(4, 4, 4)
+	s := New(m)
+	if !s.Empty() {
+		t.Fatal("new set not empty")
+	}
+	c := grid3.XYZ(1, 2, 3)
+	if !s.Add(c) || s.Add(c) {
+		t.Fatal("Add change reporting")
+	}
+	if !s.Has(c) || s.Len() != 1 {
+		t.Fatal("Has/Len")
+	}
+	if s.Has(grid3.XYZ(-1, 0, 0)) {
+		t.Fatal("outside reads as present")
+	}
+	if !s.Remove(c) || s.Remove(c) || s.Remove(grid3.XYZ(9, 9, 9)) {
+		t.Fatal("Remove change reporting")
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	m := grid3.New(5, 5, 5)
+	a := FromCoords(m, grid3.XYZ(0, 0, 0), grid3.XYZ(1, 1, 1))
+	b := FromCoords(m, grid3.XYZ(1, 1, 1), grid3.XYZ(2, 2, 2))
+	u := a.Clone()
+	u.UnionWith(b)
+	if u.Len() != 3 {
+		t.Fatalf("union len %d", u.Len())
+	}
+	if !u.ContainsAll(a) || !u.ContainsAll(b) {
+		t.Fatal("ContainsAll")
+	}
+	if a.Disjoint(b) {
+		t.Fatal("sets share a node")
+	}
+	if !a.Disjoint(FromCoords(m, grid3.XYZ(4, 4, 4))) {
+		t.Fatal("Disjoint")
+	}
+	if !a.Equal(FromCoords(m, grid3.XYZ(1, 1, 1), grid3.XYZ(0, 0, 0))) {
+		t.Fatal("Equal")
+	}
+	if a.Equal(b) {
+		t.Fatal("unequal reported equal")
+	}
+}
+
+func TestDifferentMeshPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(grid3.New(2, 2, 2)).UnionWith(New(grid3.New(3, 3, 3)))
+}
+
+func TestBoundsAndString(t *testing.T) {
+	m := grid3.New(6, 6, 6)
+	s := FromCoords(m, grid3.XYZ(1, 2, 3), grid3.XYZ(3, 2, 1))
+	b := s.Bounds()
+	if b.Volume() != 9 {
+		t.Fatalf("bounds volume %d", b.Volume())
+	}
+	if s.String() != "{(3,2,1) (1,2,3)}" {
+		t.Fatalf("String = %q", s.String())
+	}
+	if s.Mesh() != m {
+		t.Fatal("Mesh accessor")
+	}
+}
+
+func TestCardinalityAgainstReference(t *testing.T) {
+	m := grid3.New(8, 8, 8)
+	s := New(m)
+	ref := map[grid3.Coord]bool{}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 4000; i++ {
+		c := grid3.XYZ(rng.Intn(8), rng.Intn(8), rng.Intn(8))
+		if rng.Intn(2) == 0 {
+			s.Add(c)
+			ref[c] = true
+		} else {
+			s.Remove(c)
+			delete(ref, c)
+		}
+	}
+	if s.Len() != len(ref) {
+		t.Fatalf("Len %d vs ref %d", s.Len(), len(ref))
+	}
+	count := 0
+	s.Each(func(c grid3.Coord) {
+		if !ref[c] {
+			t.Fatalf("extra %v", c)
+		}
+		count++
+	})
+	if count != len(ref) {
+		t.Fatal("Each missed nodes")
+	}
+}

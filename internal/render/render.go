@@ -1,0 +1,92 @@
+// Package render draws ASCII snapshots of a mesh. The paper's figures show
+// faulty nodes as black, disabled non-faulty nodes as gray and removed
+// (enabled) nodes as white circles; the renderer uses one rune per class so
+// worked examples and the viz tool can show the same pictures in a terminal.
+package render
+
+import (
+	"strings"
+
+	"repro/internal/grid"
+	"repro/internal/status"
+)
+
+// Glyphs used by Classes, one per status.Class.
+const (
+	GlyphSafe     = '.' // safe and enabled
+	GlyphEnabled  = 'o' // unsafe but enabled (white in the paper)
+	GlyphDisabled = '*' // unsafe and disabled (gray)
+	GlyphFaulty   = '#' // faulty (black)
+)
+
+// Grid renders the mesh with classify choosing a rune for every node. Rows
+// are printed north (large Y) to south so the picture matches the paper's
+// coordinate diagrams, with X and Y axis labels every 5 nodes.
+func Grid(m grid.Mesh, classify func(grid.Coord) rune) string {
+	var b strings.Builder
+	for y := m.H - 1; y >= 0; y-- {
+		writeAxisLabel(&b, y)
+		for x := 0; x < m.W; x++ {
+			b.WriteRune(classify(grid.XY(x, y)))
+			b.WriteByte(' ')
+		}
+		b.WriteByte('\n')
+	}
+	// X axis.
+	b.WriteString("    ")
+	for x := 0; x < m.W; x++ {
+		if x%5 == 0 {
+			b.WriteByte(byte('0' + (x/5)%10))
+		} else {
+			b.WriteByte(' ')
+		}
+		b.WriteByte(' ')
+	}
+	b.WriteString("(x/5)\n")
+	return b.String()
+}
+
+func writeAxisLabel(b *strings.Builder, y int) {
+	if y%5 == 0 {
+		n := y
+		digits := 1
+		for t := n; t >= 10; t /= 10 {
+			digits++
+		}
+		for i := 0; i < 3-digits; i++ {
+			b.WriteByte(' ')
+		}
+		writeInt(b, n)
+		b.WriteByte(' ')
+		return
+	}
+	b.WriteString("    ")
+}
+
+func writeInt(b *strings.Builder, n int) {
+	if n >= 10 {
+		writeInt(b, n/10)
+	}
+	b.WriteByte(byte('0' + n%10))
+}
+
+// Classes renders a classification map using the standard glyphs.
+func Classes(m grid.Mesh, class func(grid.Coord) status.Class) string {
+	return Grid(m, func(c grid.Coord) rune {
+		switch class(c) {
+		case status.Faulty:
+			return GlyphFaulty
+		case status.Disabled:
+			return GlyphDisabled
+		case status.Enabled:
+			return GlyphEnabled
+		default:
+			return GlyphSafe
+		}
+	})
+}
+
+// Legend explains the glyphs; print it once under a rendered grid.
+func Legend() string {
+	return "# faulty   * disabled (non-faulty, in polygon)   o enabled (removed from polygon)   . safe\n"
+}

@@ -1,0 +1,74 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/status"
+)
+
+func TestGridDimensions(t *testing.T) {
+	m := grid.New(6, 4)
+	out := Grid(m, func(grid.Coord) rune { return '.' })
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != m.H+1 { // rows + x-axis line
+		t.Fatalf("rendered %d lines, want %d", len(lines), m.H+1)
+	}
+}
+
+func TestGridOrientation(t *testing.T) {
+	m := grid.New(3, 3)
+	// Mark only the node at (0,2): it must appear on the FIRST rendered row
+	// (north on top).
+	out := Grid(m, func(c grid.Coord) rune {
+		if c == grid.XY(0, 2) {
+			return '#'
+		}
+		return '.'
+	})
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[0], "#") {
+		t.Fatalf("north row not on top:\n%s", out)
+	}
+	if strings.Contains(lines[2], "#") {
+		t.Fatalf("mark leaked to south row:\n%s", out)
+	}
+}
+
+func TestClassesGlyphs(t *testing.T) {
+	m := grid.New(4, 1)
+	classes := map[grid.Coord]status.Class{
+		grid.XY(0, 0): status.Faulty,
+		grid.XY(1, 0): status.Disabled,
+		grid.XY(2, 0): status.Enabled,
+		grid.XY(3, 0): status.Safe,
+	}
+	out := Classes(m, func(c grid.Coord) status.Class { return classes[c] })
+	row := strings.Split(out, "\n")[0]
+	for _, g := range []string{"#", "*", "o", "."} {
+		if !strings.Contains(row, g) {
+			t.Fatalf("glyph %q missing from %q", g, row)
+		}
+	}
+}
+
+func TestAxisLabels(t *testing.T) {
+	m := grid.New(11, 11)
+	out := Grid(m, func(grid.Coord) rune { return '.' })
+	if !strings.Contains(out, "10") {
+		t.Fatalf("missing y axis label 10:\n%s", out)
+	}
+	if !strings.Contains(out, "(x/5)") {
+		t.Fatal("missing x axis legend")
+	}
+}
+
+func TestLegendMentionsAllGlyphs(t *testing.T) {
+	l := Legend()
+	for _, g := range []string{"#", "*", "o", "."} {
+		if !strings.Contains(l, g) {
+			t.Fatalf("legend missing %q", g)
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package routing_test
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+	"repro/internal/nodeset"
+	"repro/internal/routing"
+)
+
+// The paper's Figure 2: a WE-bound message from (1,3) to (6,4) detours
+// counterclockwise around the faulty polygon {(2,4),(3,4),(4,3)}.
+func ExampleNetwork_Route() {
+	m := grid.New(8, 8)
+	polygon := nodeset.FromCoords(m, grid.XY(2, 4), grid.XY(3, 4), grid.XY(4, 3))
+	net := routing.NewNetwork(m, polygon)
+
+	route, err := net.Route(grid.XY(1, 3), grid.XY(6, 4))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("hops:", route.Length())
+	fmt.Println("path:", route.Path())
+	// Output:
+	// hops: 8
+	// path: [(1,3) (2,3) (3,3) (3,2) (4,2) (5,2) (6,2) (6,3) (6,4)]
+}

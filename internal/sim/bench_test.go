@@ -1,0 +1,20 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+)
+
+func BenchmarkFloodFill100x100(b *testing.B) {
+	m := grid.New(100, 100)
+	for i := 0; i < b.N; i++ {
+		e := New(m, func(c grid.Coord) uint8 {
+			if c == (grid.XY(0, 0)) {
+				return 1
+			}
+			return 0
+		}, floodRule)
+		e.Run(1000)
+	}
+}

@@ -1,0 +1,138 @@
+// Package sim is the synchronous distributed-execution substrate. The
+// labelling schemes of the paper run on processors that only know the status
+// of their direct neighbours and proceed in rounds of information exchange;
+// this package models exactly that: a synchronous cellular automaton over a
+// mesh whose round count is the metric reported in the paper's Figure 11.
+//
+// Each round, every node reads the previous-round states of its (up to) four
+// link neighbours and computes a new state. The engine tracks a frontier so
+// quiescent regions cost nothing, but the semantics are those of a full
+// synchronous sweep.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+	"repro/internal/nodeset"
+)
+
+// Rule computes a node's next state from its own state and its neighbours'.
+// neighbor returns the previous-round state of the link neighbour in
+// direction d; ok is false at mesh borders where the neighbour does not
+// exist. Rules must be deterministic and must not retain the neighbor
+// closure.
+type Rule func(c grid.Coord, self uint8, neighbor func(d grid.Direction) (uint8, bool)) uint8
+
+// Engine runs a Rule to fixpoint over a mesh.
+type Engine struct {
+	mesh     grid.Mesh
+	rule     Rule
+	cur, nxt []uint8
+	frontier []int // dense indices to evaluate next round
+	inFront  []bool
+}
+
+// New returns an engine whose initial state is init(c) for every node.
+func New(m grid.Mesh, init func(grid.Coord) uint8, rule Rule) *Engine {
+	e := &Engine{
+		mesh:    m,
+		rule:    rule,
+		cur:     make([]uint8, m.Size()),
+		nxt:     make([]uint8, m.Size()),
+		inFront: make([]bool, m.Size()),
+	}
+	for i := range e.cur {
+		e.cur[i] = init(m.CoordAt(i))
+	}
+	// Every node participates in the first exchange round.
+	e.frontier = make([]int, m.Size())
+	for i := range e.frontier {
+		e.frontier[i] = i
+		e.inFront[i] = true
+	}
+	return e
+}
+
+// Mesh returns the engine's mesh.
+func (e *Engine) Mesh() grid.Mesh { return e.mesh }
+
+// State returns the current state of node c.
+func (e *Engine) State(c grid.Coord) uint8 { return e.cur[e.mesh.Index(c)] }
+
+// StateAt returns the current state of the node with dense index i.
+func (e *Engine) StateAt(i int) uint8 { return e.cur[i] }
+
+// Nodes returns the set of nodes whose current state equals v.
+func (e *Engine) Nodes(v uint8) *nodeset.Set {
+	s := nodeset.New(e.mesh)
+	for i, st := range e.cur {
+		if st == v {
+			s.AddIndex(i)
+		}
+	}
+	return s
+}
+
+// Step performs one synchronous round and returns the number of nodes whose
+// state changed.
+func (e *Engine) Step() int {
+	m := e.mesh
+	copy(e.nxt, e.cur)
+	changedNodes := e.frontier[:0:0] // fresh slice; old frontier still readable
+	for _, i := range e.frontier {
+		e.inFront[i] = false
+	}
+	neighbor := func(c grid.Coord) func(grid.Direction) (uint8, bool) {
+		return func(d grid.Direction) (uint8, bool) {
+			n, ok := m.Step(c, d)
+			if !ok {
+				return 0, false
+			}
+			return e.cur[m.Index(n)], true
+		}
+	}
+	for _, i := range e.frontier {
+		c := m.CoordAt(i)
+		next := e.rule(c, e.cur[i], neighbor(c))
+		if next != e.cur[i] {
+			e.nxt[i] = next
+			changedNodes = append(changedNodes, i)
+		}
+	}
+	e.cur, e.nxt = e.nxt, e.cur
+	// Next frontier: changed nodes and their link neighbours.
+	e.frontier = e.frontier[:0]
+	push := func(i int) {
+		if !e.inFront[i] {
+			e.inFront[i] = true
+			e.frontier = append(e.frontier, i)
+		}
+	}
+	var buf []grid.Coord
+	for _, i := range changedNodes {
+		push(i)
+		buf = m.Neighbors4(m.CoordAt(i), buf[:0])
+		for _, n := range buf {
+			push(m.Index(n))
+		}
+	}
+	return len(changedNodes)
+}
+
+// Run executes rounds until quiescence and returns the number of rounds in
+// which at least one node changed state. It panics after maxRounds rounds
+// without convergence, which indicates a non-monotone rule (a bug).
+func (e *Engine) Run(maxRounds int) int {
+	rounds := 0
+	for len(e.frontier) > 0 {
+		if e.Step() == 0 {
+			break
+		}
+		rounds++
+		if rounds > maxRounds {
+			panic(fmt.Sprintf("sim: no convergence after %d rounds", maxRounds))
+		}
+	}
+	return rounds
+}

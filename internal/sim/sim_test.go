@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+)
+
+// floodRule turns a node on when any neighbour is on. State 1 spreads like a
+// wavefront, so the number of rounds equals the eccentricity of the seed.
+func floodRule(_ grid.Coord, self uint8, neighbor func(grid.Direction) (uint8, bool)) uint8 {
+	if self == 1 {
+		return 1
+	}
+	for _, d := range grid.Directions {
+		if v, ok := neighbor(d); ok && v == 1 {
+			return 1
+		}
+	}
+	return 0
+}
+
+func TestFloodFromCornerRounds(t *testing.T) {
+	m := grid.New(5, 4)
+	seed := grid.XY(0, 0)
+	e := New(m, func(c grid.Coord) uint8 {
+		if c == seed {
+			return 1
+		}
+		return 0
+	}, floodRule)
+	rounds := e.Run(1000)
+	// The farthest node is (4,3) at Manhattan distance 7.
+	if rounds != 7 {
+		t.Fatalf("flood rounds = %d, want 7", rounds)
+	}
+	for i := 0; i < m.Size(); i++ {
+		if e.StateAt(i) != 1 {
+			t.Fatalf("node %v not reached", m.CoordAt(i))
+		}
+	}
+}
+
+func TestQuiescentStartTakesZeroRounds(t *testing.T) {
+	m := grid.New(6, 6)
+	e := New(m, func(grid.Coord) uint8 { return 0 }, floodRule)
+	if rounds := e.Run(10); rounds != 0 {
+		t.Fatalf("quiescent run took %d rounds", rounds)
+	}
+}
+
+func TestStateAccessors(t *testing.T) {
+	m := grid.New(3, 3)
+	e := New(m, func(c grid.Coord) uint8 {
+		if c == (grid.XY(1, 1)) {
+			return 7
+		}
+		return 0
+	}, func(_ grid.Coord, self uint8, _ func(grid.Direction) (uint8, bool)) uint8 { return self })
+	if e.State(grid.XY(1, 1)) != 7 {
+		t.Fatal("State accessor wrong")
+	}
+	if e.Mesh() != m {
+		t.Fatal("Mesh accessor wrong")
+	}
+	set := e.Nodes(7)
+	if set.Len() != 1 || !set.Has(grid.XY(1, 1)) {
+		t.Fatalf("Nodes(7) = %v", set)
+	}
+}
+
+func TestStepCountsChanges(t *testing.T) {
+	m := grid.New(4, 1)
+	e := New(m, func(c grid.Coord) uint8 {
+		if c.X == 0 {
+			return 1
+		}
+		return 0
+	}, floodRule)
+	if changed := e.Step(); changed != 1 {
+		t.Fatalf("first step changed %d nodes, want 1 (only (1,0))", changed)
+	}
+	if changed := e.Step(); changed != 1 {
+		t.Fatalf("second step changed %d nodes, want 1", changed)
+	}
+}
+
+// The synchronous semantics must not let information travel faster than one
+// hop per round, even with the frontier optimization.
+func TestSingleHopPerRound(t *testing.T) {
+	m := grid.New(10, 1)
+	e := New(m, func(c grid.Coord) uint8 {
+		if c.X == 0 {
+			return 1
+		}
+		return 0
+	}, floodRule)
+	for step := 1; step <= 9; step++ {
+		e.Step()
+		for x := 0; x < 10; x++ {
+			want := uint8(0)
+			if x <= step {
+				want = 1
+			}
+			if got := e.State(grid.Coord{X: x}); got != want {
+				t.Fatalf("after %d steps node %d = %d, want %d", step, x, got, want)
+			}
+		}
+	}
+}
+
+func TestRunPanicsWithoutConvergence(t *testing.T) {
+	m := grid.New(2, 2)
+	// Oscillator: every node flips between 0 and 1 each round.
+	flip := func(_ grid.Coord, self uint8, _ func(grid.Direction) (uint8, bool)) uint8 {
+		return 1 - self
+	}
+	e := New(m, func(grid.Coord) uint8 { return 0 }, flip)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run should panic on a non-converging rule")
+		}
+	}()
+	e.Run(5)
+}
+
+func TestBorderNeighborsReportMissing(t *testing.T) {
+	m := grid.New(2, 1)
+	sawMissing := false
+	rule := func(c grid.Coord, self uint8, neighbor func(grid.Direction) (uint8, bool)) uint8 {
+		if _, ok := neighbor(grid.North); !ok {
+			sawMissing = true
+		}
+		return self
+	}
+	e := New(m, func(grid.Coord) uint8 { return 0 }, rule)
+	e.Step()
+	if !sawMissing {
+		t.Fatal("border nodes should observe missing neighbours")
+	}
+}

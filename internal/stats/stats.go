@@ -1,0 +1,217 @@
+// Package stats provides the small aggregation toolkit used by the
+// experiment harness: streaming summaries (mean, standard deviation,
+// min/max), named series over a swept parameter, and plain-text / CSV table
+// rendering of the figure data.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary accumulates scalar observations using Welford's online algorithm,
+// which is numerically stable for long sweeps.
+type Summary struct {
+	n          int
+	mean, m2   float64
+	min, max   float64
+	hasExtrema bool
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+	if !s.hasExtrema || x < s.min {
+		s.min = x
+	}
+	if !s.hasExtrema || x > s.max {
+		s.max = x
+	}
+	s.hasExtrema = true
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// StdDev returns the sample standard deviation (0 for fewer than two
+// observations).
+func (s *Summary) StdDev() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return math.Sqrt(s.m2 / float64(s.n-1))
+}
+
+// Min returns the smallest observation (0 when empty).
+func (s *Summary) Min() float64 {
+	if !s.hasExtrema {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the largest observation (0 when empty).
+func (s *Summary) Max() float64 {
+	if !s.hasExtrema {
+		return 0
+	}
+	return s.max
+}
+
+// Merge folds the other summary into s, as if all its observations had been
+// added here. Mean and variance merge exactly (Chan et al.).
+func (s *Summary) Merge(o *Summary) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = *o
+		return
+	}
+	d := o.mean - s.mean
+	total := s.n + o.n
+	s.m2 += o.m2 + d*d*float64(s.n)*float64(o.n)/float64(total)
+	s.mean += d * float64(o.n) / float64(total)
+	s.n = total
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+}
+
+// String renders "mean ± stddev (n=..)".
+func (s *Summary) String() string {
+	return fmt.Sprintf("%.3f ± %.3f (n=%d)", s.Mean(), s.StdDev(), s.n)
+}
+
+// Series is a named curve over a swept integer parameter (for the paper's
+// figures, the number of faulty nodes).
+type Series struct {
+	Name   string
+	points map[int]*Summary
+}
+
+// NewSeries returns an empty named series.
+func NewSeries(name string) *Series {
+	return &Series{Name: name, points: map[int]*Summary{}}
+}
+
+// Observe records one observation of the curve at parameter x.
+func (s *Series) Observe(x int, value float64) {
+	p, ok := s.points[x]
+	if !ok {
+		p = &Summary{}
+		s.points[x] = p
+	}
+	p.Add(value)
+}
+
+// At returns the summary at parameter x (nil when never observed).
+func (s *Series) At(x int) *Summary { return s.points[x] }
+
+// Xs returns the observed parameter values in increasing order.
+func (s *Series) Xs() []int {
+	xs := make([]int, 0, len(s.points))
+	for x := range s.points {
+		xs = append(xs, x)
+	}
+	sort.Ints(xs)
+	return xs
+}
+
+// Table lays several series over one shared x-axis, exactly the shape of a
+// figure in the paper: one row per x, one column per curve.
+type Table struct {
+	XLabel string
+	Series []*Series
+}
+
+// Xs returns the union of the x values of every series, in order.
+func (t *Table) Xs() []int {
+	seen := map[int]bool{}
+	for _, s := range t.Series {
+		for _, x := range s.Xs() {
+			seen[x] = true
+		}
+	}
+	xs := make([]int, 0, len(seen))
+	for x := range seen {
+		xs = append(xs, x)
+	}
+	sort.Ints(xs)
+	return xs
+}
+
+// Format renders the table as aligned plain text. transform (optional) maps
+// each mean before printing — the paper's Figure 9 plots log10 of the count,
+// so passing Log10 reproduces its y-axis.
+func (t *Table) Format(transform func(float64) float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s", t.XLabel)
+	for _, s := range t.Series {
+		fmt.Fprintf(&b, "%14s", s.Name)
+	}
+	b.WriteByte('\n')
+	for _, x := range t.Xs() {
+		fmt.Fprintf(&b, "%-10d", x)
+		for _, s := range t.Series {
+			p := s.At(x)
+			if p == nil {
+				fmt.Fprintf(&b, "%14s", "-")
+				continue
+			}
+			v := p.Mean()
+			if transform != nil {
+				v = transform(v)
+			}
+			fmt.Fprintf(&b, "%14.3f", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values with a header row.
+func (t *Table) CSV(transform func(float64) float64) string {
+	var b strings.Builder
+	b.WriteString(t.XLabel)
+	for _, s := range t.Series {
+		b.WriteByte(',')
+		b.WriteString(s.Name)
+	}
+	b.WriteByte('\n')
+	for _, x := range t.Xs() {
+		fmt.Fprintf(&b, "%d", x)
+		for _, s := range t.Series {
+			b.WriteByte(',')
+			if p := s.At(x); p != nil {
+				v := p.Mean()
+				if transform != nil {
+					v = transform(v)
+				}
+				fmt.Fprintf(&b, "%g", v)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Log10 maps a count to log10(count) with the paper's convention that zero
+// plots at -1 (its Figure 9 y-axis starts at -1).
+func Log10(v float64) float64 {
+	if v <= 0.1 {
+		return -1
+	}
+	return math.Log10(v)
+}

@@ -1,0 +1,161 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.N() != 0 || s.Mean() != 0 || s.StdDev() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("zero-value summary should read as zeros")
+	}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.N() != 8 || !almost(s.Mean(), 5) {
+		t.Fatalf("mean = %v n = %d", s.Mean(), s.N())
+	}
+	// Sample stddev of this classic dataset is sqrt(32/7).
+	if want := math.Sqrt(32.0 / 7.0); !almost(s.StdDev(), want) {
+		t.Fatalf("stddev = %v, want %v", s.StdDev(), want)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("extrema = %v..%v", s.Min(), s.Max())
+	}
+	if !strings.Contains(s.String(), "n=8") {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+func TestSummarySingleObservation(t *testing.T) {
+	var s Summary
+	s.Add(3.5)
+	if s.StdDev() != 0 {
+		t.Fatal("stddev of one observation must be 0")
+	}
+	if s.Min() != 3.5 || s.Max() != 3.5 {
+		t.Fatal("extrema of one observation wrong")
+	}
+}
+
+// Property: Merge must equal adding all observations to one summary.
+func TestMergeEquivalence(t *testing.T) {
+	f := func(seed int64, na, nb uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var a, b, all Summary
+		for i := 0; i < int(na); i++ {
+			v := rng.NormFloat64()*10 + 3
+			a.Add(v)
+			all.Add(v)
+		}
+		for i := 0; i < int(nb); i++ {
+			v := rng.NormFloat64()*2 - 1
+			b.Add(v)
+			all.Add(v)
+		}
+		a.Merge(&b)
+		return a.N() == all.N() &&
+			math.Abs(a.Mean()-all.Mean()) < 1e-6 &&
+			math.Abs(a.StdDev()-all.StdDev()) < 1e-6 &&
+			a.Min() == all.Min() && a.Max() == all.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeEmptyCases(t *testing.T) {
+	var a, b Summary
+	a.Add(1)
+	a.Merge(&b) // merging empty is a no-op
+	if a.N() != 1 {
+		t.Fatal("merge with empty changed summary")
+	}
+	var c Summary
+	c.Merge(&a) // merging into empty copies
+	if c.N() != 1 || c.Mean() != 1 {
+		t.Fatal("merge into empty failed")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries("FB")
+	s.Observe(100, 2)
+	s.Observe(100, 4)
+	s.Observe(200, 10)
+	if got := s.At(100).Mean(); !almost(got, 3) {
+		t.Fatalf("At(100) mean = %v", got)
+	}
+	if s.At(300) != nil {
+		t.Fatal("unobserved x should be nil")
+	}
+	xs := s.Xs()
+	if len(xs) != 2 || xs[0] != 100 || xs[1] != 200 {
+		t.Fatalf("Xs = %v", xs)
+	}
+}
+
+func TestTableFormatAndCSV(t *testing.T) {
+	fb := NewSeries("FB")
+	fp := NewSeries("FP")
+	fb.Observe(100, 10)
+	fb.Observe(200, 100)
+	fp.Observe(100, 5)
+	tab := &Table{XLabel: "faults", Series: []*Series{fb, fp}}
+
+	txt := tab.Format(nil)
+	if !strings.Contains(txt, "FB") || !strings.Contains(txt, "FP") {
+		t.Fatalf("missing headers: %q", txt)
+	}
+	if !strings.Contains(txt, "100") || !strings.Contains(txt, "10.000") {
+		t.Fatalf("missing data: %q", txt)
+	}
+	// FP has no point at 200 → dash.
+	if !strings.Contains(txt, "-") {
+		t.Fatalf("missing placeholder: %q", txt)
+	}
+
+	csv := tab.CSV(nil)
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 || lines[0] != "faults,FB,FP" {
+		t.Fatalf("csv = %q", csv)
+	}
+	if lines[1] != "100,10,5" {
+		t.Fatalf("csv row = %q", lines[1])
+	}
+	if lines[2] != "200,100," {
+		t.Fatalf("csv missing-point row = %q", lines[2])
+	}
+
+	logTxt := tab.Format(Log10)
+	if !strings.Contains(logTxt, "1.000") || !strings.Contains(logTxt, "2.000") {
+		t.Fatalf("log table = %q", logTxt)
+	}
+}
+
+func TestTableXsUnion(t *testing.T) {
+	a := NewSeries("a")
+	b := NewSeries("b")
+	a.Observe(1, 0)
+	b.Observe(2, 0)
+	tab := &Table{XLabel: "x", Series: []*Series{a, b}}
+	xs := tab.Xs()
+	if len(xs) != 2 || xs[0] != 1 || xs[1] != 2 {
+		t.Fatalf("Xs = %v", xs)
+	}
+}
+
+func TestLog10(t *testing.T) {
+	if Log10(0) != -1 || Log10(-5) != -1 {
+		t.Fatal("non-positive values must plot at -1, matching the figure axis")
+	}
+	if !almost(Log10(1000), 3) {
+		t.Fatalf("Log10(1000) = %v", Log10(1000))
+	}
+}

@@ -1,0 +1,60 @@
+// Package status defines the node classification shared by every fault
+// model in the paper and the superseding rule used to pile per-component
+// results (Section 3.1).
+//
+// A faulty node is always unsafe and disabled. A non-faulty node ends in one
+// of three cases: (1) safe and enabled, (2) unsafe but enabled, or (3)
+// unsafe and disabled. In the paper's figures these are drawn as white
+// (enabled), gray (unsafe and disabled) and black (faulty) nodes.
+package status
+
+import "fmt"
+
+// Class is the final classification of a node after the labelling schemes
+// have run. The order encodes the superseding rule: higher values overwrite
+// lower ones ("black nodes overwrite gray and white nodes, and gray nodes
+// overwrite white nodes").
+type Class uint8
+
+const (
+	// Safe is a non-faulty node outside every faulty block (safe and
+	// enabled).
+	Safe Class = iota
+	// Enabled is a non-faulty node that was included in a rectangular
+	// faulty block but removed from the faulty polygon (unsafe but
+	// enabled; white in the paper's figures).
+	Enabled
+	// Disabled is a non-faulty node kept inside a faulty polygon (unsafe
+	// and disabled; gray).
+	Disabled
+	// Faulty is a failed node (unsafe and disabled; black).
+	Faulty
+)
+
+// String returns the paper's terminology for the class.
+func (c Class) String() string {
+	switch c {
+	case Safe:
+		return "safe"
+	case Enabled:
+		return "enabled"
+	case Disabled:
+		return "disabled"
+	case Faulty:
+		return "faulty"
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// Supersede resolves conflicting node status per the paper's superseding
+// rule and returns the class that wins.
+func Supersede(a, b Class) Class {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Routable reports whether a node of this class participates in routing.
+// Disabled and faulty nodes are excluded from the routing process.
+func (c Class) Routable() bool { return c == Safe || c == Enabled }

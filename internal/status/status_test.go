@@ -1,0 +1,57 @@
+package status
+
+import "testing"
+
+func TestSupersedeOrder(t *testing.T) {
+	cases := []struct {
+		a, b, want Class
+	}{
+		{Faulty, Disabled, Faulty},
+		{Disabled, Faulty, Faulty},
+		{Disabled, Enabled, Disabled},
+		{Enabled, Disabled, Disabled},
+		{Enabled, Safe, Enabled},
+		{Safe, Safe, Safe},
+		{Faulty, Safe, Faulty},
+	}
+	for _, tc := range cases {
+		if got := Supersede(tc.a, tc.b); got != tc.want {
+			t.Errorf("Supersede(%v,%v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestSupersedeCommutativeIdempotent(t *testing.T) {
+	all := []Class{Safe, Enabled, Disabled, Faulty}
+	for _, a := range all {
+		if Supersede(a, a) != a {
+			t.Errorf("Supersede(%v,%v) not idempotent", a, a)
+		}
+		for _, b := range all {
+			if Supersede(a, b) != Supersede(b, a) {
+				t.Errorf("Supersede(%v,%v) not commutative", a, b)
+			}
+		}
+	}
+}
+
+func TestRoutable(t *testing.T) {
+	if !Safe.Routable() || !Enabled.Routable() {
+		t.Error("safe and enabled nodes must route")
+	}
+	if Disabled.Routable() || Faulty.Routable() {
+		t.Error("disabled and faulty nodes must not route")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	want := map[Class]string{Safe: "safe", Enabled: "enabled", Disabled: "disabled", Faulty: "faulty"}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), s)
+		}
+	}
+	if Class(9).String() != "class(9)" {
+		t.Errorf("unknown class string = %q", Class(9).String())
+	}
+}

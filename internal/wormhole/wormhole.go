@@ -1,0 +1,190 @@
+// Package wormhole is a cycle-accurate wormhole-switching simulator for
+// the virtual-channel network underlying the paper's routing discussion. A
+// message (a "worm" of flits) occupies a chain of virtual channels between
+// its head and its tail; a blocked head stalls the whole worm in place,
+// holding its channels — precisely the mechanism that makes deadlock
+// possible and virtual-channel schemes necessary.
+//
+// The simulator executes routes produced by the routing package (or
+// hand-crafted hop sequences) cycle by cycle with single-flit channel
+// buffers, and detects deadlock exactly: with two-phase synchronous
+// updates, a cycle in which no flit advances and no worm drains can never
+// resolve, so it is reported immediately. This gives a dynamic complement
+// to the static channel-dependency-graph analysis.
+package wormhole
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/routing"
+)
+
+// Config tunes the simulation.
+type Config struct {
+	// FlitLen is the number of flits per message (worm length). Longer
+	// worms hold more channels while moving.
+	FlitLen int
+	// MaxCycles aborts pathological runs; 0 means a generous default.
+	MaxCycles int
+}
+
+// worm is one in-flight message.
+type worm struct {
+	id    int
+	hops  []routing.Hop
+	start int
+	// head is the index of the next hop whose channel the head flit wants;
+	// len(hops) means the head has arrived and the worm is draining.
+	head int
+	// held are the channel indices (into hops) currently occupied, oldest
+	// first; at most FlitLen channels are held.
+	held []int
+	done bool
+	// finish is the cycle the tail drained at the destination.
+	finish int
+}
+
+// Sim is a wormhole network simulation. Create with New, add messages with
+// Inject, then Run.
+type Sim struct {
+	cfg   Config
+	worms []*worm
+	// holder maps an occupied channel to the worm holding it.
+	holder map[routing.Channel]*worm
+}
+
+// New returns an empty simulation.
+func New(cfg Config) *Sim {
+	if cfg.FlitLen <= 0 {
+		cfg.FlitLen = 4
+	}
+	if cfg.MaxCycles <= 0 {
+		cfg.MaxCycles = 1_000_000
+	}
+	return &Sim{cfg: cfg, holder: map[routing.Channel]*worm{}}
+}
+
+// Inject schedules a message with the given hop sequence to start at the
+// given cycle. Zero-hop messages complete immediately and are ignored.
+func (s *Sim) Inject(id int, hops []routing.Hop, start int) {
+	if len(hops) == 0 {
+		return
+	}
+	s.worms = append(s.worms, &worm{id: id, hops: hops, start: start})
+}
+
+// InjectRoute schedules a delivered route from the routing package.
+func (s *Sim) InjectRoute(id int, r *routing.Route, start int) {
+	s.Inject(id, r.Hops, start)
+}
+
+// Result reports the outcome of a run.
+type Result struct {
+	// Cycles is the number of simulated cycles.
+	Cycles int
+	// Completed is the number of messages fully delivered (tail drained).
+	Completed int
+	// Deadlocked lists the ids of messages stuck in a deadlock, in id
+	// order; empty when the run drained completely.
+	Deadlocked []int
+	// Latency maps message id to delivery latency in cycles (from its
+	// start cycle until its tail drained).
+	Latency map[int]int
+}
+
+// Deadlock reports whether the run ended in deadlock.
+func (r Result) Deadlock() bool { return len(r.Deadlocked) > 0 }
+
+// Run simulates until every message drains or a deadlock is detected.
+func (s *Sim) Run() (Result, error) {
+	res := Result{Latency: map[int]int{}}
+	remaining := len(s.worms)
+	for cycle := 0; remaining > 0; cycle++ {
+		if cycle > s.cfg.MaxCycles {
+			return res, fmt.Errorf("wormhole: exceeded %d cycles", s.cfg.MaxCycles)
+		}
+		res.Cycles = cycle + 1
+		// Two-phase update: decide every move against the state at the
+		// start of the cycle, then apply. A channel freed this cycle
+		// becomes available next cycle, which is what makes a zero-progress
+		// cycle a genuine deadlock certificate.
+		type move struct {
+			w  *worm
+			ch routing.Channel
+		}
+		var advances []move
+		var drains []*worm
+		active, pending := 0, 0
+		for _, w := range s.worms {
+			if w.done {
+				continue
+			}
+			if w.start > cycle {
+				pending++
+				continue
+			}
+			active++
+			if w.head >= len(w.hops) {
+				drains = append(drains, w)
+				continue
+			}
+			ch := w.hops[w.head].Channel()
+			if holder, busy := s.holder[ch]; !busy || holder == w {
+				advances = append(advances, move{w, ch})
+			}
+		}
+		if len(advances) == 0 && len(drains) == 0 {
+			if active == 0 && pending > 0 {
+				continue // waiting for future injections
+			}
+			// Active worms and no possible movement: with two-phase
+			// updates this state can never change — deadlock.
+			for _, w := range s.worms {
+				if !w.done && w.start <= cycle {
+					res.Deadlocked = append(res.Deadlocked, w.id)
+				}
+			}
+			sort.Ints(res.Deadlocked)
+			return res, nil
+		}
+		// Channels requested by two heads in the same cycle go to the
+		// first requester (worm order); the loser retries next cycle.
+		granted := map[routing.Channel]bool{}
+		for _, mv := range advances {
+			if granted[mv.ch] {
+				continue
+			}
+			granted[mv.ch] = true
+			s.holder[mv.ch] = mv.w
+			mv.w.held = append(mv.w.held, mv.w.head)
+			mv.w.head++
+			if len(mv.w.held) > s.cfg.FlitLen {
+				s.release(mv.w)
+			}
+		}
+		for _, w := range drains {
+			s.release(w)
+			if len(w.held) == 0 {
+				w.done = true
+				w.finish = cycle
+				res.Completed++
+				res.Latency[w.id] = cycle - w.start + 1
+				remaining--
+			}
+		}
+	}
+	return res, nil
+}
+
+// release frees the worm's oldest held channel.
+func (s *Sim) release(w *worm) {
+	if len(w.held) == 0 {
+		return
+	}
+	ch := w.hops[w.held[0]].Channel()
+	if s.holder[ch] == w {
+		delete(s.holder, ch)
+	}
+	w.held = w.held[1:]
+}
