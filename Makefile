@@ -1,0 +1,40 @@
+# CI and humans run the same commands: .github/workflows/ci.yml only calls
+# these targets.
+GO ?= go
+BENCH_OUT ?= BENCH_sweep.json
+BENCH_TRIALS ?= 5
+
+.PHONY: all build test race bench bench-json bench-check lint fmt clean
+
+all: lint build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of every Go benchmark, no unit tests — the CI smoke run.
+bench:
+	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...
+
+# Timing sweep across worker-pool sizes; writes $(BENCH_OUT) for archival.
+bench-json:
+	$(GO) run ./cmd/mfpsim -bench-json -trials $(BENCH_TRIALS) -bench-out $(BENCH_OUT)
+
+# Same sweep, diffed against a previous report: make bench-check BASELINE=old.json
+bench-check:
+	$(GO) run ./cmd/mfpsim -bench-json -trials $(BENCH_TRIALS) -bench-out $(BENCH_OUT) -bench-compare $(BASELINE)
+
+lint:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt -w needed on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+clean:
+	rm -f $(BENCH_OUT)

@@ -21,14 +21,28 @@ import (
 )
 
 // benchConfig is the paper's sweep with one trial per point, sized so a
-// single benchmark iteration regenerates a full figure panel.
+// single benchmark iteration regenerates a full figure panel. Workers is
+// pinned to 1 so these benchmarks keep measuring the serial sweep they
+// always have; the *Parallel variants measure the worker pool.
 func benchConfig(model fault.Model) experiments.Config {
 	cfg := experiments.Default(model, 1)
+	cfg.Workers = 1
 	return cfg
 }
 
 func BenchmarkFigure9Random(b *testing.B) {
 	cfg := benchConfig(fault.Random)
+	for i := 0; i < b.N; i++ {
+		experiments.Figure9(cfg)
+	}
+}
+
+// Contrast with the serial BenchmarkFigure9Clustered to see the sweep
+// engine's speedup; mfpsim -bench-json records the same contrast across
+// all worker counts into BENCH_sweep.json for the CI perf trajectory.
+func BenchmarkFigure9ClusteredParallel(b *testing.B) {
+	cfg := benchConfig(fault.Clustered)
+	cfg.Workers = 0 // one worker per CPU
 	for i := 0; i < b.N; i++ {
 		experiments.Figure9(cfg)
 	}
@@ -79,11 +93,13 @@ func paperScaleFaults(b *testing.B) (grid.Mesh, *nodeset.Set) {
 
 // Ablation: the two centralized solutions of Section 3.1 produce identical
 // polygons; the scan solution avoids the per-component sub-mesh labelling.
+// Workers is pinned to 1 so the historical numbers stay comparable and all
+// three ablation arms (including the serial dmfp.Build) run like for like.
 func BenchmarkAblationCentralizedScan(b *testing.B) {
 	m, faults := paperScaleFaults(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		mfp.Build(m, faults)
+		mfp.BuildWorkers(m, faults, 1)
 	}
 }
 
@@ -91,7 +107,7 @@ func BenchmarkAblationCentralizedLabelling(b *testing.B) {
 	m, faults := paperScaleFaults(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		mfp.BuildLabelling(m, faults)
+		mfp.BuildLabellingWorkers(m, faults, 1)
 	}
 }
 

@@ -1,0 +1,184 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/benchfmt"
+	"repro/internal/experiments"
+	"repro/internal/fault"
+	"repro/internal/grid"
+	"repro/internal/mfp"
+)
+
+// benchWorkerCounts returns the worker-pool sizes the -bench-json mode
+// times: the powers of two from 1 up to limit, plus limit itself, so the
+// report always contains the serial baseline and the full-machine run.
+func benchWorkerCounts(limit int) []int {
+	if limit < 1 {
+		limit = 1
+	}
+	var out []int
+	for w := 1; w < limit; w *= 2 {
+		out = append(out, w)
+	}
+	return append(out, limit)
+}
+
+// minSample is the shortest total measurement timeIt accepts: sub-10ms
+// single-shot timings are dominated by timer and scheduler noise, which
+// made back-to-back identical runs trip the -bench-compare tolerance.
+const minSample = 100 * time.Millisecond
+
+// timeIt runs fn at least `iterations` times, doubling the count until the
+// whole measurement spans minSample (like testing.B's calibration), and
+// returns the mean wall-clock seconds of one run plus the iteration count
+// actually used.
+func timeIt(iterations int, fn func()) (float64, int) {
+	n := iterations
+	for {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			fn()
+		}
+		elapsed := time.Since(start)
+		if elapsed >= minSample || n >= 1<<20 {
+			return elapsed.Seconds() / float64(n), n
+		}
+		n *= 2
+	}
+}
+
+// runBenchSweep times every requested figure sweep, plus the paper's
+// largest single construction (mfp.Build on 800 clustered faults), at each
+// worker count, and returns the report with speedups filled in. maxWorkers
+// caps the timed pool sizes (the -workers flag); zero means up to one
+// worker per CPU.
+func runBenchSweep(models []fault.Model, figures []int, cfg experiments.Config, iterations, maxWorkers int) (*benchfmt.Report, error) {
+	if iterations < 1 {
+		iterations = 1
+	}
+	limit := runtime.GOMAXPROCS(0)
+	if maxWorkers > 0 {
+		limit = maxWorkers
+	}
+	rep := benchfmt.New(runtime.Version(), runtime.GOMAXPROCS(0))
+	counts := benchWorkerCounts(limit)
+
+	for _, model := range models {
+		c := cfg
+		c.Model = model
+		for _, fig := range figures {
+			// Surface bad figure numbers on a tiny probe sweep before timing:
+			// timeIt would otherwise calibrate a near-instant erroring closure
+			// through millions of iterations before the error is reported.
+			probe := experiments.Config{MeshSize: 2, FaultCounts: []int{1}, Trials: 1, BaseSeed: 1, Model: model, Workers: 1}
+			if _, err := experiments.Figure(fig, probe); err != nil {
+				return nil, err
+			}
+			// The name encodes the full workload identity (fault counts and
+			// seed included) so -bench-compare never matches records that
+			// were produced by different configurations.
+			name := fmt.Sprintf("figure%d/%s/mesh%d/trials%d/faults%s/seed%d",
+				fig, model, c.MeshSize, c.Trials, faultsLabel(c.FaultCounts), c.BaseSeed)
+			for _, w := range counts {
+				c.Workers = w
+				var runErr error
+				secs, iters := timeIt(iterations, func() {
+					if _, err := experiments.Figure(fig, c); err != nil {
+						runErr = err
+					}
+				})
+				if runErr != nil {
+					return nil, runErr
+				}
+				rep.Add(benchfmt.Record{Name: name, Workers: w, Iterations: iters, Seconds: secs})
+			}
+		}
+	}
+
+	// The BenchmarkBuild800-class workload: one paper-scale construction,
+	// isolating the per-component parallelism from the sweep-level pool.
+	// Fixed at the paper's setting on purpose — it ignores -mesh/-faults so
+	// the record stays comparable across every archived report.
+	m := grid.New(100, 100)
+	faults := fault.NewInjector(m, fault.Clustered, 1).Inject(800)
+	for _, w := range counts {
+		secs, iters := timeIt(iterations, func() { mfp.BuildWorkers(m, faults, w) })
+		rep.Add(benchfmt.Record{
+			Name: "mfp.Build/mesh100/faults800/seed1", Workers: w,
+			Iterations: iters, Seconds: secs,
+		})
+	}
+
+	rep.ComputeSpeedups()
+	return rep, nil
+}
+
+// faultsLabel renders the swept fault counts compactly but exactly: the
+// paper's default ladder becomes "100..800x8"; anything else lists every
+// count, since the label is the workload's identity for -bench-compare.
+func faultsLabel(counts []int) string {
+	if len(counts) > 2 {
+		step := counts[1] - counts[0]
+		regular := step > 0
+		for i := 1; regular && i < len(counts); i++ {
+			regular = counts[i]-counts[i-1] == step
+		}
+		if regular {
+			return fmt.Sprintf("%d..%dx%d", counts[0], counts[len(counts)-1], len(counts))
+		}
+	}
+	parts := make([]string, len(counts))
+	for i, n := range counts {
+		parts[i] = strconv.Itoa(n)
+	}
+	return strings.Join(parts, ",")
+}
+
+// writeBenchReport writes the report to path as the BENCH_sweep.json
+// artifact that CI archives.
+func writeBenchReport(path string, rep *benchfmt.Report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// compareBenchReport diffs the current report against the baseline file and
+// returns the workloads that regressed past the tolerated slowdown ratio.
+func compareBenchReport(baselinePath string, current *benchfmt.Report, tolerance float64) ([]benchfmt.Regression, error) {
+	f, err := os.Open(baselinePath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	baseline, err := benchfmt.ReadJSON(f)
+	if err != nil {
+		return nil, err
+	}
+	return benchfmt.Compare(baseline, current, tolerance), nil
+}
+
+// printBenchSummary renders the report's speedup column for the terminal;
+// the JSON artifact carries the full data.
+func printBenchSummary(w io.Writer, rep *benchfmt.Report) {
+	fmt.Fprintf(w, "%-58s %8s %12s %9s\n", "workload", "workers", "seconds", "speedup")
+	for _, rec := range rep.Records {
+		speedup := "-"
+		if rec.Speedup > 0 {
+			speedup = fmt.Sprintf("%.2fx", rec.Speedup)
+		}
+		fmt.Fprintf(w, "%-58s %8d %12.4f %9s\n", rec.Name, rec.Workers, rec.Seconds, speedup)
+	}
+}

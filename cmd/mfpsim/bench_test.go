@@ -1,0 +1,152 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/benchfmt"
+	"repro/internal/experiments"
+	"repro/internal/fault"
+)
+
+func TestBenchWorkerCounts(t *testing.T) {
+	cases := map[int][]int{
+		1: {1},
+		2: {1, 2},
+		3: {1, 2, 3},
+		8: {1, 2, 4, 8},
+	}
+	for limit, want := range cases {
+		got := benchWorkerCounts(limit)
+		if len(got) != len(want) {
+			t.Fatalf("limit %d: %v, want %v", limit, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("limit %d: %v, want %v", limit, got, want)
+			}
+		}
+	}
+	if got := benchWorkerCounts(0); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("limit 0: %v, want [1]", got)
+	}
+}
+
+// The full -bench-json path on a tiny configuration: report is written,
+// parses back, has the serial baseline and speedups, and round-trips
+// through the regression comparison.
+func TestRunBenchSweepAndReport(t *testing.T) {
+	cfg := experiments.Config{
+		MeshSize:    20,
+		FaultCounts: []int{10, 20},
+		Trials:      2,
+		BaseSeed:    5,
+	}
+	rep, err := runBenchSweep([]fault.Model{fault.Random}, []int{9}, cfg, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawSweepSerial, sawBuild bool
+	for _, rec := range rep.Records {
+		if strings.HasPrefix(rec.Name, "figure9/random/") && rec.Workers == 1 {
+			sawSweepSerial = true
+			if rec.Speedup != 1.0 {
+				t.Fatalf("serial sweep speedup %v, want 1.0", rec.Speedup)
+			}
+		}
+		if strings.HasPrefix(rec.Name, "mfp.Build/") {
+			sawBuild = true
+		}
+		if rec.Seconds <= 0 {
+			t.Fatalf("record %q has non-positive time %v", rec.Name, rec.Seconds)
+		}
+	}
+	if !sawSweepSerial || !sawBuild {
+		t.Fatalf("report misses expected workloads: %+v", rep.Records)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_sweep.json")
+	if err := writeBenchReport(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	back, err := benchfmt.ReadJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Records) != len(rep.Records) {
+		t.Fatalf("%d records after round trip, want %d", len(back.Records), len(rep.Records))
+	}
+
+	// A report can never regress against itself.
+	regressions, err := compareBenchReport(path, rep, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regressions) != 0 {
+		t.Fatalf("self-comparison flagged %+v", regressions)
+	}
+}
+
+// The record name must encode the full workload identity, so sweeps over
+// different fault ladders or seeds can never be cross-compared.
+func TestFaultsLabel(t *testing.T) {
+	cases := map[string][]int{
+		"100..800x8": {100, 200, 300, 400, 500, 600, 700, 800},
+		"10..30x3":   {10, 20, 30},
+		"10,20,40":   {10, 20, 40},
+		"5,3":        {5, 3},
+		"7":          {7},
+	}
+	for want, counts := range cases {
+		if got := faultsLabel(counts); got != want {
+			t.Fatalf("faultsLabel(%v) = %q, want %q", counts, got, want)
+		}
+	}
+}
+
+// timeIt must calibrate very short workloads up to the minimum sample so
+// -bench-compare is not gating on timer noise.
+func TestTimeItCalibrates(t *testing.T) {
+	secs, iters := timeIt(1, func() {})
+	if iters <= 1 {
+		t.Fatalf("no-op workload ran only %d iterations", iters)
+	}
+	if secs < 0 {
+		t.Fatalf("negative mean %v", secs)
+	}
+}
+
+func TestRunBenchSweepRejectsUnknownFigure(t *testing.T) {
+	cfg := experiments.Config{MeshSize: 10, FaultCounts: []int{5}, Trials: 1, BaseSeed: 1}
+	if _, err := runBenchSweep([]fault.Model{fault.Random}, []int{12}, cfg, 1, 0); err == nil {
+		t.Fatal("figure 12 should be rejected")
+	}
+}
+
+// The -workers flag caps the timed pool sizes in -bench-json mode.
+func TestRunBenchSweepHonorsWorkersCap(t *testing.T) {
+	cfg := experiments.Config{MeshSize: 15, FaultCounts: []int{5}, Trials: 1, BaseSeed: 3}
+	rep, err := runBenchSweep([]fault.Model{fault.Random}, []int{9}, cfg, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range rep.Records {
+		if rec.Workers > 2 {
+			t.Fatalf("record %q timed workers=%d despite cap 2", rec.Name, rec.Workers)
+		}
+	}
+}
+
+func TestCompareBenchReportMissingBaseline(t *testing.T) {
+	rep := benchfmt.New("go", 1)
+	if _, err := compareBenchReport(filepath.Join(t.TempDir(), "nope.json"), rep, 1.3); err == nil {
+		t.Fatal("missing baseline file should error")
+	}
+}

@@ -8,9 +8,18 @@
 //	mfpsim -figure 0 -dist both              # every figure, both models
 //	mfpsim -figure 10 -dist random -csv      # machine-readable output
 //	mfpsim -mesh 50 -faults 50,100,150 -trials 10
+//	mfpsim -workers 8                        # bound the sweep's worker pool
+//	mfpsim -bench-json                       # timing sweep -> BENCH_sweep.json
+//	mfpsim -bench-json -bench-compare old.json  # fail on perf regressions
 //
 // Figure 9 tables are printed as log10 of the disabled-node count, matching
 // the paper's y-axis; -csv always emits raw values.
+//
+// Sweeps fan their (faultCount, trial) cells out to -workers goroutines
+// (default: one per CPU) and produce identical tables for every worker
+// count. -bench-json times each requested sweep and a paper-scale
+// mfp.Build at several pool sizes and writes the machine-readable report
+// that CI archives per commit (see internal/benchfmt).
 package main
 
 import (
@@ -34,11 +43,38 @@ func main() {
 	seed := flag.Int64("seed", 1, "base seed for the fault injectors")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	verify := flag.Bool("verify", false, "re-run the sweeps and check every claim of the paper's Section 4")
+	workers := flag.Int("workers", 0, "worker-pool bound for the sweeps (0 = one per CPU, 1 = serial)")
+	benchJSON := flag.Bool("bench-json", false, "time the sweeps at several worker counts and write a JSON report")
+	benchOut := flag.String("bench-out", "BENCH_sweep.json", "output path of the -bench-json report")
+	benchIter := flag.Int("bench-iter", 1, "iterations per timed workload in -bench-json mode")
+	benchCompare := flag.String("bench-compare", "", "baseline report to diff the -bench-json run against; regressions exit non-zero")
+	benchTolerance := flag.Float64("bench-tolerance", 1.30, "slowdown ratio tolerated by -bench-compare")
 	flag.Parse()
+
+	if *workers < 0 {
+		fatal(fmt.Errorf("-workers must be >= 0, got %d", *workers))
+	}
+	if *benchTolerance < 1.0 {
+		fatal(fmt.Errorf("-bench-tolerance must be >= 1.0 (a slowdown ratio), got %g", *benchTolerance))
+	}
+	if *verify && *benchJSON {
+		fatal(fmt.Errorf("-bench-json cannot be combined with -verify"))
+	}
+	if !*benchJSON {
+		// The bench flags only act in -bench-json mode; reject them there so
+		// a CI gate missing -bench-json fails loudly instead of passing
+		// vacuously.
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "bench-out", "bench-iter", "bench-compare", "bench-tolerance":
+				fatal(fmt.Errorf("-%s requires -bench-json", f.Name))
+			}
+		})
+	}
 
 	if *verify {
 		ok := true
-		for _, c := range experiments.VerifyClaims(*trials) {
+		for _, c := range experiments.VerifyClaims(*trials, *workers) {
 			verdict := "PASS"
 			if !c.Holds {
 				verdict = "FAIL"
@@ -65,10 +101,43 @@ func main() {
 		figures = []int{*figure}
 	}
 
+	if *benchJSON {
+		cfg := experiments.Default(models[0], *trials)
+		cfg.MeshSize = *mesh
+		cfg.BaseSeed = *seed
+		if len(counts) > 0 {
+			cfg.FaultCounts = counts
+		}
+		rep, err := runBenchSweep(models, figures, cfg, *benchIter, *workers)
+		if err != nil {
+			fatal(err)
+		}
+		if err := writeBenchReport(*benchOut, rep); err != nil {
+			fatal(err)
+		}
+		printBenchSummary(os.Stdout, rep)
+		fmt.Printf("wrote %s\n", *benchOut)
+		if *benchCompare != "" {
+			regressions, err := compareBenchReport(*benchCompare, rep, *benchTolerance)
+			if err != nil {
+				fatal(err)
+			}
+			for _, g := range regressions {
+				fmt.Fprintln(os.Stderr, "mfpsim: benchmark regression:", g)
+			}
+			if len(regressions) > 0 {
+				os.Exit(1)
+			}
+			fmt.Printf("no regressions against %s (tolerance %.2fx)\n", *benchCompare, *benchTolerance)
+		}
+		return
+	}
+
 	for _, model := range models {
 		cfg := experiments.Default(model, *trials)
 		cfg.MeshSize = *mesh
 		cfg.BaseSeed = *seed
+		cfg.Workers = *workers
 		if len(counts) > 0 {
 			cfg.FaultCounts = counts
 		}

@@ -9,7 +9,13 @@
 // Start at internal/core for the library API, cmd/mfpsim to reproduce the
 // figures (including `-verify`, which re-checks every claim of the paper's
 // Section 4 against a fresh run), and the examples directory for runnable
-// walkthroughs of the paper's worked figures. DESIGN.md maps every
-// subsystem and experiment; EXPERIMENTS.md records measured-vs-paper
-// results.
+// walkthroughs of the paper's worked figures.
+//
+// The experiment harness (internal/experiments) fans every (faultCount,
+// trial) cell out to a bounded worker pool and merges results in canonical
+// order, so sweeps are deterministic at any worker count; mfpsim's -workers
+// flag bounds the pool and -bench-json writes the machine-readable timing
+// report (internal/benchfmt) that CI archives per commit. README.md
+// documents the parallel sweep and the Makefile targets that CI
+// (.github/workflows/ci.yml) runs.
 package repro

@@ -1,0 +1,138 @@
+// Package benchfmt defines the machine-readable benchmark record format
+// emitted by `mfpsim -bench-json` (BENCH_sweep.json) and archived per-commit
+// by CI, so the repository accumulates a performance trajectory that tooling
+// can diff. The package only formats, parses and compares reports; timing
+// is the caller's job.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Schema identifies the report layout; bump it on incompatible changes so
+// regression tooling can refuse to compare apples to oranges.
+const Schema = "repro/bench/v1"
+
+// Record is one timed workload at one worker-pool size.
+type Record struct {
+	// Name identifies the workload ("figure9/random/mesh100/trials30",
+	// "mfp.Build/faults800", ...).
+	Name string `json:"name"`
+	// Workers is the worker-pool bound the workload ran with (1 = serial).
+	Workers int `json:"workers"`
+	// Iterations is how many times the workload ran; Seconds is the mean
+	// wall-clock time of one run.
+	Iterations int     `json:"iterations"`
+	Seconds    float64 `json:"seconds"`
+	// Speedup is Seconds of the same Name at Workers==1 divided by this
+	// record's Seconds; zero when no serial baseline exists. Populated by
+	// ComputeSpeedups.
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
+// Report is the top-level BENCH_sweep.json document.
+type Report struct {
+	Schema     string   `json:"schema"`
+	GoVersion  string   `json:"go_version,omitempty"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Records    []Record `json:"records"`
+}
+
+// New returns an empty report carrying the given environment stamp.
+func New(goVersion string, gomaxprocs int) *Report {
+	return &Report{Schema: Schema, GoVersion: goVersion, GOMAXPROCS: gomaxprocs}
+}
+
+// Add appends one record.
+func (r *Report) Add(rec Record) { r.Records = append(r.Records, rec) }
+
+// ComputeSpeedups fills every record's Speedup from the Workers==1 record
+// of the same Name, leaving records without a serial baseline at zero.
+func (r *Report) ComputeSpeedups() {
+	serial := map[string]float64{}
+	for _, rec := range r.Records {
+		if rec.Workers == 1 && rec.Seconds > 0 {
+			serial[rec.Name] = rec.Seconds
+		}
+	}
+	for i := range r.Records {
+		rec := &r.Records[i]
+		if base, ok := serial[rec.Name]; ok && rec.Seconds > 0 {
+			rec.Speedup = base / rec.Seconds
+		} else {
+			rec.Speedup = 0
+		}
+	}
+}
+
+// WriteJSON writes the report as indented JSON with a stable record order
+// (sorted by Name, then Workers), so per-commit artifacts diff cleanly.
+func (r *Report) WriteJSON(w io.Writer) error {
+	sort.SliceStable(r.Records, func(i, j int) bool {
+		if r.Records[i].Name != r.Records[j].Name {
+			return r.Records[i].Name < r.Records[j].Name
+		}
+		return r.Records[i].Workers < r.Records[j].Workers
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadJSON parses a report and rejects unknown schemas.
+func ReadJSON(rd io.Reader) (*Report, error) {
+	var r Report
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("benchfmt: %w", err)
+	}
+	if r.Schema != Schema {
+		return nil, fmt.Errorf("benchfmt: unknown schema %q (want %q)", r.Schema, Schema)
+	}
+	return &r, nil
+}
+
+// Regression describes one workload that got slower than the baseline
+// report allows.
+type Regression struct {
+	Name    string
+	Workers int
+	// Old and New are the baseline and current mean seconds; Ratio is
+	// New/Old.
+	Old, New, Ratio float64
+}
+
+// String renders the regression for CI logs.
+func (g Regression) String() string {
+	return fmt.Sprintf("%s (workers=%d): %.4fs -> %.4fs (%.2fx)", g.Name, g.Workers, g.Old, g.New, g.Ratio)
+}
+
+// Compare flags every (Name, Workers) present in both reports whose current
+// time exceeds the baseline by more than the tolerated ratio (e.g. 1.25 for
+// "fail when 25% slower"). Workloads present in only one report are ignored:
+// adding or retiring benchmarks is not a regression.
+func Compare(baseline, current *Report, tolerance float64) []Regression {
+	type key struct {
+		name    string
+		workers int
+	}
+	old := map[key]float64{}
+	for _, rec := range baseline.Records {
+		if rec.Seconds > 0 {
+			old[key{rec.Name, rec.Workers}] = rec.Seconds
+		}
+	}
+	var out []Regression
+	for _, rec := range current.Records {
+		base, ok := old[key{rec.Name, rec.Workers}]
+		if !ok || rec.Seconds <= 0 {
+			continue
+		}
+		if ratio := rec.Seconds / base; ratio > tolerance {
+			out = append(out, Regression{Name: rec.Name, Workers: rec.Workers, Old: base, New: rec.Seconds, Ratio: ratio})
+		}
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package benchfmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Report {
+	r := New("go1.21", 8)
+	r.Add(Record{Name: "figure9/random", Workers: 8, Iterations: 1, Seconds: 0.5})
+	r.Add(Record{Name: "figure9/random", Workers: 1, Iterations: 1, Seconds: 2.0})
+	r.Add(Record{Name: "mfp.Build", Workers: 4, Iterations: 10, Seconds: 0.1})
+	return r
+}
+
+func TestComputeSpeedups(t *testing.T) {
+	r := sample()
+	r.ComputeSpeedups()
+	for _, rec := range r.Records {
+		switch {
+		case rec.Name == "figure9/random" && rec.Workers == 8:
+			if rec.Speedup != 4.0 {
+				t.Fatalf("speedup %v, want 4.0", rec.Speedup)
+			}
+		case rec.Name == "figure9/random" && rec.Workers == 1:
+			if rec.Speedup != 1.0 {
+				t.Fatalf("serial speedup %v, want 1.0", rec.Speedup)
+			}
+		case rec.Name == "mfp.Build":
+			// No serial baseline: speedup stays unset.
+			if rec.Speedup != 0 {
+				t.Fatalf("baseline-less speedup %v, want 0", rec.Speedup)
+			}
+		}
+	}
+}
+
+func TestRoundTripAndStableOrder(t *testing.T) {
+	r := sample()
+	r.ComputeSpeedups()
+	var buf strings.Builder
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != Schema || got.GOMAXPROCS != 8 || len(got.Records) != 3 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	// WriteJSON sorts by (name, workers) so artifacts diff cleanly.
+	if got.Records[0].Workers != 1 || got.Records[1].Workers != 8 || got.Records[2].Name != "mfp.Build" {
+		t.Fatalf("records not in canonical order: %+v", got.Records)
+	}
+	var buf2 strings.Builder
+	if err := r.WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Fatal("WriteJSON is not deterministic")
+	}
+}
+
+func TestReadJSONRejectsForeignSchema(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader(`{"schema":"other/v9","records":[]}`)); err == nil {
+		t.Fatal("foreign schema accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := New("go1.21", 8)
+	base.Add(Record{Name: "a", Workers: 1, Seconds: 1.0})
+	base.Add(Record{Name: "b", Workers: 1, Seconds: 1.0})
+	base.Add(Record{Name: "retired", Workers: 1, Seconds: 1.0})
+
+	cur := New("go1.21", 8)
+	cur.Add(Record{Name: "a", Workers: 1, Seconds: 1.1})   // within tolerance
+	cur.Add(Record{Name: "b", Workers: 1, Seconds: 2.0})   // regression
+	cur.Add(Record{Name: "new", Workers: 1, Seconds: 9.0}) // no baseline
+
+	got := Compare(base, cur, 1.25)
+	if len(got) != 1 || got[0].Name != "b" {
+		t.Fatalf("regressions %+v, want exactly b", got)
+	}
+	if got[0].Ratio != 2.0 {
+		t.Fatalf("ratio %v, want 2.0", got[0].Ratio)
+	}
+	if s := got[0].String(); !strings.Contains(s, "b (workers=1)") {
+		t.Fatalf("unhelpful regression string %q", s)
+	}
+	if rs := Compare(base, cur, 2.5); len(rs) != 0 {
+		t.Fatalf("loose tolerance still flagged %+v", rs)
+	}
+}

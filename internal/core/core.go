@@ -55,6 +55,11 @@ type Options struct {
 	// on labelling schemes 1 and 2 (per-component emulation) to obtain the
 	// CMFP round count of Figure 11.
 	EmulateRounds bool
+	// Workers bounds the worker pool of the parallel construction phases
+	// (per-component MFP closure and labelling emulation). Zero means one
+	// worker per available CPU, one forces the serial path; results are
+	// identical for every value.
+	Workers int
 }
 
 // Construction bundles the three models built from one fault set.
@@ -79,9 +84,9 @@ func Construct(m grid.Mesh, faults *nodeset.Set, opts Options) *Construction {
 	c := &Construction{Mesh: m, Faults: faults.Clone()}
 	c.Blocks = block.Build(m, faults)
 	c.SubMinimum = fp.Build(c.Blocks)
-	c.Minimum = mfp.Build(m, faults)
+	c.Minimum = mfp.BuildWorkers(m, faults, opts.Workers)
 	if opts.EmulateRounds {
-		c.MinimumRounds = mfp.BuildLabelling(m, faults).Rounds
+		c.MinimumRounds = mfp.BuildLabellingWorkers(m, faults, opts.Workers).Rounds
 	}
 	if opts.Distributed {
 		c.Distributed = dmfp.Build(m, faults)

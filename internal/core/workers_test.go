@@ -1,0 +1,37 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/grid"
+)
+
+// The Workers knob must never change a construction, only its wall-clock
+// time: every model's disabled set and round count is identical for the
+// serial, bounded and full-machine pools.
+func TestConstructWorkersEquivalence(t *testing.T) {
+	m := grid.New(40, 40)
+	faults := fault.NewInjector(m, fault.Clustered, 9).Inject(160)
+	opts := Options{Distributed: true, EmulateRounds: true}
+	opts.Workers = 1
+	serial := Construct(m, faults, opts)
+	for _, w := range []int{0, 2, 8} {
+		opts.Workers = w
+		c := Construct(m, faults, opts)
+		for _, model := range []Model{FB, FP, MFP} {
+			if !c.Disabled(model).Equal(serial.Disabled(model)) {
+				t.Fatalf("workers=%d: %v disabled set differs from serial", w, model)
+			}
+			if c.Rounds(model) != serial.Rounds(model) {
+				t.Fatalf("workers=%d: %v rounds differ from serial", w, model)
+			}
+		}
+		if c.DistributedRounds() != serial.DistributedRounds() {
+			t.Fatalf("workers=%d: DMFP rounds differ from serial", w)
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+	}
+}

@@ -24,8 +24,9 @@ type Claim struct {
 // VerifyClaims re-runs the paper's sweeps at the given trial count and
 // evaluates every quantitative claim of Section 4 against the fresh data.
 // It is the repository's executable regression test for the reproduction
-// itself.
-func VerifyClaims(trials int) []Claim {
+// itself. workers bounds the sweeps' worker pool (0 = one per CPU); the
+// verdicts are identical for every value.
+func VerifyClaims(trials, workers int) []Claim {
 	var claims []Claim
 
 	type sweep struct {
@@ -37,6 +38,7 @@ func VerifyClaims(trials int) []Claim {
 	sweeps := make([]sweep, 0, 2)
 	for _, model := range []fault.Model{fault.Random, fault.Clustered} {
 		cfg := Default(model, trials)
+		cfg.Workers = workers
 		sweeps = append(sweeps, sweep{
 			model: model,
 			fig9:  Figure9(cfg),

@@ -8,7 +8,7 @@ func TestAllPaperClaimsHold(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-sweep claim verification")
 	}
-	claims := VerifyClaims(5)
+	claims := VerifyClaims(5, 0)
 	if len(claims) != 7 {
 		t.Fatalf("expected 7 claims, got %d", len(claims))
 	}

@@ -4,6 +4,10 @@
 // models. The same harness backs the mfpsim command and the repository's
 // benchmarks, so both always produce the same numbers for the same
 // configuration.
+//
+// Every sweep fans its (faultCount, trial) cells out to a bounded worker
+// pool (Config.Workers); results are merged in canonical order, so the
+// tables are identical for every worker count, including the serial run.
 package experiments
 
 import (
@@ -12,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/grid"
+	"repro/internal/nodeset"
 	"repro/internal/stats"
 )
 
@@ -29,6 +34,10 @@ type Config struct {
 	// BaseSeed derives per-trial seeds; a fixed base makes sweeps
 	// reproducible.
 	BaseSeed int64
+	// Workers bounds the sweep's worker pool. Zero means one worker per
+	// available CPU; one forces the serial path. The produced tables are
+	// identical for every value.
+	Workers int
 }
 
 // Default returns the paper's configuration for the given distribution
@@ -44,7 +53,7 @@ func Default(model fault.Model, trials int) Config {
 }
 
 func (c Config) validate() {
-	if c.MeshSize <= 0 || c.Trials <= 0 || len(c.FaultCounts) == 0 {
+	if c.MeshSize <= 0 || c.Trials <= 0 || len(c.FaultCounts) == 0 || c.Workers < 0 {
 		panic(fmt.Sprintf("experiments: invalid config %+v", c))
 	}
 }
@@ -54,68 +63,54 @@ func (c Config) seedFor(faults, trial int) int64 {
 	return c.BaseSeed + int64(faults)*1_000_003 + int64(trial)
 }
 
+// cellOptions are the construction options used inside a sweep cell. The
+// sweep's own pool already saturates the CPUs, so per-construction
+// parallelism would only oversubscribe; cells always build serially.
+var cellOptions = core.Options{Workers: 1}
+
 // Figure9 reproduces Figure 9: the average number of non-faulty but
 // disabled nodes in the whole network under FB, FP and MFP. The paper plots
 // log10 of these counts; pass the table through stats.Log10 when printing.
 func Figure9(cfg Config) *stats.Table {
-	cfg.validate()
-	m := grid.New(cfg.MeshSize, cfg.MeshSize)
-	fb := stats.NewSeries("FB")
-	fp := stats.NewSeries("FP")
-	mfp := stats.NewSeries("MFP")
-	for _, n := range cfg.FaultCounts {
-		for trial := 0; trial < cfg.Trials; trial++ {
-			faults := fault.NewInjector(m, cfg.Model, cfg.seedFor(n, trial)).Inject(n)
-			c := core.Construct(m, faults, core.Options{})
-			fb.Observe(n, float64(c.DisabledNonFaulty(core.FB)))
-			fp.Observe(n, float64(c.DisabledNonFaulty(core.FP)))
-			mfp.Observe(n, float64(c.DisabledNonFaulty(core.MFP)))
+	return cfg.sweep([]string{"FB", "FP", "MFP"}, func(m grid.Mesh, faults *nodeset.Set) []float64 {
+		c := core.Construct(m, faults, cellOptions)
+		return []float64{
+			float64(c.DisabledNonFaulty(core.FB)),
+			float64(c.DisabledNonFaulty(core.FP)),
+			float64(c.DisabledNonFaulty(core.MFP)),
 		}
-	}
-	return &stats.Table{XLabel: "faults", Series: []*stats.Series{fb, fp, mfp}}
+	})
 }
 
 // Figure10 reproduces Figure 10: the average size (faulty plus non-faulty
 // nodes) of a fault region under FB, FP and MFP.
 func Figure10(cfg Config) *stats.Table {
-	cfg.validate()
-	m := grid.New(cfg.MeshSize, cfg.MeshSize)
-	fb := stats.NewSeries("FB")
-	fp := stats.NewSeries("FP")
-	mfp := stats.NewSeries("MFP")
-	for _, n := range cfg.FaultCounts {
-		for trial := 0; trial < cfg.Trials; trial++ {
-			faults := fault.NewInjector(m, cfg.Model, cfg.seedFor(n, trial)).Inject(n)
-			c := core.Construct(m, faults, core.Options{})
-			fb.Observe(n, c.MeanRegionSize(core.FB))
-			fp.Observe(n, c.MeanRegionSize(core.FP))
-			mfp.Observe(n, c.MeanRegionSize(core.MFP))
+	return cfg.sweep([]string{"FB", "FP", "MFP"}, func(m grid.Mesh, faults *nodeset.Set) []float64 {
+		c := core.Construct(m, faults, cellOptions)
+		return []float64{
+			c.MeanRegionSize(core.FB),
+			c.MeanRegionSize(core.FP),
+			c.MeanRegionSize(core.MFP),
 		}
-	}
-	return &stats.Table{XLabel: "faults", Series: []*stats.Series{fb, fp, mfp}}
+	})
 }
 
 // Figure11 reproduces Figure 11: the average number of rounds of status
 // determination in the whole network under FB, FP, CMFP (centralized) and
 // DMFP (distributed).
 func Figure11(cfg Config) *stats.Table {
-	cfg.validate()
-	m := grid.New(cfg.MeshSize, cfg.MeshSize)
-	fb := stats.NewSeries("FB")
-	fp := stats.NewSeries("FP")
-	cmfp := stats.NewSeries("CMFP")
-	dmfp := stats.NewSeries("DMFP")
-	for _, n := range cfg.FaultCounts {
-		for trial := 0; trial < cfg.Trials; trial++ {
-			faults := fault.NewInjector(m, cfg.Model, cfg.seedFor(n, trial)).Inject(n)
-			c := core.Construct(m, faults, core.Options{Distributed: true, EmulateRounds: true})
-			fb.Observe(n, float64(c.Rounds(core.FB)))
-			fp.Observe(n, float64(c.Rounds(core.FP)))
-			cmfp.Observe(n, float64(c.Rounds(core.MFP)))
-			dmfp.Observe(n, float64(c.DistributedRounds()))
+	opts := cellOptions
+	opts.Distributed = true
+	opts.EmulateRounds = true
+	return cfg.sweep([]string{"FB", "FP", "CMFP", "DMFP"}, func(m grid.Mesh, faults *nodeset.Set) []float64 {
+		c := core.Construct(m, faults, opts)
+		return []float64{
+			float64(c.Rounds(core.FB)),
+			float64(c.Rounds(core.FP)),
+			float64(c.Rounds(core.MFP)),
+			float64(c.DistributedRounds()),
 		}
-	}
-	return &stats.Table{XLabel: "faults", Series: []*stats.Series{fb, fp, cmfp, dmfp}}
+	})
 }
 
 // Figure runs the numbered figure (9, 10 or 11).

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"repro/internal/fault"
+	"repro/internal/grid"
+	"repro/internal/nodeset"
+	"repro/internal/pool"
+	"repro/internal/stats"
+)
+
+// cellFunc computes the per-series observations of one (faultCount, trial)
+// cell. The harness hands every invocation its own freshly injected fault
+// set, so implementations may run concurrently on many goroutines as long as
+// they do not mutate shared state.
+type cellFunc func(m grid.Mesh, faults *nodeset.Set) []float64
+
+// sweep fans every (faultCount, trial) cell out to a bounded worker pool and
+// folds the per-cell values into a table in canonical order.
+//
+// seedFor gives each cell its own deterministic rng stream, so cells are
+// independent of one another and of scheduling. Workers only fill values[i];
+// the single merge pass below then feeds the observations to stats in
+// exactly the order the serial loop would have, which makes the resulting
+// table byte-for-byte identical for every worker count.
+func (c Config) sweep(names []string, cell cellFunc) *stats.Table {
+	c.validate()
+	m := grid.New(c.MeshSize, c.MeshSize)
+
+	type cellRef struct{ point, trial int }
+	cells := make([]cellRef, 0, len(c.FaultCounts)*c.Trials)
+	for p := range c.FaultCounts {
+		for t := 0; t < c.Trials; t++ {
+			cells = append(cells, cellRef{p, t})
+		}
+	}
+	values := make([][]float64, len(cells))
+	pool.ForEach(len(cells), c.Workers, func(i int) {
+		ref := cells[i]
+		n := c.FaultCounts[ref.point]
+		faults := fault.NewInjector(m, c.Model, c.seedFor(n, ref.trial)).Inject(n)
+		values[i] = cell(m, faults)
+	})
+
+	series := make([]*stats.Series, len(names))
+	for i, name := range names {
+		series[i] = stats.NewSeries(name)
+	}
+	for i, ref := range cells {
+		x := c.FaultCounts[ref.point]
+		for si, v := range values[i] {
+			series[si].Observe(x, v)
+		}
+	}
+	return &stats.Table{XLabel: "faults", Series: series}
+}

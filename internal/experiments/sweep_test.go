@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/stats"
+)
+
+// TestWorkersDeterminism is the contract of the parallel sweep engine:
+// every worker count produces byte-identical tables, because workers only
+// compute independent cells and the merge folds them in canonical order.
+func TestWorkersDeterminism(t *testing.T) {
+	for fig := 9; fig <= 11; fig++ {
+		for _, model := range []fault.Model{fault.Random, fault.Clustered} {
+			cfg := small(model)
+			cfg.Workers = 1
+			serial, err := Figure(fig, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range []int{0, 2, 8, 64} {
+				cfg.Workers = w
+				parallel, err := Figure(fig, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got, want := parallel.CSV(nil), serial.CSV(nil); got != want {
+					t.Fatalf("figure %d %v: workers=%d table differs from serial\nserial:\n%s\nparallel:\n%s",
+						fig, model, w, want, got)
+				}
+				if got, want := parallel.Format(stats.Log10), serial.Format(stats.Log10); got != want {
+					t.Fatalf("figure %d %v: workers=%d formatted table differs from serial", fig, model, w)
+				}
+			}
+		}
+	}
+}
+
+// More workers than cells must degrade gracefully to one goroutine per cell.
+func TestWorkersExceedCells(t *testing.T) {
+	cfg := small(fault.Random)
+	cfg.FaultCounts = []int{10}
+	cfg.Trials = 2
+	cfg.Workers = 16
+	tab := Figure9(cfg)
+	if p := tab.Series[0].At(10); p == nil || p.N() != 2 {
+		t.Fatalf("expected 2 observations at x=10, got %+v", p)
+	}
+}
+
+func TestNegativeWorkersPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Workers should panic")
+		}
+	}()
+	cfg := small(fault.Random)
+	cfg.Workers = -1
+	Figure9(cfg)
+}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/nodeset"
 	"repro/internal/polygon"
+	"repro/internal/pool"
 )
 
 // Result holds the minimum faulty polygons for a fault set.
@@ -45,7 +46,17 @@ type Result struct {
 
 // Build constructs minimum faulty polygons with the concave-section
 // solution: each component's polygon is its orthogonal convex closure.
+// Components are processed on one worker per available CPU; use
+// BuildWorkers to bound or disable the pool.
 func Build(m grid.Mesh, faults *nodeset.Set) *Result {
+	return BuildWorkers(m, faults, 0)
+}
+
+// BuildWorkers is Build with an explicit worker-pool bound: zero means one
+// worker per available CPU, one forces the serial path. Components are
+// disjoint sub-meshes, so they are closed independently and the polygons and
+// disabled set are identical for every worker count.
+func BuildWorkers(m grid.Mesh, faults *nodeset.Set, workers int) *Result {
 	res := &Result{
 		Mesh:       m,
 		Faults:     faults.Clone(),
@@ -53,9 +64,11 @@ func Build(m grid.Mesh, faults *nodeset.Set) *Result {
 		Disabled:   nodeset.New(m),
 	}
 	res.Polygons = make([]*nodeset.Set, len(res.Components))
-	for i, c := range res.Components {
-		res.Polygons[i] = c.Closure()
-		res.Disabled.UnionWith(res.Polygons[i])
+	pool.ForEach(len(res.Components), workers, func(i int) {
+		res.Polygons[i] = res.Components[i].Closure()
+	})
+	for _, p := range res.Polygons {
+		res.Disabled.UnionWith(p)
 	}
 	return res
 }
@@ -65,8 +78,15 @@ func Build(m grid.Mesh, faults *nodeset.Set) *Result {
 // component is grown by labelling scheme 1 inside its own bounding-box
 // sub-mesh (the virtual faulty block) and shrunk by labelling scheme 2; the
 // network-wide round count is the maximum over components because every
-// component's labelling proceeds concurrently.
+// component's labelling proceeds concurrently. Like Build, the emulation
+// fans components out to one worker per CPU; see BuildLabellingWorkers.
 func BuildLabelling(m grid.Mesh, faults *nodeset.Set) *Result {
+	return BuildLabellingWorkers(m, faults, 0)
+}
+
+// BuildLabellingWorkers is BuildLabelling with an explicit worker-pool
+// bound, with the same semantics as BuildWorkers.
+func BuildLabellingWorkers(m grid.Mesh, faults *nodeset.Set, workers int) *Result {
 	res := &Result{
 		Mesh:       m,
 		Faults:     faults.Clone(),
@@ -74,12 +94,14 @@ func BuildLabelling(m grid.Mesh, faults *nodeset.Set) *Result {
 		Disabled:   nodeset.New(m),
 	}
 	res.Polygons = make([]*nodeset.Set, len(res.Components))
-	for i, c := range res.Components {
-		poly, rounds := emulate(c)
-		res.Polygons[i] = poly
-		res.Disabled.UnionWith(poly)
-		if rounds > res.Rounds {
-			res.Rounds = rounds
+	rounds := make([]int, len(res.Components))
+	pool.ForEach(len(res.Components), workers, func(i int) {
+		res.Polygons[i], rounds[i] = emulate(res.Components[i])
+	})
+	for i, p := range res.Polygons {
+		res.Disabled.UnionWith(p)
+		if rounds[i] > res.Rounds {
+			res.Rounds = rounds[i]
 		}
 	}
 	return res

@@ -1,0 +1,76 @@
+package mfp
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/grid"
+)
+
+// TestBuildWorkersDeterminism: per-component parallelism must not change
+// the result — polygons (per index), disabled set and rounds are identical
+// for every worker count.
+func TestBuildWorkersDeterminism(t *testing.T) {
+	m := grid.New(60, 60)
+	faults := fault.NewInjector(m, fault.Clustered, 7).Inject(300)
+	serial := BuildWorkers(m, faults, 1)
+	serialLab := BuildLabellingWorkers(m, faults, 1)
+	for _, w := range []int{0, 2, 8, 64} {
+		par := BuildWorkers(m, faults, w)
+		if len(par.Polygons) != len(serial.Polygons) {
+			t.Fatalf("workers=%d: %d polygons, want %d", w, len(par.Polygons), len(serial.Polygons))
+		}
+		for i := range par.Polygons {
+			if !par.Polygons[i].Equal(serial.Polygons[i]) {
+				t.Fatalf("workers=%d: polygon %d differs from serial", w, i)
+			}
+		}
+		if !par.Disabled.Equal(serial.Disabled) {
+			t.Fatalf("workers=%d: disabled set differs from serial", w)
+		}
+		if err := par.Validate(); err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+
+		parLab := BuildLabellingWorkers(m, faults, w)
+		if !parLab.Disabled.Equal(serialLab.Disabled) {
+			t.Fatalf("workers=%d: labelling disabled set differs from serial", w)
+		}
+		if parLab.Rounds != serialLab.Rounds {
+			t.Fatalf("workers=%d: labelling rounds %d, want %d", w, parLab.Rounds, serialLab.Rounds)
+		}
+	}
+}
+
+// TestBuildConcurrent exercises the default (parallel) Build from many
+// goroutines at once on shared read-only inputs; `go test -race` turns this
+// into the data-race check the CI pipeline relies on.
+func TestBuildConcurrent(t *testing.T) {
+	m := grid.New(50, 50)
+	faults := fault.NewInjector(m, fault.Clustered, 3).Inject(200)
+	want := BuildWorkers(m, faults, 1)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got := Build(m, faults)
+			if !got.Disabled.Equal(want.Disabled) {
+				t.Error("concurrent Build produced a different disabled set")
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestBuildNoFaultsAllWorkers(t *testing.T) {
+	m := grid.New(10, 10)
+	faults := fault.NewInjector(m, fault.Random, 1).Inject(0)
+	for _, w := range []int{0, 1, 4} {
+		res := BuildWorkers(m, faults, w)
+		if len(res.Components) != 0 || !res.Disabled.Empty() {
+			t.Fatalf("workers=%d: empty fault set should give empty result", w)
+		}
+	}
+}

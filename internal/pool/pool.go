@@ -1,0 +1,46 @@
+// Package pool provides the bounded worker pool shared by the parallel
+// sweep engine (internal/experiments) and the per-component construction
+// (internal/mfp). Callers keep determinism by having workers write only
+// into per-index slots and folding the results serially in index order.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(i) for every i in [0, n) on a pool of at most workers
+// goroutines. workers <= 0 means one worker per available CPU; an effective
+// pool of one runs inline without spawning. fn must confine its writes to
+// per-index slots so results are independent of scheduling.
+func ForEach(n, workers int, fn func(int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

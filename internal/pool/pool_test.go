@@ -1,0 +1,30 @@
+package pool
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 100} {
+		for _, n := range []int{0, 1, 5, 64} {
+			visits := make([]atomic.Int32, max(n, 1))
+			ForEach(n, workers, func(i int) { visits[i].Add(1) })
+			for i := 0; i < n; i++ {
+				if got := visits[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachSerialOrder(t *testing.T) {
+	var order []int
+	ForEach(5, 1, func(i int) { order = append(order, i) })
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("serial path out of order: %v", order)
+		}
+	}
+}
