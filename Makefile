@@ -3,11 +3,22 @@
 GO ?= go
 BENCH_OUT ?= BENCH_sweep.json
 BENCH_TRIALS ?= 5
+# The committed baseline the bench job gates against; re-record it with
+# `make bench-baseline` when a PR changes performance on purpose.
+BASELINE ?= BENCH_baseline.json
+# Generous on purpose: the baseline is recorded on different hardware than
+# the CI runners, so the gate catches order-of-magnitude regressions
+# (accidental serialization, quadratic blowups), not micro-changes.
+TOLERANCE ?= 2.50
+COVER_OUT ?= coverage.out
 
-.PHONY: all build test race bench bench-json bench-check lint fmt clean
+.PHONY: all build test race cover bench bench-json bench-check bench-baseline lint staticcheck fmt clean
 
 all: lint build test
 
+# Compiles every package in the module; ./... includes every command under
+# ./cmd/... and every runnable example under ./examples/..., so example rot
+# fails CI, not the next reader.
 build:
 	$(GO) build ./...
 
@@ -17,6 +28,13 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Race-enabled tests with a coverage profile; prints per-package coverage
+# (CI puts this in the job summary and archives $(COVER_OUT) per PR). One
+# run gives both signals — atomic is the required covermode under -race.
+cover:
+	$(GO) test -race -coverprofile=$(COVER_OUT) -covermode=atomic ./...
+	$(GO) tool cover -func=$(COVER_OUT) | tail -n 1
+
 # One iteration of every Go benchmark, no unit tests — the CI smoke run.
 bench:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...
@@ -25,16 +43,29 @@ bench:
 bench-json:
 	$(GO) run ./cmd/mfpsim -bench-json -trials $(BENCH_TRIALS) -bench-out $(BENCH_OUT)
 
-# Same sweep, diffed against a previous report: make bench-check BASELINE=old.json
+# Same sweep, diffed against the committed baseline (or BASELINE=other.json);
+# exits non-zero on regressions past TOLERANCE. CI runs this on every PR.
 bench-check:
-	$(GO) run ./cmd/mfpsim -bench-json -trials $(BENCH_TRIALS) -bench-out $(BENCH_OUT) -bench-compare $(BASELINE)
+	$(GO) run ./cmd/mfpsim -bench-json -trials $(BENCH_TRIALS) -bench-out $(BENCH_OUT) -bench-compare $(BASELINE) -bench-tolerance $(TOLERANCE)
 
+# Re-record the committed baseline after an intentional performance change:
+#   make bench-baseline && git add BENCH_baseline.json
+bench-baseline:
+	$(GO) run ./cmd/mfpsim -bench-json -trials $(BENCH_TRIALS) -bench-out $(BASELINE)
+
+# gofmt gate + go vet always; staticcheck when installed (the dedicated CI
+# job installs it and runs `make staticcheck`, which does not skip).
 lint:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt -w needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "staticcheck not installed; skipped (CI enforces it via make staticcheck)"; fi
+
+staticcheck:
+	staticcheck ./...
 
 fmt:
 	gofmt -w .
 
 clean:
-	rm -f $(BENCH_OUT)
+	rm -f $(BENCH_OUT) $(COVER_OUT)

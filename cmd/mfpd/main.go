@@ -1,0 +1,64 @@
+// Command mfpd is the long-lived fault-region service: it maintains the
+// minimum faulty polygons of a mesh incrementally (internal/engine) while
+// accepting batched fault-event streams over HTTP and answering status and
+// polygon queries from immutable snapshots, so heavy read traffic never
+// waits on fault churn.
+//
+// Usage:
+//
+//	mfpd                       # 100x100 mesh on :8080
+//	mfpd -mesh 256 -addr :9000
+//
+// API (all responses are JSON):
+//
+//	POST /events    body: [{"op":"add","x":3,"y":4},{"op":"clear",...},...]
+//	                Applies the batch atomically; duplicate adds and clears
+//	                of healthy nodes are counted as ignored, not errors.
+//	GET  /status?x=3&y=4   -> {"x":3,"y":4,"class":"safe","version":17}
+//	GET  /polygons         -> every component's minimum faulty polygon
+//	GET  /stats            -> fault/component/disabled counts and metrics
+//	GET  /healthz          -> 200 ok
+//
+// Every query is served from the engine snapshot current at arrival time:
+// a batch posted concurrently is observed either entirely or not at all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/grid"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	mesh := flag.Int("mesh", 100, "mesh side length n of the n×n mesh")
+	flag.Parse()
+
+	if *mesh <= 0 {
+		fmt.Fprintf(os.Stderr, "mfpd: -mesh must be positive, got %d\n", *mesh)
+		os.Exit(2)
+	}
+	eng, err := engine.New(grid.New(*mesh, *mesh))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mfpd:", err)
+		os.Exit(2)
+	}
+	log.Printf("mfpd: serving %v on %s", eng.Mesh(), *addr)
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: newServer(eng),
+		// Every request is a small JSON exchange answered from an in-memory
+		// snapshot; anything slow is a stuck client, and zero timeouts
+		// would let such connections pin goroutines forever.
+		ReadTimeout:  10 * time.Second,
+		WriteTimeout: 30 * time.Second,
+		IdleTimeout:  2 * time.Minute,
+	}
+	log.Fatal(srv.ListenAndServe())
+}

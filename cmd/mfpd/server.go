@@ -1,0 +1,181 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/engine"
+	"repro/internal/grid"
+	"repro/internal/nodeset"
+)
+
+// server exposes one engine over HTTP. Handlers read a single snapshot up
+// front and answer entirely from it, so every response is internally
+// consistent even while event batches land.
+type server struct {
+	eng *engine.Engine
+	mux *http.ServeMux
+}
+
+func newServer(eng *engine.Engine) *server {
+	s := &server{eng: eng, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/events", s.handleEvents)
+	s.mux.HandleFunc("/status", s.handleStatus)
+	s.mux.HandleFunc("/polygons", s.handlePolygons)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+type errorReply struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorReply{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+type eventsReply struct {
+	// Version is the engine version after the batch; Applied counts the
+	// events that changed state, Ignored the duplicate adds and clears of
+	// healthy nodes.
+	Version    uint64 `json:"version"`
+	Applied    int    `json:"applied"`
+	Ignored    int    `json:"ignored"`
+	Faults     int    `json:"faults"`
+	Components int    `json:"components"`
+}
+
+// maxEventBody bounds the /events request body (~8 MiB, hundreds of
+// thousands of events) so an oversized or endless body cannot exhaust the
+// service's memory.
+const maxEventBody = 8 << 20
+
+func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST a JSON array of events")
+		return
+	}
+	var events []engine.Event
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxEventBody)).Decode(&events); err != nil {
+		writeError(w, http.StatusBadRequest, "bad event batch: %v", err)
+		return
+	}
+	// Apply returns the snapshot it published, so the reply describes this
+	// batch's outcome even when other batches land concurrently.
+	applied, snap, err := s.eng.Apply(events)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, eventsReply{
+		Version:    snap.Version(),
+		Applied:    applied,
+		Ignored:    len(events) - applied,
+		Faults:     snap.Faults().Len(),
+		Components: len(snap.Polygons()),
+	})
+}
+
+type statusReply struct {
+	X       int    `json:"x"`
+	Y       int    `json:"y"`
+	Class   string `json:"class"`
+	Version uint64 `json:"version"`
+}
+
+func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	x, errX := strconv.Atoi(r.URL.Query().Get("x"))
+	y, errY := strconv.Atoi(r.URL.Query().Get("y"))
+	if errX != nil || errY != nil {
+		writeError(w, http.StatusBadRequest, "need integer x and y query parameters")
+		return
+	}
+	node := grid.XY(x, y)
+	snap := s.eng.Snapshot()
+	if !snap.Mesh().Contains(node) {
+		writeError(w, http.StatusBadRequest, "%v outside %v", node, snap.Mesh())
+		return
+	}
+	writeJSON(w, http.StatusOK, statusReply{
+		X: x, Y: y,
+		Class:   snap.Class(node).String(),
+		Version: snap.Version(),
+	})
+}
+
+type xy struct {
+	X int `json:"x"`
+	Y int `json:"y"`
+}
+
+func coords(set *nodeset.Set) []xy {
+	out := make([]xy, 0, set.Len())
+	set.Each(func(c grid.Coord) { out = append(out, xy{c.X, c.Y}) })
+	return out
+}
+
+type polygonReply struct {
+	// Faults are the component's faulty nodes, Polygon its minimum
+	// faulty polygon (faults included), both in row-major order.
+	Faults  []xy `json:"faults"`
+	Polygon []xy `json:"polygon"`
+}
+
+type polygonsReply struct {
+	Version  uint64         `json:"version"`
+	Polygons []polygonReply `json:"polygons"`
+}
+
+func (s *server) handlePolygons(w http.ResponseWriter, r *http.Request) {
+	snap := s.eng.Snapshot()
+	reply := polygonsReply{Version: snap.Version(), Polygons: make([]polygonReply, len(snap.Polygons()))}
+	for i, poly := range snap.Polygons() {
+		reply.Polygons[i] = polygonReply{
+			Faults:  coords(snap.Components()[i].Nodes),
+			Polygon: coords(poly),
+		}
+	}
+	writeJSON(w, http.StatusOK, reply)
+}
+
+type statsReply struct {
+	Version           uint64  `json:"version"`
+	MeshWidth         int     `json:"mesh_width"`
+	MeshHeight        int     `json:"mesh_height"`
+	Faults            int     `json:"faults"`
+	Components        int     `json:"components"`
+	Disabled          int     `json:"disabled"`
+	DisabledNonFaulty int     `json:"disabled_non_faulty"`
+	Unsafe            int     `json:"unsafe"`
+	MeanPolygonSize   float64 `json:"mean_polygon_size"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	snap := s.eng.Snapshot()
+	writeJSON(w, http.StatusOK, statsReply{
+		Version:           snap.Version(),
+		MeshWidth:         snap.Mesh().W,
+		MeshHeight:        snap.Mesh().H,
+		Faults:            snap.Faults().Len(),
+		Components:        len(snap.Polygons()),
+		Disabled:          snap.Disabled().Len(),
+		DisabledNonFaulty: snap.DisabledNonFaulty(),
+		Unsafe:            snap.Unsafe().Len(),
+		MeanPolygonSize:   snap.MeanPolygonSize(),
+	})
+}

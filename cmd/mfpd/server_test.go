@@ -1,0 +1,211 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/grid"
+)
+
+func newTestServer(t *testing.T, n int) (*httptest.Server, *engine.Engine) {
+	t.Helper()
+	eng, err := engine.New(grid.New(n, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(eng))
+	t.Cleanup(ts.Close)
+	return ts, eng
+}
+
+func postEvents(t *testing.T, ts *httptest.Server, events []engine.Event) (eventsReply, *http.Response) {
+	t.Helper()
+	body, err := json.Marshal(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/events", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var reply eventsReply
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return reply, resp
+}
+
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK && out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp
+}
+
+func TestEventBatchAndQueries(t *testing.T) {
+	ts, _ := newTestServer(t, 12)
+
+	var health map[string]string
+	if resp := getJSON(t, ts.URL+"/healthz", &health); resp.StatusCode != 200 || health["status"] != "ok" {
+		t.Fatalf("healthz: %d %v", resp.StatusCode, health)
+	}
+
+	// A V of three faults plus a duplicate add: 3 applied, 1 ignored. Its
+	// polygon fills the concave row gap at (5,4); its faulty block grows
+	// to the full [4..6]x[4..5] rectangle.
+	reply, resp := postEvents(t, ts, []engine.Event{
+		{Op: engine.Add, Node: grid.XY(4, 4)},
+		{Op: engine.Add, Node: grid.XY(6, 4)},
+		{Op: engine.Add, Node: grid.XY(5, 5)},
+		{Op: engine.Add, Node: grid.XY(4, 4)},
+	})
+	if resp.StatusCode != 200 {
+		t.Fatalf("events: status %d", resp.StatusCode)
+	}
+	if reply.Applied != 3 || reply.Ignored != 1 || reply.Faults != 3 || reply.Components != 1 {
+		t.Fatalf("events reply: %+v", reply)
+	}
+
+	// The concave gap is disabled, a block-only node is enabled, a remote
+	// node is safe, a fault is faulty.
+	for _, tc := range []struct {
+		x, y int
+		want string
+	}{
+		{4, 4, "faulty"},
+		{5, 4, "disabled"},
+		{4, 5, "enabled"},
+		{0, 0, "safe"},
+	} {
+		var st statusReply
+		if resp := getJSON(t, fmt.Sprintf("%s/status?x=%d&y=%d", ts.URL, tc.x, tc.y), &st); resp.StatusCode != 200 {
+			t.Fatalf("status(%d,%d): %d", tc.x, tc.y, resp.StatusCode)
+		}
+		if st.Class != tc.want {
+			t.Fatalf("status(%d,%d) = %q, want %q", tc.x, tc.y, st.Class, tc.want)
+		}
+	}
+
+	var polys polygonsReply
+	getJSON(t, ts.URL+"/polygons", &polys)
+	if len(polys.Polygons) != 1 || len(polys.Polygons[0].Faults) != 3 || len(polys.Polygons[0].Polygon) != 4 {
+		t.Fatalf("polygons reply: %+v", polys)
+	}
+
+	var stats statsReply
+	getJSON(t, ts.URL+"/stats", &stats)
+	if stats.Faults != 3 || stats.Components != 1 || stats.Disabled != 4 || stats.DisabledNonFaulty != 1 || stats.Unsafe != 6 {
+		t.Fatalf("stats reply: %+v", stats)
+	}
+	if stats.Version != reply.Version {
+		t.Fatalf("stats version %d, events reply said %d", stats.Version, reply.Version)
+	}
+
+	// Clearing every fault empties the service.
+	reply, _ = postEvents(t, ts, []engine.Event{
+		{Op: engine.Clear, Node: grid.XY(4, 4)},
+		{Op: engine.Clear, Node: grid.XY(6, 4)},
+		{Op: engine.Clear, Node: grid.XY(5, 5)},
+	})
+	if reply.Faults != 0 || reply.Components != 0 {
+		t.Fatalf("after teardown: %+v", reply)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	ts, _ := newTestServer(t, 8)
+
+	if _, resp := postEvents(t, ts, []engine.Event{{Op: engine.Add, Node: grid.XY(42, 0)}}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("out-of-mesh event: status %d", resp.StatusCode)
+	}
+	resp, err := http.Post(ts.URL+"/events", "application/json", bytes.NewReader([]byte(`{"not":"an array"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body: status %d", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/events", nil); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /events: status %d", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/status?x=nope&y=2", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad status query: status %d", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/status?x=99&y=0", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("out-of-mesh status query: status %d", resp.StatusCode)
+	}
+}
+
+// Concurrent readers against a writer posting batches: every response must
+// be internally consistent (served from one snapshot), which -race plus
+// the invariant checks below verify.
+func TestConcurrentQueriesUnderLoad(t *testing.T) {
+	ts, _ := newTestServer(t, 24)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var stats statsReply
+				if resp := getJSON(t, ts.URL+"/stats", &stats); resp.StatusCode != 200 {
+					t.Errorf("stats under load: %d", resp.StatusCode)
+					return
+				}
+				if stats.DisabledNonFaulty < 0 || stats.Disabled > stats.Unsafe {
+					t.Errorf("inconsistent stats under load: %+v", stats)
+					return
+				}
+				var st statusReply
+				if resp := getJSON(t, fmt.Sprintf("%s/status?x=%d&y=%d", ts.URL, rng.Intn(24), rng.Intn(24)), &st); resp.StatusCode != 200 {
+					t.Errorf("status under load: %d", resp.StatusCode)
+					return
+				}
+			}
+		}(int64(r))
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 50; i++ {
+		batch := make([]engine.Event, 0, 8)
+		for j := 0; j < 8; j++ {
+			op := engine.Add
+			if rng.Intn(2) == 0 {
+				op = engine.Clear
+			}
+			batch = append(batch, engine.Event{Op: op, Node: grid.XY(rng.Intn(24), rng.Intn(24))})
+		}
+		if _, resp := postEvents(t, ts, batch); resp.StatusCode != 200 {
+			t.Fatalf("batch %d: status %d", i, resp.StatusCode)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -10,6 +10,8 @@ import (
 	"time"
 
 	"repro/internal/benchfmt"
+	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/fault"
 	"repro/internal/grid"
@@ -55,11 +57,12 @@ func timeIt(iterations int, fn func()) (float64, int) {
 }
 
 // runBenchSweep times every requested figure sweep, plus the paper's
-// largest single construction (mfp.Build on 800 clustered faults), at each
-// worker count, and returns the report with speedups filled in. maxWorkers
-// caps the timed pool sizes (the -workers flag); zero means up to one
-// worker per CPU.
-func runBenchSweep(models []fault.Model, figures []int, cfg experiments.Config, iterations, maxWorkers int) (*benchfmt.Report, error) {
+// largest single construction (mfp.Build on 800 clustered faults) at each
+// worker count, plus the churn scenario (incremental engine vs full
+// rebuild per event), and returns the report with speedups filled in.
+// maxWorkers caps the timed pool sizes (the -workers flag); zero means up
+// to one worker per CPU.
+func runBenchSweep(models []fault.Model, figures []int, cfg experiments.Config, churn experiments.ChurnConfig, iterations, maxWorkers int) (*benchfmt.Report, error) {
 	if iterations < 1 {
 		iterations = 1
 	}
@@ -117,7 +120,85 @@ func runBenchSweep(models []fault.Model, figures []int, cfg experiments.Config, 
 	}
 
 	rep.ComputeSpeedups()
+
+	// The churn workload compares replay strategies, not pool sizes, so
+	// its two records share the workload name with a strategy suffix and
+	// carry a hand-filled speedup (rebuild time over incremental time).
+	// They are added after ComputeSpeedups, which only knows worker-count
+	// baselines and would reset the field.
+	rebuildSecs, rebuildIters := timeIt(iterations, func() { experiments.ChurnRebuild(churn) })
+	var churnErr error
+	incSecs, incIters := timeIt(iterations, func() {
+		if _, err := experiments.ChurnIncremental(churn); err != nil {
+			churnErr = err
+		}
+	})
+	if churnErr != nil {
+		return nil, churnErr
+	}
+	rep.Add(benchfmt.Record{
+		Name: churn.Name() + "/rebuild", Workers: 1,
+		Iterations: rebuildIters, Seconds: rebuildSecs,
+	})
+	rep.Add(benchfmt.Record{
+		Name: churn.Name() + "/incremental", Workers: 1,
+		Iterations: incIters, Seconds: incSecs,
+		Speedup: rebuildSecs / incSecs,
+	})
 	return rep, nil
+}
+
+// runChurnReport is the human-readable -churn mode: it times both replay
+// strategies of the scenario once, differentially checks that they land on
+// the same state, and prints the speedup. The timed closures capture their
+// last results, so the differential check reuses them instead of replaying
+// the scenario a second time.
+func runChurnReport(w io.Writer, cfg experiments.ChurnConfig) error {
+	seq := cfg.Sequence()
+	var full *core.Construction
+	rebuildSecs, _ := timeIt(1, func() { full = experiments.ChurnRebuild(cfg) })
+	var snap *engine.Snapshot
+	var incErr error
+	incSecs, _ := timeIt(1, func() { snap, incErr = experiments.ChurnIncremental(cfg) })
+	if incErr != nil {
+		return incErr
+	}
+
+	if err := churnDiff(snap, full); err != nil {
+		return err
+	}
+
+	perEvent := incSecs / float64(len(seq))
+	fmt.Fprintf(w, "churn scenario %s (%d events incl. warm-up)\n", cfg.Name(), len(seq))
+	fmt.Fprintf(w, "  full rebuild per event: %10.4fs total\n", rebuildSecs)
+	fmt.Fprintf(w, "  incremental engine:     %10.4fs total  (%.1fµs/event)\n", incSecs, perEvent*1e6)
+	fmt.Fprintf(w, "  speedup:                %9.1fx\n", rebuildSecs/incSecs)
+	fmt.Fprintf(w, "  differential check:     OK (final states identical)\n")
+	return nil
+}
+
+// churnDiff asserts the incremental snapshot and the from-scratch
+// construction describe the same state: fault set, every polygon, the
+// disabled union and the scheme-1 unsafe set (the sets every per-node
+// status is derived from), plus the snapshot's own invariants.
+func churnDiff(snap *engine.Snapshot, full *core.Construction) error {
+	switch {
+	case !snap.Faults().Equal(full.Faults):
+		return fmt.Errorf("churn differential check failed: fault sets diverge")
+	case len(snap.Polygons()) != len(full.Minimum.Polygons):
+		return fmt.Errorf("churn differential check failed: %d polygons vs %d rebuilt",
+			len(snap.Polygons()), len(full.Minimum.Polygons))
+	case !snap.Disabled().Equal(full.Minimum.Disabled):
+		return fmt.Errorf("churn differential check failed: disabled sets diverge")
+	case !snap.Unsafe().Equal(full.Blocks.Unsafe):
+		return fmt.Errorf("churn differential check failed: unsafe sets diverge")
+	}
+	for i, p := range snap.Polygons() {
+		if !p.Equal(full.Minimum.Polygons[i]) {
+			return fmt.Errorf("churn differential check failed: polygon %d diverges", i)
+		}
+	}
+	return snap.Validate()
 }
 
 // faultsLabel renders the swept fault counts compactly but exactly: the

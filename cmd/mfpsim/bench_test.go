@@ -44,11 +44,12 @@ func TestRunBenchSweepAndReport(t *testing.T) {
 		Trials:      2,
 		BaseSeed:    5,
 	}
-	rep, err := runBenchSweep([]fault.Model{fault.Random}, []int{9}, cfg, 1, 0)
+	churn := experiments.ChurnConfig{MeshSize: 20, Faults: 6, Events: 20, BaseSeed: 5}
+	rep, err := runBenchSweep([]fault.Model{fault.Random}, []int{9}, cfg, churn, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var sawSweepSerial, sawBuild bool
+	var sawSweepSerial, sawBuild, sawChurnRebuild, sawChurnIncremental bool
 	for _, rec := range rep.Records {
 		if strings.HasPrefix(rec.Name, "figure9/random/") && rec.Workers == 1 {
 			sawSweepSerial = true
@@ -59,11 +60,23 @@ func TestRunBenchSweepAndReport(t *testing.T) {
 		if strings.HasPrefix(rec.Name, "mfp.Build/") {
 			sawBuild = true
 		}
+		if rec.Name == churn.Name()+"/rebuild" {
+			sawChurnRebuild = true
+		}
+		if rec.Name == churn.Name()+"/incremental" {
+			sawChurnIncremental = true
+			// The hand-filled incremental-vs-rebuild speedup must survive
+			// the report pipeline (ComputeSpeedups only knows
+			// worker-count baselines).
+			if rec.Speedup <= 0 {
+				t.Fatalf("churn incremental record lost its speedup: %+v", rec)
+			}
+		}
 		if rec.Seconds <= 0 {
 			t.Fatalf("record %q has non-positive time %v", rec.Name, rec.Seconds)
 		}
 	}
-	if !sawSweepSerial || !sawBuild {
+	if !sawSweepSerial || !sawBuild || !sawChurnRebuild || !sawChurnIncremental {
 		t.Fatalf("report misses expected workloads: %+v", rep.Records)
 	}
 
@@ -125,7 +138,8 @@ func TestTimeItCalibrates(t *testing.T) {
 
 func TestRunBenchSweepRejectsUnknownFigure(t *testing.T) {
 	cfg := experiments.Config{MeshSize: 10, FaultCounts: []int{5}, Trials: 1, BaseSeed: 1}
-	if _, err := runBenchSweep([]fault.Model{fault.Random}, []int{12}, cfg, 1, 0); err == nil {
+	churn := experiments.ChurnConfig{MeshSize: 10, Faults: 2, Events: 4, BaseSeed: 1}
+	if _, err := runBenchSweep([]fault.Model{fault.Random}, []int{12}, cfg, churn, 1, 0); err == nil {
 		t.Fatal("figure 12 should be rejected")
 	}
 }
@@ -133,7 +147,8 @@ func TestRunBenchSweepRejectsUnknownFigure(t *testing.T) {
 // The -workers flag caps the timed pool sizes in -bench-json mode.
 func TestRunBenchSweepHonorsWorkersCap(t *testing.T) {
 	cfg := experiments.Config{MeshSize: 15, FaultCounts: []int{5}, Trials: 1, BaseSeed: 3}
-	rep, err := runBenchSweep([]fault.Model{fault.Random}, []int{9}, cfg, 1, 2)
+	churn := experiments.ChurnConfig{MeshSize: 15, Faults: 2, Events: 4, BaseSeed: 3}
+	rep, err := runBenchSweep([]fault.Model{fault.Random}, []int{9}, cfg, churn, 1, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,5 +163,19 @@ func TestCompareBenchReportMissingBaseline(t *testing.T) {
 	rep := benchfmt.New("go", 1)
 	if _, err := compareBenchReport(filepath.Join(t.TempDir(), "nope.json"), rep, 1.3); err == nil {
 		t.Fatal("missing baseline file should error")
+	}
+}
+
+func TestRunChurnReport(t *testing.T) {
+	var buf strings.Builder
+	cfg := experiments.ChurnConfig{MeshSize: 24, Faults: 8, Events: 30, BaseSeed: 4}
+	if err := runChurnReport(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{cfg.Name(), "speedup:", "differential check:     OK"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("churn report misses %q:\n%s", want, out)
+		}
 	}
 }

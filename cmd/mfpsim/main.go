@@ -11,6 +11,7 @@
 //	mfpsim -workers 8                        # bound the sweep's worker pool
 //	mfpsim -bench-json                       # timing sweep -> BENCH_sweep.json
 //	mfpsim -bench-json -bench-compare old.json  # fail on perf regressions
+//	mfpsim -churn 200                        # incremental vs rebuild speedup
 //
 // Figure 9 tables are printed as log10 of the disabled-node count, matching
 // the paper's y-axis; -csv always emits raw values.
@@ -18,8 +19,16 @@
 // Sweeps fan their (faultCount, trial) cells out to -workers goroutines
 // (default: one per CPU) and produce identical tables for every worker
 // count. -bench-json times each requested sweep and a paper-scale
-// mfp.Build at several pool sizes and writes the machine-readable report
-// that CI archives per commit (see internal/benchfmt).
+// mfp.Build at several pool sizes, plus the fixed churn scenario
+// (incremental engine vs full rebuild per fault event), and writes the
+// machine-readable report that CI archives per commit and diffs against
+// the committed BENCH_baseline.json (see internal/benchfmt).
+//
+// -churn N runs the fault arrival/repair scenario of
+// internal/experiments once: N events at steady state (default 1% density,
+// override with -faults taking the first count) replayed both through the
+// incremental engine and through a from-scratch core.Construct per event,
+// differentially checked and reported with the speedup.
 package main
 
 import (
@@ -49,6 +58,7 @@ func main() {
 	benchIter := flag.Int("bench-iter", 1, "iterations per timed workload in -bench-json mode")
 	benchCompare := flag.String("bench-compare", "", "baseline report to diff the -bench-json run against; regressions exit non-zero")
 	benchTolerance := flag.Float64("bench-tolerance", 1.30, "slowdown ratio tolerated by -bench-compare")
+	churn := flag.Int("churn", 0, "run the fault-churn scenario with this many events and report the incremental-vs-rebuild speedup")
 	flag.Parse()
 
 	if *workers < 0 {
@@ -59,6 +69,12 @@ func main() {
 	}
 	if *verify && *benchJSON {
 		fatal(fmt.Errorf("-bench-json cannot be combined with -verify"))
+	}
+	if *churn < 0 {
+		fatal(fmt.Errorf("-churn must be >= 0, got %d", *churn))
+	}
+	if *churn > 0 && (*verify || *benchJSON) {
+		fatal(fmt.Errorf("-churn cannot be combined with -verify or -bench-json"))
 	}
 	if !*benchJSON {
 		// The bench flags only act in -bench-json mode; reject them there so
@@ -96,6 +112,18 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	if *churn > 0 {
+		cfg := churnConfig(*mesh, counts, *churn, *seed)
+		if cfg.Faults > *mesh**mesh {
+			fatal(fmt.Errorf("-faults %d exceeds the %dx%d mesh", cfg.Faults, *mesh, *mesh))
+		}
+		if err := runChurnReport(os.Stdout, cfg); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	figures := []int{9, 10, 11}
 	if *figure != 0 {
 		figures = []int{*figure}
@@ -108,7 +136,7 @@ func main() {
 		if len(counts) > 0 {
 			cfg.FaultCounts = counts
 		}
-		rep, err := runBenchSweep(models, figures, cfg, *benchIter, *workers)
+		rep, err := runBenchSweep(models, figures, cfg, experiments.DefaultChurn(), *benchIter, *workers)
 		if err != nil {
 			fatal(err)
 		}
@@ -163,6 +191,20 @@ func main() {
 			fmt.Println()
 		}
 	}
+}
+
+// churnConfig derives the -churn scenario from the shared flags: the
+// steady-state fault count is the first -faults entry, defaulting to the
+// paper's 1% density (and at least one fault on tiny meshes).
+func churnConfig(mesh int, counts []int, events int, seed int64) experiments.ChurnConfig {
+	faults := mesh * mesh / 100
+	if len(counts) > 0 {
+		faults = counts[0]
+	}
+	if faults < 1 {
+		faults = 1
+	}
+	return experiments.ChurnConfig{MeshSize: mesh, Faults: faults, Events: events, BaseSeed: seed}
 }
 
 func figureCaption(fig int) string {

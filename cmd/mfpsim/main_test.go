@@ -49,3 +49,16 @@ func TestFigureCaption(t *testing.T) {
 		t.Fatal("caption for unknown figure")
 	}
 }
+
+func TestChurnConfigFromFlags(t *testing.T) {
+	cfg := churnConfig(100, nil, 200, 1)
+	if cfg.MeshSize != 100 || cfg.Faults != 100 || cfg.Events != 200 || cfg.BaseSeed != 1 {
+		t.Fatalf("default churn config: %+v", cfg)
+	}
+	if got := churnConfig(50, []int{30, 60}, 10, 2).Faults; got != 30 {
+		t.Fatalf("explicit -faults ignored: %d", got)
+	}
+	if got := churnConfig(5, nil, 10, 1).Faults; got != 1 {
+		t.Fatalf("tiny mesh floor: %d faults, want 1", got)
+	}
+}

@@ -15,7 +15,19 @@
 // trial) cell out to a bounded worker pool and merges results in canonical
 // order, so sweeps are deterministic at any worker count; mfpsim's -workers
 // flag bounds the pool and -bench-json writes the machine-readable timing
-// report (internal/benchfmt) that CI archives per commit. README.md
-// documents the parallel sweep and the Makefile targets that CI
-// (.github/workflows/ci.yml) runs.
+// report (internal/benchfmt) that CI archives per commit and diffs against
+// the committed BENCH_baseline.json.
+//
+// Beyond the paper's static setting, internal/engine maintains the
+// constructions incrementally under fault churn: AddFault recomputes only
+// the component the event merges, ClearFault re-splits only the component
+// that lost the fault, and immutable snapshots share untouched polygons
+// copy-on-write. cmd/mfpd serves the engine as a long-lived HTTP service
+// (batched fault events in, status/polygon queries out), cmd/mfpsim
+// -churn and the churn records of -bench-json quantify the
+// incremental-vs-rebuild speedup, and examples/churn is the runnable
+// walkthrough. Every snapshot is differentially tested against a
+// from-scratch core.Construct. README.md documents the parallel sweep,
+// the engine, and the Makefile targets that CI (.github/workflows/ci.yml)
+// runs.
 package repro

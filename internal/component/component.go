@@ -33,18 +33,28 @@ type Component struct {
 // Find runs the merge process over the fault set and returns the components
 // in deterministic (row-major seed) order.
 func Find(faults *nodeset.Set) []*Component {
-	m := faults.Mesh()
 	regions := polygon.Regions8(faults)
 	out := make([]*Component, len(regions))
 	for i, r := range regions {
-		c := &Component{Nodes: r, mesh: m}
-		if m.Torus {
-			c.OffX, c.OffY = unwrapOffsets(m, r)
-		}
-		c.Bounds = c.Unwrapped().Bounds()
-		out[i] = c
+		out[i] = New(faults.Mesh(), r)
 	}
 	return out
+}
+
+// New wraps an existing node set into a Component, computing the unwrap
+// offsets and bounding rectangle exactly as Find does. nodes must be a
+// single non-empty 8-connected region over m; the component takes ownership
+// of the set, so callers that keep mutating it must pass a clone. It is the
+// entry point for incremental maintainers that form components themselves
+// (merging on fault arrival, splitting on repair) instead of re-running the
+// merge process over the whole fault set.
+func New(m grid.Mesh, nodes *nodeset.Set) *Component {
+	c := &Component{Nodes: nodes, mesh: m}
+	if m.Torus {
+		c.OffX, c.OffY = unwrapOffsets(m, nodes)
+	}
+	c.Bounds = c.Unwrapped().Bounds()
+	return c
 }
 
 // unwrapOffsets picks translations making the region contiguous per

@@ -199,3 +199,25 @@ func TestClosureOverlapSemantics(t *testing.T) {
 		t.Fatal("the U's closure must cover the inner component (overlapping polygons)")
 	}
 }
+
+// New must agree with Find on every component it would have produced, on
+// meshes and tori alike, so incremental maintainers can form components
+// without re-running the global merge process.
+func TestNewMatchesFind(t *testing.T) {
+	for _, m := range []grid.Mesh{grid.New(16, 16), grid.NewTorus(16, 16)} {
+		faults := fault.NewInjector(m, fault.Clustered, 11).Inject(30)
+		for _, want := range Find(faults) {
+			got := New(m, want.Nodes.Clone())
+			if !got.Nodes.Equal(want.Nodes) {
+				t.Fatalf("%v: New changed the node set", m)
+			}
+			if got.Bounds != want.Bounds || got.OffX != want.OffX || got.OffY != want.OffY {
+				t.Fatalf("%v: New bounds/offsets %v %d,%d want %v %d,%d",
+					m, got.Bounds, got.OffX, got.OffY, want.Bounds, want.OffX, want.OffY)
+			}
+			if !got.Closure().Equal(want.Closure()) {
+				t.Fatalf("%v: New closure differs from Find closure", m)
+			}
+		}
+	}
+}

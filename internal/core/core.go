@@ -112,16 +112,7 @@ func (c *Construction) disabledSet(m Model) *nodeset.Set {
 // (unsafe but enabled — inside a faulty block yet outside the polygon) or
 // safe.
 func (c *Construction) Class(m Model, node grid.Coord) status.Class {
-	switch {
-	case c.Faults.Has(node):
-		return status.Faulty
-	case c.disabledSet(m).Has(node):
-		return status.Disabled
-	case c.Blocks.Unsafe.Has(node):
-		return status.Enabled
-	default:
-		return status.Safe
-	}
+	return status.Classify(c.Faults.Has(node), c.disabledSet(m).Has(node), c.Blocks.Unsafe.Has(node))
 }
 
 // Disabled returns the set of nodes excluded from routing under the model

@@ -1,0 +1,72 @@
+package engine_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/grid"
+)
+
+// steadyState returns an engine at the paper's 1% fault density and a
+// deterministic rng for drawing churn.
+func steadyState(b *testing.B) (*engine.Engine, *rand.Rand) {
+	b.Helper()
+	m := grid.New(100, 100)
+	e, err := engine.New(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fault.NewInjector(m, fault.Clustered, 1).Inject(100).Each(func(c grid.Coord) {
+		e.AddFault(c)
+	})
+	return e, rand.New(rand.NewSource(2))
+}
+
+// One incremental add+clear pair at steady state — the engine's hot path.
+// The clear undoes the add, so the density stays at 1% for every
+// iteration, mirroring BenchmarkFullRebuildPerEvent exactly.
+func BenchmarkEngineAddClearPair(b *testing.B) {
+	e, rng := steadyState(b)
+	m := e.Mesh()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := grid.XY(rng.Intn(m.W), rng.Intn(m.H))
+		if e.AddFault(c) {
+			e.ClearFault(c)
+		}
+	}
+}
+
+// The same event pair answered by a full rebuild — what replacing the
+// engine with core.Construct per event would cost.
+func BenchmarkFullRebuildPerEvent(b *testing.B) {
+	m := grid.New(100, 100)
+	faults := fault.NewInjector(m, fault.Clustered, 1).Inject(100)
+	rng := rand.New(rand.NewSource(2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := grid.XY(rng.Intn(m.W), rng.Intn(m.H))
+		added := faults.Add(c)
+		core.Construct(m, faults, core.Options{Workers: 1})
+		if added {
+			faults.Remove(c)
+		}
+		core.Construct(m, faults, core.Options{Workers: 1})
+	}
+}
+
+func BenchmarkSnapshotQuery(b *testing.B) {
+	e, rng := steadyState(b)
+	m := e.Mesh()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap := e.Snapshot()
+		_ = snap.Class(grid.XY(rng.Intn(m.W), rng.Intn(m.H)))
+	}
+}

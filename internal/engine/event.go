@@ -1,0 +1,47 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/grid"
+)
+
+// wireEvent is the JSON shape of an Event, the element type of the batched
+// event streams mfpd accepts: {"op":"add","x":3,"y":4}. Fields are
+// pointers so a missing (or misspelled) field is distinguishable from a
+// legitimate zero — a corrupt event must be rejected, not silently decoded
+// as a fault at the origin.
+type wireEvent struct {
+	Op *string `json:"op"`
+	X  *int    `json:"x"`
+	Y  *int    `json:"y"`
+}
+
+// MarshalJSON encodes the event as {"op":"add"|"clear","x":…,"y":…}.
+func (e Event) MarshalJSON() ([]byte, error) {
+	if e.Op != Add && e.Op != Clear {
+		return nil, fmt.Errorf("engine: cannot encode invalid op %d", uint8(e.Op))
+	}
+	op := e.Op.String()
+	return json.Marshal(wireEvent{Op: &op, X: &e.Node.X, Y: &e.Node.Y})
+}
+
+// UnmarshalJSON decodes the wire format produced by MarshalJSON, requiring
+// all three fields. Mesh bounds are not checked here — Apply validates
+// them against its mesh.
+func (e *Event) UnmarshalJSON(data []byte) error {
+	var w wireEvent
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("engine: bad event: %w", err)
+	}
+	if w.Op == nil || w.X == nil || w.Y == nil {
+		return fmt.Errorf("engine: event %s misses op, x or y", data)
+	}
+	op, err := ParseOp(*w.Op)
+	if err != nil {
+		return err
+	}
+	*e = Event{Op: op, Node: grid.XY(*w.X, *w.Y)}
+	return nil
+}

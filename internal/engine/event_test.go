@@ -1,0 +1,58 @@
+package engine
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+func TestEventJSONRoundTrip(t *testing.T) {
+	events := []Event{
+		{Op: Add, Node: grid.XY(3, 4)},
+		{Op: Clear, Node: grid.XY(0, 99)},
+	}
+	data, err := json.Marshal(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `[{"op":"add","x":3,"y":4},{"op":"clear","x":0,"y":99}]`; string(data) != want {
+		t.Fatalf("wire format drifted:\n got %s\nwant %s", data, want)
+	}
+	var back []Event
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0] != events[0] || back[1] != events[1] {
+		t.Fatalf("round trip changed events: %v", back)
+	}
+}
+
+func TestEventJSONRejectsBadInput(t *testing.T) {
+	for _, bad := range []string{`{"op":"frob","x":1,"y":2}`, `{"op":3}`, `[1,2]`} {
+		var e Event
+		if err := json.Unmarshal([]byte(bad), &e); err == nil {
+			t.Fatalf("%s accepted", bad)
+		}
+	}
+	if _, err := (Event{Op: Op(7)}).MarshalJSON(); err == nil {
+		t.Fatal("invalid op marshalled")
+	}
+	if _, err := ParseOp("nope"); err == nil {
+		t.Fatal("ParseOp accepted junk")
+	}
+	if Op(9).String() == "" || (Event{}).String() == "" {
+		t.Fatal("String stringers returned nothing")
+	}
+}
+
+// Missing fields must be rejected, not silently decoded as zero — a
+// corrupt event would otherwise become a fault at the origin.
+func TestEventJSONRequiresAllFields(t *testing.T) {
+	for _, bad := range []string{`{"op":"add"}`, `{"op":"add","x":3}`, `{"op":"add","y":4}`, `{"x":1,"y":2}`} {
+		var e Event
+		if err := json.Unmarshal([]byte(bad), &e); err == nil {
+			t.Fatalf("%s accepted as %v", bad, e)
+		}
+	}
+}

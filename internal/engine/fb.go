@@ -1,0 +1,99 @@
+// Incremental maintenance of labelling scheme 1 (the rectangular faulty
+// block model). The engine needs the scheme-1 unsafe set to classify nodes
+// — a node inside a faulty block but outside every polygon is "enabled",
+// not "safe" — and maintains it by local fixpoint propagation instead of
+// re-running the whole-mesh synchronous simulation of block.Build.
+//
+// Two structural facts make the events local:
+//
+//   - Scheme 1 is monotone in the fault set: adding a fault can only turn
+//     more nodes unsafe. The old fixpoint therefore lies below the new one,
+//     and chaotic iteration from it — re-checking exactly the nodes whose
+//     neighbourhood changed, transitively — converges to the new fixpoint.
+//
+//   - At a fixpoint, distinct faulty blocks are never 4-adjacent (adjacent
+//     unsafe nodes are by definition the same 4-connected block). Clearing
+//     a fault therefore only concerns the one block that contained it: the
+//     block region is reset and regrown from its remaining faults, and by
+//     monotonicity the regrowth stays inside the old rectangle and cannot
+//     interact with any other block.
+package engine
+
+import "repro/internal/grid"
+
+// blockRuleFires reports whether scheme 1 turns the (currently safe) node
+// unsafe: a faulty or unsafe neighbour in the X dimension and one in the Y
+// dimension. The unsafe set includes the faults, and set lookups outside
+// the mesh report false, which matches the "neighbour exists" checks of
+// block.Build's rule on a non-torus mesh.
+func (e *Engine) blockRuleFires(c grid.Coord) bool {
+	if e.unsafe.Has(grid.XY(c.X+1, c.Y)) || e.unsafe.Has(grid.XY(c.X-1, c.Y)) {
+		return e.unsafe.Has(grid.XY(c.X, c.Y+1)) || e.unsafe.Has(grid.XY(c.X, c.Y-1))
+	}
+	return false
+}
+
+// propagate runs chaotic iteration of scheme 1 from the given worklist:
+// every queued node is re-checked, and a node that turns unsafe enqueues
+// its link neighbours, whose rule inputs just changed.
+func (e *Engine) propagate(queue []grid.Coord) {
+	for len(queue) > 0 {
+		c := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if e.unsafe.Has(c) || !e.blockRuleFires(c) {
+			continue
+		}
+		e.unsafe.Add(c)
+		queue = e.mesh.Neighbors4(c, queue)
+	}
+}
+
+// growUnsafe incorporates a new fault into the scheme-1 fixpoint. When the
+// fault lands on an already-unsafe node (inside an existing block) nothing
+// else can change; otherwise the change propagates outward from the fault.
+func (e *Engine) growUnsafe(c grid.Coord) {
+	if !e.unsafe.Add(c) {
+		return
+	}
+	e.propagate(e.mesh.Neighbors4(c, nil))
+}
+
+// shrinkUnsafe removes a repaired fault from the scheme-1 fixpoint. The
+// fault's block is collected (4-connected unsafe region), reset to safe,
+// and regrown from the faults that remain in it; the result is the global
+// fixpoint for the reduced fault set because no other block borders the
+// region (see the package comment above).
+func (e *Engine) shrinkUnsafe(c grid.Coord) {
+	// Collect the block containing c. c itself is still unsafe: it was a
+	// fault a moment ago and faults are always unsafe.
+	region := []grid.Coord{c}
+	seen := e.unsafe.Clone()
+	seen.Remove(c)
+	for frontier := []grid.Coord{c}; len(frontier) > 0; {
+		cur := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		for _, n := range e.mesh.Neighbors4(cur, nil) {
+			if seen.Remove(n) { // unsafe and not yet visited
+				region = append(region, n)
+				frontier = append(frontier, n)
+			}
+		}
+	}
+
+	// Reset the block, re-seed it with its remaining faults, and regrow.
+	// The whole old region goes on the worklist: a node can be due for
+	// re-marking without any neighbour changing first (its unsafe
+	// neighbours may all be re-seeded faults).
+	for _, n := range region {
+		e.unsafe.Remove(n)
+	}
+	queue := make([]grid.Coord, 0, len(region))
+	for _, n := range region {
+		if e.faults.Has(n) {
+			e.unsafe.Add(n)
+		} else {
+			queue = append(queue, n)
+		}
+	}
+	e.propagate(queue)
+}

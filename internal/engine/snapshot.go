@@ -1,0 +1,109 @@
+package engine
+
+import (
+	"errors"
+
+	"repro/internal/component"
+	"repro/internal/grid"
+	"repro/internal/mfp"
+	"repro/internal/nodeset"
+	"repro/internal/status"
+)
+
+var errNotInsideFB = errors.New("engine: MFP disabled set not inside the FB unsafe set")
+
+// Snapshot is one immutable, internally consistent view of the engine's
+// state: the fault set, the faulty components with their minimum faulty
+// polygons (in component.Find's deterministic order), the disabled union,
+// and the scheme-1 unsafe set. Snapshots are cheap — per-component
+// polygons are shared with the engine's cache and with every other
+// snapshot that saw the same component — and safe for concurrent use.
+//
+// The returned sets are shared and must be treated as read-only; clone
+// before mutating.
+type Snapshot struct {
+	mesh     grid.Mesh
+	version  uint64
+	faults   *nodeset.Set
+	unsafe   *nodeset.Set
+	comps    []*component.Component
+	polygons []*nodeset.Set
+	disabled *nodeset.Set
+}
+
+// Mesh returns the mesh the snapshot describes.
+func (s *Snapshot) Mesh() grid.Mesh { return s.mesh }
+
+// Version counts the state-changing events applied before this snapshot
+// was taken; it increases monotonically and is stable across equal states.
+func (s *Snapshot) Version() uint64 { return s.version }
+
+// Faults returns the snapshot's fault set (read-only).
+func (s *Snapshot) Faults() *nodeset.Set { return s.faults }
+
+// Components returns the faulty components in row-major seed order, the
+// same order component.Find produces (read-only).
+func (s *Snapshot) Components() []*component.Component { return s.comps }
+
+// Polygons returns the minimum faulty polygon of each component,
+// index-aligned with Components (read-only).
+func (s *Snapshot) Polygons() []*nodeset.Set { return s.polygons }
+
+// Disabled returns the union of the polygons — every node excluded from
+// routing under the MFP model, faults included (read-only).
+func (s *Snapshot) Disabled() *nodeset.Set { return s.disabled }
+
+// Unsafe returns the scheme-1 unsafe set (the union of the rectangular
+// faulty blocks, faults included; read-only).
+func (s *Snapshot) Unsafe() *nodeset.Set { return s.unsafe }
+
+// Class returns the node's status under the MFP model, identical to
+// core.Construction.Class(core.MFP, node) for the same fault set.
+func (s *Snapshot) Class(node grid.Coord) status.Class {
+	return status.Classify(s.faults.Has(node), s.disabled.Has(node), s.unsafe.Has(node))
+}
+
+// DisabledNonFaulty returns the number of non-faulty nodes the MFP model
+// disables — the Figure 9 metric.
+func (s *Snapshot) DisabledNonFaulty() int { return s.disabled.Len() - s.faults.Len() }
+
+// MeanPolygonSize returns the average number of nodes per minimum faulty
+// polygon — the Figure 10 metric (0 when there are no faults).
+func (s *Snapshot) MeanPolygonSize() float64 {
+	if len(s.polygons) == 0 {
+		return 0
+	}
+	total := 0
+	for _, p := range s.polygons {
+		total += p.Len()
+	}
+	return float64(total) / float64(len(s.polygons))
+}
+
+// MFP assembles the snapshot's cached parts into an mfp.Result, the exact
+// value mfp.Build would return for the snapshot's fault set (Rounds
+// excepted, which only BuildLabelling populates). The result shares the
+// snapshot's sets; it is primarily a bridge to mfp.Result.Validate and to
+// code written against the batch API.
+func (s *Snapshot) MFP() *mfp.Result {
+	return &mfp.Result{
+		Mesh:       s.mesh,
+		Faults:     s.faults,
+		Components: s.comps,
+		Polygons:   s.polygons,
+		Disabled:   s.disabled,
+	}
+}
+
+// Validate cross-checks the snapshot's invariants: every polygon is the
+// orthogonal convex closure of its component, the disabled set is their
+// union, and the unsafe set contains the disabled set (MFP ⊆ FB).
+func (s *Snapshot) Validate() error {
+	if err := s.MFP().Validate(); err != nil {
+		return err
+	}
+	if !s.unsafe.ContainsAll(s.disabled) {
+		return errNotInsideFB
+	}
+	return nil
+}

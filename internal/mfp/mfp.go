@@ -11,6 +11,12 @@
 // which also yields the round count plotted as the CMFP curve in Figure 11.
 // Both solutions produce identical polygons; the test suite asserts this
 // equivalence on random instances.
+//
+// Build answers the static question: one fault set, one construction.
+// Under fault churn (a stream of arrivals and repairs), internal/engine
+// maintains the same per-component polygons incrementally and assembles
+// them into this package's Result shape, so downstream code is agnostic
+// about which path produced the construction.
 package mfp
 
 import (

@@ -220,6 +220,18 @@ func (s *Set) Each(fn func(grid.Coord)) {
 	}
 }
 
+// FirstIndex returns the smallest dense index in the set, or -1 when the
+// set is empty. It is the row-major "seed" of the set, the ordering key
+// used wherever components must appear in a deterministic order.
+func (s *Set) FirstIndex() int {
+	for w, word := range s.words {
+		if word != 0 {
+			return w<<6 | bits.TrailingZeros64(word)
+		}
+	}
+	return -1
+}
+
 // Coords returns the nodes of the set in row-major order.
 func (s *Set) Coords() []grid.Coord {
 	out := make([]grid.Coord, 0, s.n)

@@ -238,3 +238,21 @@ func TestAlgebraProperties(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestFirstIndex(t *testing.T) {
+	m := grid.New(12, 12)
+	s := New(m)
+	if got := s.FirstIndex(); got != -1 {
+		t.Fatalf("empty set FirstIndex = %d, want -1", got)
+	}
+	s.Add(c(7, 9))
+	s.Add(c(3, 2))
+	s.Add(c(11, 2))
+	if want := m.Index(c(3, 2)); s.FirstIndex() != want {
+		t.Fatalf("FirstIndex = %d, want %d", s.FirstIndex(), want)
+	}
+	s.Remove(c(3, 2))
+	if want := m.Index(c(11, 2)); s.FirstIndex() != want {
+		t.Fatalf("after remove: FirstIndex = %d, want %d", s.FirstIndex(), want)
+	}
+}

@@ -46,6 +46,23 @@ func (c Class) String() string {
 	return fmt.Sprintf("class(%d)", uint8(c))
 }
 
+// Classify applies the paper's precedence to a node's three membership
+// facts: faulty wins, then disabled (inside a faulty polygon), then unsafe
+// (inside a rectangular faulty block but re-enabled by the polygon), and a
+// node in none of the sets is safe. core.Construction and the incremental
+// engine share this single definition, so their statuses can never drift.
+func Classify(faulty, disabled, unsafe bool) Class {
+	switch {
+	case faulty:
+		return Faulty
+	case disabled:
+		return Disabled
+	case unsafe:
+		return Enabled
+	}
+	return Safe
+}
+
 // Supersede resolves conflicting node status per the paper's superseding
 // rule and returns the class that wins.
 func Supersede(a, b Class) Class {

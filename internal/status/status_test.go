@@ -55,3 +55,22 @@ func TestStrings(t *testing.T) {
 		t.Errorf("unknown class string = %q", Class(9).String())
 	}
 }
+
+func TestClassifyPrecedence(t *testing.T) {
+	cases := []struct {
+		faulty, disabled, unsafe bool
+		want                     Class
+	}{
+		{true, true, true, Faulty},
+		{true, false, false, Faulty},
+		{false, true, true, Disabled},
+		{false, true, false, Disabled},
+		{false, false, true, Enabled},
+		{false, false, false, Safe},
+	}
+	for _, tc := range cases {
+		if got := Classify(tc.faulty, tc.disabled, tc.unsafe); got != tc.want {
+			t.Errorf("Classify(%v, %v, %v) = %v, want %v", tc.faulty, tc.disabled, tc.unsafe, got, tc.want)
+		}
+	}
+}
