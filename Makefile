@@ -11,8 +11,15 @@ BASELINE ?= BENCH_baseline.json
 # (accidental serialization, quadratic blowups), not micro-changes.
 TOLERANCE ?= 2.50
 COVER_OUT ?= coverage.out
+# Per-target budget of the fuzz smoke run (beyond the seeded corpus, which
+# every plain `go test` run already replays).
+FUZZTIME ?= 30s
+# Extra flags for the stress-check gate. The scale defaults live in
+# experiments.DefaultStress (24 shards / 24k events, above the 20/20k
+# acceptance floor its tests assert) and flow into mfpsim's flag defaults.
+STRESS_FLAGS ?=
 
-.PHONY: all build test race cover bench bench-json bench-check bench-baseline lint staticcheck fmt clean
+.PHONY: all build test race cover fuzz stress-check bench bench-json bench-check bench-baseline lint staticcheck fmt clean
 
 all: lint build test
 
@@ -22,18 +29,35 @@ all: lint build test
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test (and suite) execution order so inter-test
+# state dependencies fail loudly; the seed is printed for replay.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 # Race-enabled tests with a coverage profile; prints per-package coverage
 # (CI puts this in the job summary and archives $(COVER_OUT) per PR). One
 # run gives both signals — atomic is the required covermode under -race.
 cover:
-	$(GO) test -race -coverprofile=$(COVER_OUT) -covermode=atomic ./...
+	$(GO) test -race -shuffle=on -coverprofile=$(COVER_OUT) -covermode=atomic ./...
 	$(GO) tool cover -func=$(COVER_OUT) | tail -n 1
+
+# Native-fuzzing smoke: each target mutates for $(FUZZTIME) beyond its
+# seeded corpus. `go test -fuzz` accepts one target per invocation, hence
+# one line per target.
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeEvents$$' -fuzztime $(FUZZTIME) ./internal/engine
+	$(GO) test -run '^$$' -fuzz '^FuzzApply$$' -fuzztime $(FUZZTIME) ./internal/engine
+	$(GO) test -run '^$$' -fuzz '^FuzzHandleEvents$$' -fuzztime $(FUZZTIME) ./cmd/mfpd
+
+# The shard layer's acceptance gate, mirroring bench-check: a race-enabled
+# multi-shard stress run (>= 20 shards, >= 20k events) differentially
+# verified against core.Construct at every checkpoint; any divergence or
+# data race exits non-zero. CI runs this on every PR.
+stress-check:
+	$(GO) run -race ./cmd/mfpsim -stress $(STRESS_FLAGS)
 
 # One iteration of every Go benchmark, no unit tests — the CI smoke run.
 bench:

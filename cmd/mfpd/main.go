@@ -1,58 +1,80 @@
-// Command mfpd is the long-lived fault-region service: it maintains the
-// minimum faulty polygons of a mesh incrementally (internal/engine) while
-// accepting batched fault-event streams over HTTP and answering status and
-// polygon queries from immutable snapshots, so heavy read traffic never
-// waits on fault churn.
+// Command mfpd is the long-lived fault-region service. It owns a namespace
+// of independently evolving meshes (tenants), each maintained incrementally
+// by its own engine behind a per-mesh mailbox that batches incoming fault
+// events (internal/shard), and answers status and polygon queries from
+// immutable snapshots, so heavy read traffic never waits on fault churn.
 //
 // Usage:
 //
-//	mfpd                       # 100x100 mesh on :8080
+//	mfpd                                  # "default" 100x100 mesh on :8080
 //	mfpd -mesh 256 -addr :9000
+//	mfpd -mesh 0 -max-resident 64         # start empty; create meshes via the API
 //
 // API (all responses are JSON):
 //
-//	POST /events    body: [{"op":"add","x":3,"y":4},{"op":"clear",...},...]
-//	                Applies the batch atomically; duplicate adds and clears
-//	                of healthy nodes are counted as ignored, not errors.
-//	GET  /status?x=3&y=4   -> {"x":3,"y":4,"class":"safe","version":17}
-//	GET  /polygons         -> every component's minimum faulty polygon
-//	GET  /stats            -> fault/component/disabled counts and metrics
-//	GET  /healthz          -> 200 ok
+//	GET    /meshes                   list every mesh with stats
+//	POST   /meshes                   {"name":"a","width":64,"height":64} -> 201
+//	DELETE /meshes/a                 drain and delete mesh "a"
+//	POST   /meshes/a/events          body: [{"op":"add","x":3,"y":4},...]
+//	                                 Applies the batch atomically; duplicate
+//	                                 adds and clears of healthy nodes are
+//	                                 counted as ignored, not errors.
+//	GET    /meshes/a/status?x=3&y=4  -> {"x":3,"y":4,"class":"safe","version":17}
+//	GET    /meshes/a/polygons        every component's minimum faulty polygon
+//	GET    /meshes/a/stats           shard stats + construction metrics
+//	GET    /healthz                  -> 200 ok
 //
-// Every query is served from the engine snapshot current at arrival time:
-// a batch posted concurrently is observed either entirely or not at all.
+// Every query is served from the mesh's view current at arrival time: a
+// batch posted concurrently is observed either entirely or not at all.
+// -max-resident bounds how many engines stay in memory; least-recently-used
+// meshes are evicted down to the bound and rebuilt from their fault sets on
+// next access (reads on resident meshes stay wait-free throughout).
+// -max-meshes caps how many meshes the API may create (429 beyond it),
+// bounding what eviction cannot reclaim.
+//
+// On SIGINT/SIGTERM the service drains gracefully: in-flight HTTP requests
+// finish, every mesh's queued event batches are applied, then the process
+// exits.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
-	"repro/internal/engine"
 	"repro/internal/grid"
+	"repro/internal/shard"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	mesh := flag.Int("mesh", 100, "mesh side length n of the n×n mesh")
+	mesh := flag.Int("mesh", 100, "side length of the initial \"default\" n×n mesh (0 = start with no meshes)")
+	maxResident := flag.Int("max-resident", 0, "LRU bound on resident engines (0 = unlimited)")
+	maxMeshes := flag.Int("max-meshes", 1024, "bound on meshes the API may create (0 = unlimited)")
 	flag.Parse()
 
-	if *mesh <= 0 {
-		fmt.Fprintf(os.Stderr, "mfpd: -mesh must be positive, got %d\n", *mesh)
+	if *mesh < 0 {
+		fmt.Fprintf(os.Stderr, "mfpd: -mesh must be >= 0, got %d\n", *mesh)
 		os.Exit(2)
 	}
-	eng, err := engine.New(grid.New(*mesh, *mesh))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "mfpd:", err)
-		os.Exit(2)
+	mgr := shard.NewManager(shard.Config{MaxResident: *maxResident, MaxMeshes: *maxMeshes})
+	if *mesh > 0 {
+		if _, err := mgr.Create("default", grid.New(*mesh, *mesh)); err != nil {
+			fmt.Fprintln(os.Stderr, "mfpd:", err)
+			os.Exit(2)
+		}
+		log.Printf("mfpd: created mesh %q (%dx%d)", "default", *mesh, *mesh)
 	}
-	log.Printf("mfpd: serving %v on %s", eng.Mesh(), *addr)
+
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: newServer(eng),
+		Handler: newServer(mgr),
 		// Every request is a small JSON exchange answered from an in-memory
 		// snapshot; anything slow is a stuck client, and zero timeouts
 		// would let such connections pin goroutines forever.
@@ -60,5 +82,32 @@ func main() {
 		WriteTimeout: 30 * time.Second,
 		IdleTimeout:  2 * time.Minute,
 	}
-	log.Fatal(srv.ListenAndServe())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("mfpd: serving %d mesh(es) on %s", mgr.Len(), *addr)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	// Release the signal handler immediately so a second SIGINT/SIGTERM
+	// kills the process the default way instead of being swallowed while
+	// the drain below runs.
+	stop()
+
+	// Graceful drain: stop accepting connections and let in-flight requests
+	// finish, then drain every shard's mailbox so accepted event batches
+	// are applied before exit.
+	log.Printf("mfpd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("mfpd: http shutdown: %v", err)
+	}
+	mgr.Close()
+	log.Printf("mfpd: drained")
 }

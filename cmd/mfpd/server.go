@@ -2,34 +2,61 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
+	"strings"
 
 	"repro/internal/engine"
 	"repro/internal/grid"
 	"repro/internal/nodeset"
+	"repro/internal/shard"
 )
 
-// server exposes one engine over HTTP. Handlers read a single snapshot up
-// front and answer entirely from it, so every response is internally
-// consistent even while event batches land.
+// maxMeshSide bounds admin-created meshes so a single request cannot make
+// the service allocate an absurd bitset universe; the manager's MaxMeshes
+// bound (-max-meshes) caps what a sequence of requests can accumulate.
+const maxMeshSide = 2048
+
+// maxEventBody bounds an events request body (~8 MiB, hundreds of
+// thousands of events) so an oversized or endless body cannot exhaust the
+// service's memory.
+const maxEventBody = 8 << 20
+
+// server exposes a shard.Manager over HTTP. Mesh-scoped queries read a
+// single shard view up front and answer entirely from it, so every
+// response is internally consistent even while event batches land.
+//
+// Routes:
+//
+//	GET    /healthz
+//	GET    /meshes                     list every mesh with stats
+//	POST   /meshes                     create a mesh {"name","width","height"}
+//	DELETE /meshes/{name}              drain and delete a mesh
+//	POST   /meshes/{name}/events       apply a JSON array of fault events
+//	GET    /meshes/{name}/status?x=&y= per-node status
+//	GET    /meshes/{name}/polygons     every component's minimum polygon
+//	GET    /meshes/{name}/stats        shard + construction metrics
 type server struct {
-	eng *engine.Engine
-	mux *http.ServeMux
+	mgr *shard.Manager
 }
 
-func newServer(eng *engine.Engine) *server {
-	s := &server{eng: eng, mux: http.NewServeMux()}
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/events", s.handleEvents)
-	s.mux.HandleFunc("/status", s.handleStatus)
-	s.mux.HandleFunc("/polygons", s.handlePolygons)
-	s.mux.HandleFunc("/stats", s.handleStats)
-	return s
-}
+func newServer(mgr *shard.Manager) *server { return &server{mgr: mgr} }
 
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.URL.Path == "/healthz":
+		s.handleHealthz(w, r)
+	case r.URL.Path == "/meshes" || r.URL.Path == "/meshes/":
+		s.handleMeshes(w, r)
+	case strings.HasPrefix(r.URL.Path, "/meshes/"):
+		s.handleMesh(w, r)
+	default:
+		writeError(w, http.StatusNotFound, "no route %s (see /meshes)", r.URL.Path)
+	}
+}
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -45,14 +72,125 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorReply{Error: fmt.Sprintf(format, args...)})
 }
 
+// writeDecodeError distinguishes a body that tripped the MaxBytesReader
+// cap (413 — a well-formed client should split and retry) from one that is
+// malformed (400 — retrying the same payload is pointless).
+func writeDecodeError(w http.ResponseWriter, err error) {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		writeError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", tooBig.Limit)
+		return
+	}
+	writeError(w, http.StatusBadRequest, "%v", err)
+}
+
+// writeShardError maps shard-layer errors onto HTTP statuses: a name that
+// resolves to nothing is 404, a mesh deleted (or a manager shut down) while
+// the request was in flight is 409 — the caller raced an administrative
+// action, not a bad request.
+func writeShardError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, shard.ErrUnknownMesh):
+		writeError(w, http.StatusNotFound, "%v", err)
+	case errors.Is(err, shard.ErrClosed):
+		writeError(w, http.StatusConflict, "%v", err)
+	case errors.Is(err, shard.ErrMeshExists):
+		writeError(w, http.StatusConflict, "%v", err)
+	case errors.Is(err, shard.ErrTooManyMeshes):
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+	default:
+		writeError(w, http.StatusBadRequest, "%v", err)
+	}
+}
+
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+type createRequest struct {
+	Name   string `json:"name"`
+	Width  int    `json:"width"`
+	Height int    `json:"height"`
+}
+
+type meshesReply struct {
+	Meshes []shard.Stats `json:"meshes"`
+}
+
+// handleMeshes serves the collection: GET lists, POST creates.
+func (s *server) handleMeshes(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, meshesReply{Meshes: s.mgr.List()})
+	case http.MethodPost:
+		// Strict decode, like the events endpoints: data trailing the JSON
+		// document means a truncated or concatenated client write, which
+		// must be rejected, not half-accepted.
+		var req createRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4096))
+		if err := dec.Decode(&req); err != nil {
+			writeDecodeError(w, fmt.Errorf("bad create request: %w", err))
+			return
+		}
+		if _, err := dec.Token(); err != io.EOF {
+			writeError(w, http.StatusBadRequest, "trailing data after create request")
+			return
+		}
+		if req.Width <= 0 || req.Height <= 0 || req.Width > maxMeshSide || req.Height > maxMeshSide {
+			writeError(w, http.StatusBadRequest,
+				"mesh must be 1..%d on each side, got %dx%d", maxMeshSide, req.Width, req.Height)
+			return
+		}
+		sh, err := s.mgr.Create(req.Name, grid.New(req.Width, req.Height))
+		if err != nil {
+			writeShardError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, sh.Stats())
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "GET lists meshes, POST creates one")
+	}
+}
+
+// handleMesh routes /meshes/{name}[/...]: DELETE on the bare name, and the
+// events/status/polygons/stats sub-resources.
+func (s *server) handleMesh(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/meshes/")
+	name, sub, _ := strings.Cut(rest, "/")
+	sh, err := s.mgr.Get(name)
+	if err != nil {
+		writeShardError(w, err)
+		return
+	}
+	switch sub {
+	case "":
+		if r.Method != http.MethodDelete {
+			writeError(w, http.StatusMethodNotAllowed, "DELETE removes the mesh; its data lives under /meshes/%s/...", name)
+			return
+		}
+		if err := s.mgr.Delete(name); err != nil {
+			writeShardError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+	case "events":
+		s.handleEvents(w, r, sh)
+	case "status":
+		s.handleStatus(w, r, sh)
+	case "polygons":
+		s.handlePolygons(w, r, sh)
+	case "stats":
+		s.handleStats(w, r, sh)
+	default:
+		writeError(w, http.StatusNotFound, "no route %s under /meshes/%s", sub, name)
+	}
+}
+
 type eventsReply struct {
-	// Version is the engine version after the batch; Applied counts the
-	// events that changed state, Ignored the duplicate adds and clears of
-	// healthy nodes.
+	// Version is the shard's event version after this batch (cumulative
+	// state-changing events over the mesh's lifetime — stable across
+	// engine evictions); Applied counts this batch's events that changed
+	// state, Ignored the duplicate adds and clears of healthy nodes.
 	Version    uint64 `json:"version"`
 	Applied    int    `json:"applied"`
 	Ignored    int    `json:"ignored"`
@@ -60,34 +198,27 @@ type eventsReply struct {
 	Components int    `json:"components"`
 }
 
-// maxEventBody bounds the /events request body (~8 MiB, hundreds of
-// thousands of events) so an oversized or endless body cannot exhaust the
-// service's memory.
-const maxEventBody = 8 << 20
-
-func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
+func (s *server) handleEvents(w http.ResponseWriter, r *http.Request, sh *shard.Shard) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST a JSON array of events")
 		return
 	}
-	var events []engine.Event
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxEventBody)).Decode(&events); err != nil {
-		writeError(w, http.StatusBadRequest, "bad event batch: %v", err)
+	events, err := engine.DecodeEvents(http.MaxBytesReader(w, r.Body, maxEventBody))
+	if err != nil {
+		writeDecodeError(w, err)
 		return
 	}
-	// Apply returns the snapshot it published, so the reply describes this
-	// batch's outcome even when other batches land concurrently.
-	applied, snap, err := s.eng.Apply(events)
+	res, err := sh.Apply(events)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeShardError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, eventsReply{
-		Version:    snap.Version(),
-		Applied:    applied,
-		Ignored:    len(events) - applied,
-		Faults:     snap.Faults().Len(),
-		Components: len(snap.Polygons()),
+		Version:    res.View.Version,
+		Applied:    res.Applied,
+		Ignored:    res.Ignored,
+		Faults:     res.View.Snapshot.Faults().Len(),
+		Components: len(res.View.Snapshot.Polygons()),
 	})
 }
 
@@ -98,7 +229,7 @@ type statusReply struct {
 	Version uint64 `json:"version"`
 }
 
-func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
+func (s *server) handleStatus(w http.ResponseWriter, r *http.Request, sh *shard.Shard) {
 	x, errX := strconv.Atoi(r.URL.Query().Get("x"))
 	y, errY := strconv.Atoi(r.URL.Query().Get("y"))
 	if errX != nil || errY != nil {
@@ -106,15 +237,19 @@ func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	node := grid.XY(x, y)
-	snap := s.eng.Snapshot()
-	if !snap.Mesh().Contains(node) {
-		writeError(w, http.StatusBadRequest, "%v outside %v", node, snap.Mesh())
+	if !sh.Mesh().Contains(node) {
+		writeError(w, http.StatusBadRequest, "%v outside %v", node, sh.Mesh())
+		return
+	}
+	v, err := sh.Read()
+	if err != nil {
+		writeShardError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, statusReply{
 		X: x, Y: y,
-		Class:   snap.Class(node).String(),
-		Version: snap.Version(),
+		Class:   v.Snapshot.Class(node).String(),
+		Version: v.Version,
 	})
 }
 
@@ -141,9 +276,14 @@ type polygonsReply struct {
 	Polygons []polygonReply `json:"polygons"`
 }
 
-func (s *server) handlePolygons(w http.ResponseWriter, r *http.Request) {
-	snap := s.eng.Snapshot()
-	reply := polygonsReply{Version: snap.Version(), Polygons: make([]polygonReply, len(snap.Polygons()))}
+func (s *server) handlePolygons(w http.ResponseWriter, r *http.Request, sh *shard.Shard) {
+	v, err := sh.Read()
+	if err != nil {
+		writeShardError(w, err)
+		return
+	}
+	snap := v.Snapshot
+	reply := polygonsReply{Version: v.Version, Polygons: make([]polygonReply, len(snap.Polygons()))}
 	for i, poly := range snap.Polygons() {
 		reply.Polygons[i] = polygonReply{
 			Faults:  coords(snap.Components()[i].Nodes),
@@ -154,28 +294,25 @@ func (s *server) handlePolygons(w http.ResponseWriter, r *http.Request) {
 }
 
 type statsReply struct {
-	Version           uint64  `json:"version"`
-	MeshWidth         int     `json:"mesh_width"`
-	MeshHeight        int     `json:"mesh_height"`
-	Faults            int     `json:"faults"`
-	Components        int     `json:"components"`
-	Disabled          int     `json:"disabled"`
-	DisabledNonFaulty int     `json:"disabled_non_faulty"`
-	Unsafe            int     `json:"unsafe"`
-	MeanPolygonSize   float64 `json:"mean_polygon_size"`
+	shard.Stats
+	// Snapshot-derived metrics, omitted while the mesh's engine is evicted
+	// (Resident false): serving them would force a rebuild, so routine
+	// stats polling across many meshes would defeat the -max-resident
+	// bound. Status and polygon queries do rebuild on demand.
+	Disabled          *int     `json:"disabled,omitempty"`
+	DisabledNonFaulty *int     `json:"disabled_non_faulty,omitempty"`
+	Unsafe            *int     `json:"unsafe,omitempty"`
+	MeanPolygonSize   *float64 `json:"mean_polygon_size,omitempty"`
 }
 
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	snap := s.eng.Snapshot()
-	writeJSON(w, http.StatusOK, statsReply{
-		Version:           snap.Version(),
-		MeshWidth:         snap.Mesh().W,
-		MeshHeight:        snap.Mesh().H,
-		Faults:            snap.Faults().Len(),
-		Components:        len(snap.Polygons()),
-		Disabled:          snap.Disabled().Len(),
-		DisabledNonFaulty: snap.DisabledNonFaulty(),
-		Unsafe:            snap.Unsafe().Len(),
-		MeanPolygonSize:   snap.MeanPolygonSize(),
-	})
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request, sh *shard.Shard) {
+	reply := statsReply{Stats: sh.Stats()}
+	if v, ok := sh.Peek(); ok {
+		snap := v.Snapshot
+		disabled, nonFaulty := snap.Disabled().Len(), snap.DisabledNonFaulty()
+		unsafe, mean := snap.Unsafe().Len(), snap.MeanPolygonSize()
+		reply.Disabled, reply.DisabledNonFaulty = &disabled, &nonFaulty
+		reply.Unsafe, reply.MeanPolygonSize = &unsafe, &mean
+	}
+	writeJSON(w, http.StatusOK, reply)
 }

@@ -12,6 +12,8 @@
 //	mfpsim -bench-json                       # timing sweep -> BENCH_sweep.json
 //	mfpsim -bench-json -bench-compare old.json  # fail on perf regressions
 //	mfpsim -churn 200                        # incremental vs rebuild speedup
+//	mfpsim -stress                           # multi-shard differential stress run
+//	mfpsim -stress -stress-shards 40 -stress-events 100000 -stress-clients 16
 //
 // Figure 9 tables are printed as log10 of the disabled-node count, matching
 // the paper's y-axis; -csv always emits raw values.
@@ -29,6 +31,15 @@
 // override with -faults taking the first count) replayed both through the
 // incremental engine and through a from-scratch core.Construct per event,
 // differentially checked and reported with the speedup.
+//
+// -stress drives interleaved fault churn across dozens of independent
+// meshes (internal/shard) from concurrent clients under LRU eviction
+// pressure, and differentially verifies every shard's snapshot against a
+// from-scratch core.Construct at each checkpoint. The scenario is seeded
+// and free of wall-clock: stdout is byte-identical for a fixed -seed at
+// any -stress-clients or -stress-resident value (scheduling-dependent
+// operational counters go to stderr). A verification failure exits 1 —
+// CI runs this as the shard layer's acceptance gate.
 package main
 
 import (
@@ -59,6 +70,17 @@ func main() {
 	benchCompare := flag.String("bench-compare", "", "baseline report to diff the -bench-json run against; regressions exit non-zero")
 	benchTolerance := flag.Float64("bench-tolerance", 1.30, "slowdown ratio tolerated by -bench-compare")
 	churn := flag.Int("churn", 0, "run the fault-churn scenario with this many events and report the incremental-vs-rebuild speedup")
+	// Flag defaults come from DefaultStress so the acceptance-scale floor
+	// asserted in its tests binds to what `mfpsim -stress` (and CI's
+	// stress gate) actually runs.
+	stressDef := experiments.DefaultStress()
+	stress := flag.Bool("stress", false, "run the deterministic multi-shard stress scenario with differential verification at every checkpoint")
+	stressShards := flag.Int("stress-shards", stressDef.Shards, "number of independent meshes in -stress mode")
+	stressEvents := flag.Int("stress-events", stressDef.Events, "total events across all shards in -stress mode")
+	stressCheckpoints := flag.Int("stress-checkpoints", stressDef.Checkpoints, "differential verification barriers in -stress mode")
+	stressClients := flag.Int("stress-clients", stressDef.Clients, "concurrent client goroutines in -stress mode (0 = GOMAXPROCS; results are identical for every value)")
+	stressMesh := flag.Int("stress-mesh", stressDef.MeshSize, "per-shard mesh side length in -stress mode")
+	stressResident := flag.Int("stress-resident", stressDef.MaxResident, "LRU bound on resident engines in -stress mode (0 = unlimited, no eviction pressure)")
 	flag.Parse()
 
 	if *workers < 0 {
@@ -76,6 +98,20 @@ func main() {
 	if *churn > 0 && (*verify || *benchJSON) {
 		fatal(fmt.Errorf("-churn cannot be combined with -verify or -bench-json"))
 	}
+	if *stress && (*verify || *benchJSON || *churn > 0) {
+		fatal(fmt.Errorf("-stress cannot be combined with -verify, -bench-json or -churn"))
+	}
+	if !*stress {
+		// The stress knobs only act in -stress mode; reject them elsewhere
+		// so a CI gate missing -stress fails loudly instead of passing
+		// vacuously.
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "stress-shards", "stress-events", "stress-checkpoints", "stress-clients", "stress-mesh", "stress-resident":
+				fatal(fmt.Errorf("-%s requires -stress", f.Name))
+			}
+		})
+	}
 	if !*benchJSON {
 		// The bench flags only act in -bench-json mode; reject them there so
 		// a CI gate missing -bench-json fails loudly instead of passing
@@ -86,6 +122,23 @@ func main() {
 				fatal(fmt.Errorf("-%s requires -bench-json", f.Name))
 			}
 		})
+	}
+
+	if *stress {
+		cfg := experiments.StressConfig{
+			Shards:      *stressShards,
+			MeshSize:    *stressMesh,
+			Events:      *stressEvents,
+			Checkpoints: *stressCheckpoints,
+			Clients:     *stressClients,
+			MaxResident: *stressResident,
+			BaseSeed:    *seed,
+		}
+		if err := runStress(os.Stdout, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "mfpsim: stress:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *verify {

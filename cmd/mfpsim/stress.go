@@ -1,0 +1,25 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+// runStress executes the multi-shard stress/differential scenario and
+// prints the deterministic report to out. Operational counters (evictions,
+// rebuilds, coalescing) depend on scheduling, so they go to stderr and
+// stay out of the byte-deterministic stream.
+func runStress(out io.Writer, cfg experiments.StressConfig) error {
+	rep, err := experiments.Stress(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, rep.String())
+	fmt.Fprintf(os.Stderr,
+		"stress ops (scheduling-dependent): requests=%d batches=%d evictions=%d rebuilds=%d\n",
+		rep.Ops.Requests, rep.Ops.Batches, rep.Ops.Evictions, rep.Ops.Rebuilds)
+	return nil
+}

@@ -22,12 +22,26 @@
 // constructions incrementally under fault churn: AddFault recomputes only
 // the component the event merges, ClearFault re-splits only the component
 // that lost the fault, and immutable snapshots share untouched polygons
-// copy-on-write. cmd/mfpd serves the engine as a long-lived HTTP service
-// (batched fault events in, status/polygon queries out), cmd/mfpsim
+// copy-on-write. internal/shard scales the engine to many independently
+// evolving meshes (tenants): per-shard mailbox goroutines batch incoming
+// events, reads are wait-free on resident shards, and an LRU bound evicts
+// idle engines, which rebuild exactly from their persisted fault sets on
+// next access. cmd/mfpd serves the shard manager as a long-lived HTTP
+// service (admin create/delete/list plus mesh-scoped events/status/
+// polygon/stats routes, with graceful drain on shutdown), cmd/mfpsim
 // -churn and the churn records of -bench-json quantify the
 // incremental-vs-rebuild speedup, and examples/churn is the runnable
-// walkthrough. Every snapshot is differentially tested against a
-// from-scratch core.Construct. README.md documents the parallel sweep,
-// the engine, and the Makefile targets that CI (.github/workflows/ci.yml)
+// walkthrough.
+//
+// Correctness is enforced in layers: every engine snapshot is
+// differentially tested against a from-scratch core.Construct, cmd/mfpsim
+// -stress replays a deterministic multi-shard churn scenario from
+// concurrent clients and re-verifies every shard at checkpoints (CI runs
+// it under the race detector and asserts byte-identical output across
+// client counts), internal/polygon's property tests compare the closure
+// machinery with a brute-force minimum on small meshes, and native fuzz
+// targets harden the event decoding path and the mfpd handler. README.md
+// documents the parallel sweep, the engine, the shard layer, the testing
+// strategy, and the Makefile targets that CI (.github/workflows/ci.yml)
 // runs.
 package repro

@@ -150,6 +150,23 @@ func (e *Engine) ClearFault(node grid.Coord) bool {
 	return n == 1
 }
 
+// ValidateEvents checks that every event lies inside the mesh and carries
+// a known op, returning the first violation. Apply runs the same check on
+// its whole batch; callers that coalesce independently submitted batches
+// (internal/shard) validate each submission separately so one bad batch
+// fails alone instead of failing its innocent neighbours.
+func ValidateEvents(m grid.Mesh, events []Event) error {
+	for _, ev := range events {
+		if !m.Contains(ev.Node) {
+			return fmt.Errorf("engine: %v outside %v", ev, m)
+		}
+		if ev.Op != Add && ev.Op != Clear {
+			return fmt.Errorf("engine: invalid op %d", uint8(ev.Op))
+		}
+	}
+	return nil
+}
+
 // Apply applies a batch of events atomically — concurrent readers observe
 // either the snapshot before the whole batch or after it, never a prefix —
 // and returns how many events changed the state (duplicate adds and clears
@@ -160,13 +177,8 @@ func (e *Engine) ClearFault(node grid.Coord) bool {
 // event outside the mesh fails the whole batch before any of it is
 // applied.
 func (e *Engine) Apply(events []Event) (applied int, snap *Snapshot, err error) {
-	for _, ev := range events {
-		if !e.mesh.Contains(ev.Node) {
-			return 0, nil, fmt.Errorf("engine: %v outside %v", ev, e.mesh)
-		}
-		if ev.Op != Add && ev.Op != Clear {
-			return 0, nil, fmt.Errorf("engine: invalid op %d", uint8(ev.Op))
-		}
+	if err := ValidateEvents(e.mesh, events); err != nil {
+		return 0, nil, err
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()

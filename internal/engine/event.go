@@ -3,8 +3,10 @@ package engine
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 
 	"repro/internal/grid"
+	"repro/internal/nodeset"
 )
 
 // wireEvent is the JSON shape of an Event, the element type of the batched
@@ -25,6 +27,49 @@ func (e Event) MarshalJSON() ([]byte, error) {
 	}
 	op := e.Op.String()
 	return json.Marshal(wireEvent{Op: &op, X: &e.Node.X, Y: &e.Node.Y})
+}
+
+// DecodeEvents decodes a JSON array of wire events from r — the request
+// body format of mfpd's events endpoints. The whole array is decoded
+// before anything is returned and data trailing the array is rejected, so
+// a truncated or concatenated body can never be half-accepted. Mesh bounds
+// are not checked here — ValidateEvents and Apply check them against a
+// concrete mesh.
+func DecodeEvents(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var events []Event
+	if err := dec.Decode(&events); err != nil {
+		return nil, fmt.Errorf("engine: bad event batch: %w", err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return nil, fmt.Errorf("engine: trailing data after event batch")
+	}
+	return events, nil
+}
+
+// Replay applies events to a plain fault set and returns how many changed
+// it — the same counting semantics as Apply's applied result, without an
+// engine. It is the shared reference walk: the shard layer uses it to keep
+// its persisted fault sets (and per-submission counts) in lockstep with
+// the engine, and the differential harnesses use it to maintain the
+// expected state they verify engines against. Events with an invalid op
+// are ignored, never misread as a Clear; run ValidateEvents first when
+// they must be rejected instead.
+func Replay(faults *nodeset.Set, events ...Event) int {
+	changed := 0
+	for _, ev := range events {
+		switch ev.Op {
+		case Add:
+			if faults.Add(ev.Node) {
+				changed++
+			}
+		case Clear:
+			if faults.Remove(ev.Node) {
+				changed++
+			}
+		}
+	}
+	return changed
 }
 
 // UnmarshalJSON decodes the wire format produced by MarshalJSON, requiring

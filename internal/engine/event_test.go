@@ -2,9 +2,11 @@ package engine
 
 import (
 	"encoding/json"
+	"strings"
 	"testing"
 
 	"repro/internal/grid"
+	"repro/internal/nodeset"
 )
 
 func TestEventJSONRoundTrip(t *testing.T) {
@@ -54,5 +56,59 @@ func TestEventJSONRequiresAllFields(t *testing.T) {
 		if err := json.Unmarshal([]byte(bad), &e); err == nil {
 			t.Fatalf("%s accepted as %v", bad, e)
 		}
+	}
+}
+
+func TestDecodeEvents(t *testing.T) {
+	events, err := DecodeEvents(strings.NewReader(`[{"op":"add","x":3,"y":4},{"op":"clear","x":3,"y":4}]`))
+	if err != nil || len(events) != 2 || events[0].Op != Add || events[1].Op != Clear {
+		t.Fatalf("valid batch: %v, %v", events, err)
+	}
+	for _, bad := range []string{
+		`[{"op":"add","x":3`,              // truncated
+		`[{"op":"add","x":3,"y":4}] junk`, // trailing garbage
+		`[{"op":"add","x":3,"y":4}][]`,    // concatenated documents
+		`{"op":"add","x":3,"y":4}`,        // not an array
+		`[{"op":"frob","x":3,"y":4}]`,     // unknown op
+	} {
+		if _, err := DecodeEvents(strings.NewReader(bad)); err == nil {
+			t.Fatalf("%s accepted", bad)
+		}
+	}
+}
+
+// Replay counts exactly the state-changing events, matching Apply's
+// applied semantics, and never misreads an invalid op as a Clear.
+func TestReplayMatchesApply(t *testing.T) {
+	events := []Event{
+		{Op: Add, Node: grid.XY(1, 1)},
+		{Op: Add, Node: grid.XY(1, 1)},   // duplicate: ignored
+		{Op: Clear, Node: grid.XY(2, 2)}, // healthy: ignored
+		{Op: Add, Node: grid.XY(2, 2)},
+		{Op: Clear, Node: grid.XY(1, 1)},
+	}
+	m := grid.New(4, 4)
+	faults := nodeset.New(m)
+	changed := Replay(faults, events...)
+
+	e, err := New(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied, snap, err := e.Apply(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed != applied || changed != 3 {
+		t.Fatalf("Replay counted %d, Apply %d, want 3", changed, applied)
+	}
+	if !snap.Faults().Equal(faults) {
+		t.Fatalf("Replay state %v diverged from Apply state %v", faults, snap.Faults())
+	}
+
+	// An invalid op is ignored, not treated as a repair.
+	before := faults.Clone()
+	if n := Replay(faults, Event{Op: Op(7), Node: grid.XY(2, 2)}); n != 0 || !faults.Equal(before) {
+		t.Fatalf("invalid op changed state (n=%d, %v)", n, faults)
 	}
 }

@@ -120,11 +120,7 @@ func ChurnRebuild(c ChurnConfig) *core.Construction {
 	faults := nodeset.New(m)
 	var last *core.Construction
 	for _, ev := range c.Sequence() {
-		if ev.Op == engine.Add {
-			faults.Add(ev.Node)
-		} else {
-			faults.Remove(ev.Node)
-		}
+		engine.Replay(faults, ev)
 		last = core.Construct(m, faults, core.Options{Workers: 1})
 	}
 	return last

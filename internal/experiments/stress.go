@@ -1,0 +1,343 @@
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/grid"
+	"repro/internal/nodeset"
+	"repro/internal/shard"
+)
+
+// StressConfig describes the multi-shard stress/differential scenario: the
+// acceptance harness of the shard layer and a reusable soak test. Dozens
+// of independent meshes receive interleaved fault-churn streams from
+// concurrent clients; at checkpoints every shard's snapshot is verified
+// against a from-scratch core.Construct over the expected fault set.
+//
+// The scenario is deterministic: every per-shard event stream is a seeded
+// ChurnConfig sequence, each shard's stream is submitted in order (clients
+// parallelise across shards, never within one), and no wall-clock enters
+// the run. The report is therefore byte-identical for a fixed seed at any
+// Clients or MaxResident value — scheduling and eviction change only
+// operational counters, which the report keeps out of its deterministic
+// rendering.
+type StressConfig struct {
+	// Shards is the number of independent meshes.
+	Shards int
+	// MeshSize is the side length of each n×n mesh.
+	MeshSize int
+	// Events is the total number of events across all shards, including
+	// each shard's warm-up arrivals.
+	Events int
+	// Checkpoints is the number of verification barriers the run is
+	// divided into.
+	Checkpoints int
+	// Clients is the number of concurrent client goroutines submitting
+	// events (0 = GOMAXPROCS). It affects scheduling only, never results.
+	Clients int
+	// MaxResident bounds the manager's resident engines so the run
+	// exercises LRU eviction and rebuild (0 = unlimited).
+	MaxResident int
+	// BatchSize is the number of events per submission (0 = 64).
+	BatchSize int
+	// BaseSeed makes the whole scenario reproducible.
+	BaseSeed int64
+}
+
+// DefaultStress is the acceptance-scale scenario: 24 shards, 24k events,
+// eviction pressure (8 resident engines), 4 differential checkpoints.
+func DefaultStress() StressConfig {
+	return StressConfig{
+		Shards:      24,
+		MeshSize:    32,
+		Events:      24000,
+		Checkpoints: 4,
+		MaxResident: 8,
+		BatchSize:   64,
+		BaseSeed:    1,
+	}
+}
+
+func (c StressConfig) validate() error {
+	if c.Shards < 1 || c.MeshSize < 2 || c.Checkpoints < 1 || c.Events < 1 {
+		return fmt.Errorf("experiments: invalid stress config %+v", c)
+	}
+	perShard := c.Events / c.Shards
+	if warm := stressWarmup(c.MeshSize); perShard <= warm {
+		return fmt.Errorf("experiments: %d events over %d shards is below the %d-fault warm-up per shard",
+			c.Events, c.Shards, warm)
+	}
+	return nil
+}
+
+// stressWarmup is the steady-state fault target per shard: the paper's 1%
+// density, at least one fault.
+func stressWarmup(meshSize int) int {
+	if f := meshSize * meshSize / 100; f > 1 {
+		return f
+	}
+	return 1
+}
+
+// StressCheckpoint is the deterministic summary of one verification
+// barrier, aggregated over all shards.
+type StressCheckpoint struct {
+	Round      int    // 1-based
+	Events     int    // cumulative events submitted
+	Applied    uint64 // cumulative state-changing events (sum of shard versions)
+	Faults     int
+	Components int
+	Disabled   int
+	Unsafe     int
+	// Digest chains every shard's full verified state (fault, disabled and
+	// unsafe sets, polygon count, version) in shard order.
+	Digest uint64
+}
+
+// StressOps aggregates operational counters over the run. They depend on
+// scheduling and eviction timing, so they are reported separately from the
+// deterministic checkpoint data.
+type StressOps struct {
+	Requests  uint64
+	Batches   uint64
+	Evictions uint64
+	Rebuilds  uint64
+}
+
+// StressReport is the outcome of one stress run.
+type StressReport struct {
+	Config      StressConfig
+	Checkpoints []StressCheckpoint
+	// Verified counts the differential verifications performed
+	// (Shards × Checkpoints when the run passes).
+	Verified int
+	Ops      StressOps
+}
+
+// String renders the deterministic part of the report: byte-identical for
+// a fixed config seed at any Clients or MaxResident value.
+func (r *StressReport) String() string {
+	var b strings.Builder
+	c := r.Config
+	fmt.Fprintf(&b, "stress: shards=%d mesh=%dx%d events=%d checkpoints=%d batch=%d seed=%d\n",
+		c.Shards, c.MeshSize, c.MeshSize, c.Events, c.Checkpoints, c.BatchSize, c.BaseSeed)
+	for _, cp := range r.Checkpoints {
+		fmt.Fprintf(&b, "checkpoint %d/%d: events=%d applied=%d faults=%d components=%d disabled=%d unsafe=%d digest=%016x\n",
+			cp.Round, len(r.Checkpoints), cp.Events, cp.Applied, cp.Faults, cp.Components, cp.Disabled, cp.Unsafe, cp.Digest)
+	}
+	fmt.Fprintf(&b, "stress OK: %d shard snapshots differentially verified against core.Construct\n", r.Verified)
+	return b.String()
+}
+
+// stressShard is the driver's view of one shard: its precomputed event
+// stream split into per-round chunks, and the expected state the driver
+// replays independently of the shard layer.
+type stressShard struct {
+	name    string
+	shard   *shard.Shard
+	chunks  [][]engine.Event
+	faults  *nodeset.Set // expected fault set (driver-side replay)
+	applied uint64       // expected shard version
+	events  int          // cumulative events submitted
+}
+
+// Stress runs the scenario and differentially verifies every shard at
+// every checkpoint. It returns an error describing the first divergence;
+// a nil error means every shard matched a from-scratch core.Construct at
+// every checkpoint.
+func Stress(cfg StressConfig) (*StressReport, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	clients := cfg.Clients
+	if clients <= 0 {
+		clients = runtime.GOMAXPROCS(0)
+	}
+	batchSize := cfg.BatchSize
+	if batchSize <= 0 {
+		batchSize = 64
+	}
+
+	mesh := grid.New(cfg.MeshSize, cfg.MeshSize)
+	mgr := shard.NewManager(shard.Config{MaxResident: cfg.MaxResident})
+	defer mgr.Close()
+
+	// Precompute every shard's deterministic stream and register the
+	// shards. Streams reuse the churn generator: warm-up arrivals to the
+	// steady-state density, then arrival/repair churn.
+	warm := stressWarmup(cfg.MeshSize)
+	shards := make([]*stressShard, cfg.Shards)
+	for i := range shards {
+		per := cfg.Events / cfg.Shards
+		if i < cfg.Events%cfg.Shards {
+			per++
+		}
+		churn := ChurnConfig{
+			MeshSize: cfg.MeshSize,
+			Faults:   warm,
+			Events:   per - warm,
+			BaseSeed: cfg.BaseSeed + int64(i)*1_000_003,
+		}
+		name := fmt.Sprintf("mesh-%03d", i)
+		sh, err := mgr.Create(name, mesh)
+		if err != nil {
+			return nil, err
+		}
+		shards[i] = &stressShard{
+			name:   name,
+			shard:  sh,
+			chunks: splitChunks(churn.Sequence(), cfg.Checkpoints),
+			faults: nodeset.New(mesh),
+		}
+	}
+
+	rep := &StressReport{Config: cfg}
+	rep.Config.BatchSize = batchSize
+	for round := 0; round < cfg.Checkpoints; round++ {
+		// Fan this round's chunks out to the clients. Each shard's chunk is
+		// submitted by exactly one client, in stream order, as a series of
+		// BatchSize submissions interleaved with snapshot reads — so shards
+		// progress concurrently while every per-shard history stays
+		// deterministic.
+		tasks := make(chan *stressShard)
+		var wg sync.WaitGroup
+		var firstErr error
+		var errOnce sync.Once
+		var failed atomic.Bool
+		fail := func(err error) {
+			errOnce.Do(func() { firstErr = err })
+			failed.Store(true)
+		}
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				// After a failure, workers keep draining tasks without
+				// working them so the producer below never blocks on an
+				// unbuffered channel with no receivers left.
+				for ss := range tasks {
+					if failed.Load() {
+						continue
+					}
+					chunk := ss.chunks[round]
+					for start := 0; start < len(chunk); start += batchSize {
+						end := start + batchSize
+						if end > len(chunk) {
+							end = len(chunk)
+						}
+						if _, err := ss.shard.Apply(chunk[start:end]); err != nil {
+							fail(fmt.Errorf("%s round %d: %w", ss.name, round+1, err))
+							break
+						}
+						// A wait-free read between submissions, exercising
+						// concurrent readers (and rebuilds after eviction).
+						if _, err := ss.shard.Read(); err != nil {
+							fail(fmt.Errorf("%s round %d read: %w", ss.name, round+1, err))
+							break
+						}
+					}
+				}
+			}()
+		}
+		for _, ss := range shards {
+			tasks <- ss
+		}
+		close(tasks)
+		wg.Wait()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+
+		cp, err := verifyCheckpoint(shards, mesh, round)
+		if err != nil {
+			return nil, err
+		}
+		rep.Checkpoints = append(rep.Checkpoints, cp)
+		rep.Verified += len(shards)
+	}
+
+	for _, ss := range shards {
+		st := ss.shard.Stats()
+		rep.Ops.Requests += st.Requests
+		rep.Ops.Batches += st.Batches
+		rep.Ops.Evictions += st.Evictions
+		rep.Ops.Rebuilds += st.Rebuilds
+	}
+	return rep, nil
+}
+
+// verifyCheckpoint replays each shard's round chunk into the driver's
+// expected state and differentially verifies the shard's snapshot against
+// a from-scratch core.Construct.
+func verifyCheckpoint(shards []*stressShard, mesh grid.Mesh, round int) (StressCheckpoint, error) {
+	cp := StressCheckpoint{Round: round + 1}
+	digest := fnv.New64a()
+	for _, ss := range shards {
+		chunk := ss.chunks[round]
+		ss.events += len(chunk)
+		ss.applied += uint64(engine.Replay(ss.faults, chunk...))
+
+		v, err := ss.shard.Read()
+		if err != nil {
+			return cp, fmt.Errorf("%s checkpoint %d: %w", ss.name, round+1, err)
+		}
+		snap := v.Snapshot
+		if v.Version != ss.applied {
+			return cp, fmt.Errorf("%s checkpoint %d: version %d, expected %d applied events",
+				ss.name, round+1, v.Version, ss.applied)
+		}
+		if !snap.Faults().Equal(ss.faults) {
+			return cp, fmt.Errorf("%s checkpoint %d: fault set diverged", ss.name, round+1)
+		}
+		ref := core.Construct(mesh, ss.faults, core.Options{Workers: 1})
+		if !snap.Disabled().Equal(ref.Minimum.Disabled) {
+			return cp, fmt.Errorf("%s checkpoint %d: MFP disabled set diverged from core.Construct", ss.name, round+1)
+		}
+		if !snap.Unsafe().Equal(ref.Blocks.Unsafe) {
+			return cp, fmt.Errorf("%s checkpoint %d: FB unsafe set diverged from core.Construct", ss.name, round+1)
+		}
+		if len(snap.Polygons()) != len(ref.Minimum.Polygons) {
+			return cp, fmt.Errorf("%s checkpoint %d: %d polygons, core built %d",
+				ss.name, round+1, len(snap.Polygons()), len(ref.Minimum.Polygons))
+		}
+		for i, p := range snap.Polygons() {
+			if !p.Equal(ref.Minimum.Polygons[i]) {
+				return cp, fmt.Errorf("%s checkpoint %d: polygon %d diverged from core.Construct", ss.name, round+1, i)
+			}
+			if !snap.Components()[i].Nodes.Equal(ref.Minimum.Components[i].Nodes) {
+				return cp, fmt.Errorf("%s checkpoint %d: component %d diverged from core.Construct", ss.name, round+1, i)
+			}
+		}
+		if err := snap.Validate(); err != nil {
+			return cp, fmt.Errorf("%s checkpoint %d: %w", ss.name, round+1, err)
+		}
+
+		cp.Events += ss.events
+		cp.Applied += v.Version
+		cp.Faults += snap.Faults().Len()
+		cp.Components += len(snap.Polygons())
+		cp.Disabled += snap.Disabled().Len()
+		cp.Unsafe += snap.Unsafe().Len()
+		fmt.Fprintf(digest, "%s|%d|%v|%v|%v|%d\n",
+			ss.name, v.Version, snap.Faults(), snap.Disabled(), snap.Unsafe(), len(snap.Polygons()))
+	}
+	cp.Digest = digest.Sum64()
+	return cp, nil
+}
+
+// splitChunks cuts a sequence into n contiguous, nearly equal chunks
+// (possibly empty when the sequence is shorter than n).
+func splitChunks(seq []engine.Event, n int) [][]engine.Event {
+	out := make([][]engine.Event, n)
+	for i := 0; i < n; i++ {
+		out[i] = seq[i*len(seq)/n : (i+1)*len(seq)/n]
+	}
+	return out
+}

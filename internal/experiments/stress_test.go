@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// smallStress keeps the race-enabled test suite fast while still crossing
+// every interesting boundary: multiple shards, eviction pressure, several
+// checkpoints, uneven events-per-shard split.
+func smallStress() StressConfig {
+	return StressConfig{
+		Shards:      5,
+		MeshSize:    16,
+		Events:      1501,
+		Checkpoints: 3,
+		MaxResident: 2,
+		BatchSize:   32,
+		BaseSeed:    7,
+	}
+}
+
+// The acceptance property: for a fixed seed the report is byte-identical
+// at any client count and any eviction pressure.
+func TestStressDeterministicAcrossClientsAndResidency(t *testing.T) {
+	base := smallStress()
+	base.Clients = 1
+	ref, err := Stress(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.String()
+	if !strings.Contains(want, "stress OK: 15 shard snapshots") {
+		t.Fatalf("unexpected report:\n%s", want)
+	}
+	for _, variant := range []StressConfig{
+		{Clients: 4},
+		{Clients: 8, MaxResident: 1},
+		{Clients: 3, MaxResident: 0}, // unlimited: no eviction at all
+	} {
+		cfg := smallStress()
+		cfg.Clients = variant.Clients
+		cfg.MaxResident = variant.MaxResident
+		rep, err := Stress(cfg)
+		if err != nil {
+			t.Fatalf("clients=%d resident=%d: %v", cfg.Clients, cfg.MaxResident, err)
+		}
+		if got := rep.String(); got != want {
+			t.Fatalf("report diverged at clients=%d resident=%d:\n--- want\n%s--- got\n%s",
+				cfg.Clients, cfg.MaxResident, want, got)
+		}
+	}
+}
+
+// Eviction pressure must actually occur under a tight bound, and never
+// under an unlimited one.
+func TestStressEvictionPressure(t *testing.T) {
+	cfg := smallStress()
+	cfg.Clients = 2
+	rep, err := Stress(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops.Evictions == 0 || rep.Ops.Rebuilds == 0 {
+		t.Fatalf("no eviction under MaxResident=%d: %+v", cfg.MaxResident, rep.Ops)
+	}
+	cfg.MaxResident = 0
+	rep, err = Stress(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops.Evictions != 0 {
+		t.Fatalf("evictions without a residency bound: %+v", rep.Ops)
+	}
+}
+
+func TestStressConfigValidation(t *testing.T) {
+	for _, cfg := range []StressConfig{
+		{},
+		{Shards: 0, MeshSize: 16, Events: 100, Checkpoints: 1},
+		{Shards: 2, MeshSize: 1, Events: 100, Checkpoints: 1},
+		{Shards: 2, MeshSize: 16, Events: 100, Checkpoints: 0},
+		// 16x16 warm-up is 2 faults per shard; 4 events over 2 shards
+		// leaves no churn.
+		{Shards: 2, MeshSize: 16, Events: 4, Checkpoints: 1},
+	} {
+		if _, err := Stress(cfg); err == nil {
+			t.Fatalf("config accepted: %+v", cfg)
+		}
+	}
+}
+
+func TestDefaultStressMeetsAcceptanceScale(t *testing.T) {
+	cfg := DefaultStress()
+	if cfg.Shards < 20 || cfg.Events < 20000 {
+		t.Fatalf("default stress below the acceptance floor: %+v", cfg)
+	}
+}

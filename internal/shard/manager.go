@@ -1,0 +1,322 @@
+// Package shard scales the incremental engine from one mesh to many
+// tenants. A Manager owns a namespace of independently evolving meshes,
+// each backed by its own engine.Engine behind a per-shard mailbox
+// goroutine: event submissions queue into the mailbox and the goroutine
+// coalesces everything pending into a single engine.Apply, so a burst of
+// small batches against a hot shard pays for one snapshot publication, not
+// one per submission. Reads never enter the mailbox — every shard
+// publishes an immutable View through an atomic pointer, so snapshot reads
+// on a resident shard are wait-free even while batches land.
+//
+// Memory is bounded by an LRU policy over resident engines
+// (Config.MaxResident): the manager marks the least-recently-used shards
+// for eviction and each shard's own goroutine drops its engine and
+// published view at the next mailbox turn. What survives eviction is the
+// shard's persisted fault set — the authoritative record every mutation
+// updates — and because the engine's state is a pure function of the fault
+// set (components in seed order, closures, and the scheme-1 fixpoint are
+// all canonical), the rebuild on next access reproduces the exact
+// pre-eviction constructions. Eviction therefore never loses or reorders
+// state; it only trades the next access's latency for memory.
+//
+// The package is the backing store of the multi-mesh mfpd service and of
+// the mfpsim -stress harness, which drives tens of thousands of
+// interleaved events across dozens of shards and differentially verifies
+// every shard against a from-scratch core.Construct at checkpoints.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"regexp"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/grid"
+)
+
+// Errors reported by the manager and its shards.
+var (
+	// ErrUnknownMesh is returned when a name resolves to no mesh.
+	ErrUnknownMesh = errors.New("shard: unknown mesh")
+	// ErrMeshExists is returned by Create for a name already in use.
+	ErrMeshExists = errors.New("shard: mesh already exists")
+	// ErrClosed is returned once a shard (or the whole manager) has been
+	// deleted or shut down; requests already accepted still drain.
+	ErrClosed = errors.New("shard: mesh closed")
+	// ErrTooManyMeshes is returned by Create once Config.MaxMeshes meshes
+	// exist.
+	ErrTooManyMeshes = errors.New("shard: mesh limit reached")
+)
+
+// nameRE restricts mesh names to URL-path-safe tokens so mesh-scoped
+// routes need no escaping.
+var nameRE = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9._-]{0,63}$`)
+
+// ValidName reports whether name is an acceptable mesh name: 1–64
+// characters of [a-zA-Z0-9._-], starting with an alphanumeric.
+func ValidName(name string) bool { return nameRE.MatchString(name) }
+
+// Config tunes a Manager. The zero value is valid: unlimited resident
+// engines and default batching bounds.
+type Config struct {
+	// MaxResident bounds how many engines may be resident at once; beyond
+	// it the least-recently-used shards are evicted down to the bound
+	// (their persisted fault sets are retained and the engine is rebuilt
+	// on next access). Zero or negative means unlimited.
+	MaxResident int
+	// MaxMeshes bounds how many meshes may exist at once — unlike
+	// MaxResident it caps what eviction cannot reclaim (persisted fault
+	// sets, mailboxes, goroutines). Create fails with ErrTooManyMeshes
+	// beyond it. Zero or negative means unlimited.
+	MaxMeshes int
+	// MaxBatch caps how many events one mailbox drain coalesces into a
+	// single engine.Apply, bounding the latency a queued submission can
+	// accrue behind a giant batch. Zero means DefaultMaxBatch.
+	MaxBatch int
+	// Mailbox is the per-shard mailbox capacity in requests; submitters
+	// block (backpressure) once it fills. Zero means DefaultMailbox.
+	Mailbox int
+}
+
+// Defaults for the Config knobs.
+const (
+	DefaultMaxBatch = 4096
+	DefaultMailbox  = 64
+)
+
+// Manager owns a namespace of shards. All methods are safe for concurrent
+// use.
+type Manager struct {
+	cfg   Config
+	clock atomic.Uint64 // LRU clock, advanced by every shard access
+
+	mu       sync.Mutex
+	closed   bool
+	shards   map[string]*Shard
+	pending  map[string]struct{} // names reserved by in-flight Creates
+	resident map[*Shard]struct{}
+}
+
+// NewManager returns an empty manager.
+func NewManager(cfg Config) *Manager {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	if cfg.Mailbox <= 0 {
+		cfg.Mailbox = DefaultMailbox
+	}
+	return &Manager{
+		cfg:      cfg,
+		shards:   make(map[string]*Shard),
+		pending:  make(map[string]struct{}),
+		resident: make(map[*Shard]struct{}),
+	}
+}
+
+// Create registers a new named mesh and starts its shard. The engine is
+// built eagerly so an unsupported mesh (torus, empty) fails here, not on
+// first use.
+func (m *Manager) Create(name string, mesh grid.Mesh) (*Shard, error) {
+	if !ValidName(name) {
+		return nil, fmt.Errorf("shard: invalid mesh name %q (want 1-64 chars of [a-zA-Z0-9._-])", name)
+	}
+	// Reserve the name and a MaxMeshes slot before building anything, so a
+	// rejected request (duplicate name, full namespace) never pays the
+	// engine allocation — MaxMeshes is the memory backstop, it must bind
+	// before the memory is spent.
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrClosed
+	}
+	_, dupShard := m.shards[name]
+	_, dupPending := m.pending[name]
+	if dupShard || dupPending {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrMeshExists, name)
+	}
+	if m.cfg.MaxMeshes > 0 && len(m.shards)+len(m.pending) >= m.cfg.MaxMeshes {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%w (%d)", ErrTooManyMeshes, m.cfg.MaxMeshes)
+	}
+	m.pending[name] = struct{}{}
+	m.mu.Unlock()
+
+	s, err := newShard(m, name, mesh)
+
+	m.mu.Lock()
+	delete(m.pending, name)
+	if err != nil {
+		m.mu.Unlock()
+		return nil, err
+	}
+	if m.closed {
+		// Closed while building: the run goroutine never started, so the
+		// shard is just garbage.
+		m.mu.Unlock()
+		return nil, ErrClosed
+	}
+	m.shards[name] = s
+	victims := m.admitLocked(s)
+	m.mu.Unlock()
+
+	go s.run()
+	nudge(victims)
+	return s, nil
+}
+
+// Get resolves a mesh name to its shard.
+func (m *Manager) Get(name string) (*Shard, error) {
+	m.mu.Lock()
+	s, ok := m.shards[name]
+	closed := m.closed
+	m.mu.Unlock()
+	if !ok {
+		if closed {
+			return nil, ErrClosed
+		}
+		return nil, fmt.Errorf("%w: %q", ErrUnknownMesh, name)
+	}
+	return s, nil
+}
+
+// Delete removes the named mesh. New requests fail with ErrClosed (or
+// ErrUnknownMesh once a lookup no longer finds the name) while requests
+// already accepted drain first; Delete returns after the shard's goroutine
+// has exited.
+func (m *Manager) Delete(name string) error {
+	m.mu.Lock()
+	s, ok := m.shards[name]
+	if ok {
+		delete(m.shards, name)
+		delete(m.resident, s)
+	}
+	closed := m.closed
+	m.mu.Unlock()
+	if !ok {
+		if closed {
+			return ErrClosed
+		}
+		return fmt.Errorf("%w: %q", ErrUnknownMesh, name)
+	}
+	s.close()
+	return nil
+}
+
+// Len returns the number of meshes.
+func (m *Manager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.shards)
+}
+
+// List returns the stats of every mesh, sorted by name.
+func (m *Manager) List() []Stats {
+	m.mu.Lock()
+	shards := make([]*Shard, 0, len(m.shards))
+	for _, s := range m.shards {
+		shards = append(shards, s)
+	}
+	m.mu.Unlock()
+	sort.Slice(shards, func(i, j int) bool { return shards[i].name < shards[j].name })
+	out := make([]Stats, len(shards))
+	for i, s := range shards {
+		out[i] = s.Stats()
+	}
+	return out
+}
+
+// Close shuts the whole namespace down gracefully: every shard drains its
+// accepted requests and exits. Close returns once all shard goroutines
+// have stopped; it is idempotent.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	m.closed = true
+	shards := make([]*Shard, 0, len(m.shards))
+	for _, s := range m.shards {
+		shards = append(shards, s)
+	}
+	m.shards = make(map[string]*Shard)
+	m.resident = make(map[*Shard]struct{})
+	m.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for _, s := range shards {
+		wg.Add(1)
+		go func(s *Shard) {
+			defer wg.Done()
+			s.close()
+		}(s)
+	}
+	wg.Wait()
+}
+
+// touch advances the LRU clock for one shard access.
+func (m *Manager) touch(s *Shard) { s.lastUsed.Store(m.clock.Add(1)) }
+
+// noteResident records that s rebuilt its engine and returns the shards
+// the caller must nudge toward eviction. Called from s's own run
+// goroutine, which never holds m.mu.
+func (m *Manager) noteResident(s *Shard) []*Shard {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed || m.shards[s.name] != s {
+		// Deleted concurrently; the engine dies with the shard, so it does
+		// not count against the bound.
+		return nil
+	}
+	return m.admitLocked(s)
+}
+
+// noteEvicted records that s dropped its engine.
+func (m *Manager) noteEvicted(s *Shard) {
+	m.mu.Lock()
+	delete(m.resident, s)
+	m.mu.Unlock()
+}
+
+// admitLocked adds s to the resident set and, when the LRU bound is
+// exceeded, marks the least-recently-used other shards for eviction,
+// returning them for the caller to nudge outside the lock. Marked shards
+// stay formally resident until their own goroutine performs the eviction.
+func (m *Manager) admitLocked(s *Shard) []*Shard {
+	m.resident[s] = struct{}{}
+	if m.cfg.MaxResident <= 0 {
+		return nil
+	}
+	// Shards already marked count as departing, not resident: without the
+	// discount, repeated admits while a marked shard is still busy would
+	// mark ever more victims and drain the pool below the bound.
+	cands := make([]*Shard, 0, len(m.resident))
+	pending := 0
+	for r := range m.resident {
+		if r.evictPending.Load() {
+			pending++
+		} else if r != s {
+			cands = append(cands, r)
+		}
+	}
+	over := len(m.resident) - pending - m.cfg.MaxResident
+	if over <= 0 {
+		return nil
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].lastUsed.Load() < cands[j].lastUsed.Load() })
+	if over > len(cands) {
+		over = len(cands)
+	}
+	for _, v := range cands[:over] {
+		v.evictPending.Store(true)
+	}
+	return cands[:over]
+}
+
+// nudge wakes each marked shard so an idle one evicts promptly instead of
+// at its next event. A full mailbox means the shard is busy and will check
+// the pending flag after its current batch anyway.
+func nudge(victims []*Shard) {
+	for _, v := range victims {
+		v.nudgeEvict()
+	}
+}

@@ -1,0 +1,405 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/engine"
+	"repro/internal/grid"
+	"repro/internal/nodeset"
+)
+
+// request is one mailbox message: an event submission (possibly empty — a
+// touch that only forces residency and returns the current view), or an
+// eviction nudge (evict true, no reply).
+type request struct {
+	events []engine.Event
+	evict  bool
+	reply  chan result // buffered(1) so the run goroutine never blocks
+}
+
+type result struct {
+	applied int
+	view    View
+	err     error
+}
+
+// View pairs an engine snapshot with the shard version it reflects. The
+// shard version counts state-changing events over the shard's whole
+// lifetime; unlike Snapshot.Version it survives eviction/rebuild cycles,
+// so it is the number clients should compare across reads.
+type View struct {
+	Snapshot *engine.Snapshot
+	Version  uint64
+}
+
+// ApplyResult describes the outcome of one Apply call.
+type ApplyResult struct {
+	// Applied counts this submission's events that changed state; Ignored
+	// the duplicate adds and clears of healthy nodes.
+	Applied int
+	Ignored int
+	// View is the state after the coalesced batch this submission rode in:
+	// View.Version is the shard version right after this submission's
+	// events, and View.Snapshot reflects at least them (possibly also
+	// later submissions coalesced into the same engine batch).
+	View View
+}
+
+// Stats is a point-in-time description of one shard. Counter fields are
+// monotone over the shard's lifetime.
+type Stats struct {
+	Name   string `json:"name"`
+	Width  int    `json:"width"`
+	Height int    `json:"height"`
+	// Version is the number of state-changing events ever applied.
+	Version uint64 `json:"version"`
+	// Requests counts processed submissions, Events their total event
+	// count (including ignored duplicates), Batches the engine.Apply
+	// calls they were coalesced into (Batches <= Requests).
+	Requests uint64 `json:"requests"`
+	Events   uint64 `json:"events"`
+	Batches  uint64 `json:"batches"`
+	// Evictions counts LRU evictions, Rebuilds the engine rebuilds from
+	// the persisted fault set they forced.
+	Evictions uint64 `json:"evictions"`
+	Rebuilds  uint64 `json:"rebuilds"`
+	// Resident reports whether the engine is currently in memory.
+	Resident bool `json:"resident"`
+	// Faults and Components describe the current fault population (valid
+	// even while evicted).
+	Faults     int `json:"faults"`
+	Components int `json:"components"`
+	// QueueLen is the instantaneous mailbox backlog in requests.
+	QueueLen int `json:"queue_len"`
+}
+
+// Shard is one named mesh: a persisted fault set, an (evictable) engine,
+// and the mailbox goroutine that owns both. All methods are safe for
+// concurrent use.
+type Shard struct {
+	name string
+	mesh grid.Mesh
+	mgr  *Manager
+
+	mailbox chan *request
+	done    chan struct{}
+
+	// sendMu makes closing the mailbox safe against concurrent senders:
+	// senders hold the read side across the channel send, the closer takes
+	// the write side before closing.
+	sendMu   sync.RWMutex
+	closing  bool
+	closedFl atomic.Bool
+
+	view         atomic.Pointer[View] // nil while evicted
+	lastUsed     atomic.Uint64
+	evictPending atomic.Bool
+
+	// Owned by the run goroutine (after newShard returns):
+	eng    *engine.Engine
+	faults *nodeset.Set // persisted authoritative fault set
+
+	statsMu sync.Mutex
+	stats   counters
+}
+
+type counters struct {
+	version, requests, events, batches, evictions, rebuilds uint64
+	faults, components                                      int
+}
+
+func newShard(m *Manager, name string, mesh grid.Mesh) (*Shard, error) {
+	eng, err := engine.New(mesh)
+	if err != nil {
+		return nil, err
+	}
+	s := &Shard{
+		name:    name,
+		mesh:    mesh,
+		mgr:     m,
+		mailbox: make(chan *request, m.cfg.Mailbox),
+		done:    make(chan struct{}),
+		eng:     eng,
+		faults:  nodeset.New(mesh),
+	}
+	s.view.Store(&View{Snapshot: eng.Snapshot()})
+	m.touch(s)
+	return s, nil
+}
+
+// Name returns the shard's mesh name.
+func (s *Shard) Name() string { return s.name }
+
+// Mesh returns the shard's mesh.
+func (s *Shard) Mesh() grid.Mesh { return s.mesh }
+
+// Apply submits a batch of events and blocks until the shard's goroutine
+// has applied it (coalesced with whatever else was queued). Events are
+// validated as one submission: any out-of-mesh event fails this submission
+// alone, without failing others coalesced into the same engine batch.
+func (s *Shard) Apply(events []engine.Event) (ApplyResult, error) {
+	req := &request{events: events, reply: make(chan result, 1)}
+	if err := s.enqueue(req); err != nil {
+		return ApplyResult{}, err
+	}
+	res := <-req.reply
+	if res.err != nil {
+		return ApplyResult{}, res.err
+	}
+	return ApplyResult{
+		Applied: res.applied,
+		Ignored: len(events) - res.applied,
+		View:    res.view,
+	}, nil
+}
+
+// Read returns the shard's current view. On a resident shard this is
+// wait-free — two atomic loads, never blocked by event batches. On an
+// evicted shard it queues a touch through the mailbox, which rebuilds the
+// engine from the persisted fault set and republishes the view.
+func (s *Shard) Read() (View, error) {
+	if s.closedFl.Load() {
+		return View{}, ErrClosed
+	}
+	s.mgr.touch(s)
+	if v := s.view.Load(); v != nil {
+		return *v, nil
+	}
+	req := &request{reply: make(chan result, 1)}
+	if err := s.enqueue(req); err != nil {
+		return View{}, err
+	}
+	res := <-req.reply
+	return res.view, res.err
+}
+
+// Peek returns the current view without forcing residency or updating the
+// LRU clock: ok is false while the shard is evicted or closed. It never
+// blocks, which makes it the right read for monitoring paths that must not
+// defeat the MaxResident bound (Read would rebuild and mark the shard
+// most-recently-used).
+func (s *Shard) Peek() (View, bool) {
+	if s.closedFl.Load() {
+		return View{}, false
+	}
+	if v := s.view.Load(); v != nil {
+		return *v, true
+	}
+	return View{}, false
+}
+
+// Stats returns the shard's current stats.
+func (s *Shard) Stats() Stats {
+	s.statsMu.Lock()
+	c := s.stats
+	s.statsMu.Unlock()
+	return Stats{
+		Name:       s.name,
+		Width:      s.mesh.W,
+		Height:     s.mesh.H,
+		Version:    c.version,
+		Requests:   c.requests,
+		Events:     c.events,
+		Batches:    c.batches,
+		Evictions:  c.evictions,
+		Rebuilds:   c.rebuilds,
+		Resident:   s.view.Load() != nil,
+		Faults:     c.faults,
+		Components: c.components,
+		QueueLen:   len(s.mailbox),
+	}
+}
+
+// enqueue hands a request to the run goroutine, blocking when the mailbox
+// is full (backpressure). The read lock spans the channel send so close()
+// cannot close the mailbox midway through it.
+func (s *Shard) enqueue(req *request) error {
+	s.sendMu.RLock()
+	defer s.sendMu.RUnlock()
+	if s.closing {
+		return ErrClosed
+	}
+	s.mgr.touch(s)
+	s.mailbox <- req
+	return nil
+}
+
+// nudgeEvict wakes the run goroutine without queueing work, best-effort:
+// if the mailbox is full the shard is busy and will observe evictPending
+// after its current batch.
+func (s *Shard) nudgeEvict() {
+	s.sendMu.RLock()
+	defer s.sendMu.RUnlock()
+	if s.closing {
+		return
+	}
+	select {
+	case s.mailbox <- &request{evict: true}:
+	default:
+	}
+}
+
+// close stops the shard: new requests are refused, accepted ones drain,
+// and close returns once the run goroutine has exited. Idempotent.
+func (s *Shard) close() {
+	s.sendMu.Lock()
+	if s.closing {
+		s.sendMu.Unlock()
+		<-s.done
+		return
+	}
+	s.closing = true
+	s.closedFl.Store(true)
+	s.sendMu.Unlock()
+	close(s.mailbox)
+	<-s.done
+}
+
+// run is the shard's mailbox goroutine: it drains everything pending into
+// one coalesced batch, applies it, then handles any pending eviction. It
+// exits when the mailbox is closed and fully drained.
+func (s *Shard) run() {
+	defer close(s.done)
+	for first := range s.mailbox {
+		batch := s.drainInto(first)
+		s.process(batch)
+		s.maybeEvict()
+	}
+}
+
+// drainInto collects whatever else is already queued behind first, up to
+// the configured event cap, without blocking.
+func (s *Shard) drainInto(first *request) []*request {
+	batch := []*request{first}
+	size := len(first.events)
+	for size < s.mgr.cfg.MaxBatch {
+		select {
+		case req, ok := <-s.mailbox:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, req)
+			size += len(req.events)
+		default:
+			return batch
+		}
+	}
+	return batch
+}
+
+// process validates each submission, tracks per-submission applied counts
+// against the persisted fault set, applies the concatenation through the
+// engine in one batch, publishes the new view, and replies to every
+// waiter. Eviction nudges in the batch carry no work; they only woke the
+// goroutine so maybeEvict runs.
+func (s *Shard) process(batch []*request) {
+	reqs := batch[:0:0]
+	for _, r := range batch {
+		if !r.evict {
+			reqs = append(reqs, r)
+		}
+	}
+	if len(reqs) == 0 {
+		return
+	}
+	if s.eng == nil {
+		s.rebuild()
+	}
+
+	// Walk the persisted fault set through each valid submission in order.
+	// This both keeps the authoritative record current and yields the
+	// per-submission applied counts the coalesced engine batch cannot
+	// report itself.
+	var all []engine.Event
+	counts := make([]int, len(reqs))
+	errs := make([]error, len(reqs))
+	total := 0
+	for i, r := range reqs {
+		if err := engine.ValidateEvents(s.mesh, r.events); err != nil {
+			errs[i] = err
+			continue
+		}
+		counts[i] = engine.Replay(s.faults, r.events...)
+		total += counts[i]
+		all = append(all, r.events...)
+	}
+
+	applied, snap, err := s.eng.Apply(all)
+	if err != nil || applied != total {
+		// Unreachable: submissions were validated above and the persisted
+		// fault set walks in lockstep with the engine.
+		panic(fmt.Sprintf("shard %s: engine diverged from persisted fault set (applied %d, want %d, err %v)",
+			s.name, applied, total, err))
+	}
+
+	s.statsMu.Lock()
+	version := s.stats.version + uint64(total)
+	s.stats.version = version
+	for i, r := range reqs {
+		s.stats.requests++
+		if errs[i] == nil {
+			s.stats.events += uint64(len(r.events))
+		}
+	}
+	s.stats.batches++
+	s.stats.faults = s.faults.Len()
+	s.stats.components = len(snap.Polygons())
+	s.statsMu.Unlock()
+
+	s.view.Store(&View{Snapshot: snap, Version: version})
+
+	// Reply with per-submission versions: the shard version right after
+	// each submission's events, in coalescing order.
+	running := version - uint64(total)
+	for i, r := range reqs {
+		if errs[i] != nil {
+			r.reply <- result{err: errs[i]}
+			continue
+		}
+		running += uint64(counts[i])
+		r.reply <- result{applied: counts[i], view: View{Snapshot: snap, Version: running}}
+	}
+}
+
+// rebuild reconstructs the engine from the persisted fault set after an
+// eviction. The engine's state is a pure function of the fault set, so the
+// rebuilt constructions are identical to the evicted ones.
+func (s *Shard) rebuild() {
+	eng, err := engine.New(s.mesh)
+	if err != nil {
+		panic(fmt.Sprintf("shard %s: rebuild on mesh validated at create: %v", s.name, err))
+	}
+	if !s.faults.Empty() {
+		events := make([]engine.Event, 0, s.faults.Len())
+		s.faults.Each(func(c grid.Coord) {
+			events = append(events, engine.Event{Op: engine.Add, Node: c})
+		})
+		if _, _, err := eng.Apply(events); err != nil {
+			panic(fmt.Sprintf("shard %s: rebuild replay: %v", s.name, err))
+		}
+	}
+	s.eng = eng
+	s.statsMu.Lock()
+	s.stats.rebuilds++
+	version := s.stats.version
+	s.statsMu.Unlock()
+	s.view.Store(&View{Snapshot: eng.Snapshot(), Version: version})
+	nudge(s.mgr.noteResident(s))
+}
+
+// maybeEvict performs a manager-requested eviction: the engine and the
+// published view are dropped, the persisted fault set stays. The next
+// access rebuilds.
+func (s *Shard) maybeEvict() {
+	if !s.evictPending.Swap(false) || s.eng == nil {
+		return
+	}
+	s.eng = nil
+	s.view.Store(nil)
+	s.statsMu.Lock()
+	s.stats.evictions++
+	s.statsMu.Unlock()
+	s.mgr.noteEvicted(s)
+}
