@@ -18,8 +18,11 @@ FUZZTIME ?= 30s
 # experiments.DefaultStress (24 shards / 24k events, above the 20/20k
 # acceptance floor its tests assert) and flow into mfpsim's flag defaults.
 STRESS_FLAGS ?=
+# The seeded route sweep the route-check gate runs twice (at different
+# worker counts) and byte-compares.
+ROUTE_FLAGS ?= -mesh 50 -faults 25,50,100 -trials 3 -route-messages 200
 
-.PHONY: all build test race cover fuzz stress-check bench bench-json bench-check bench-baseline lint staticcheck fmt clean
+.PHONY: all build test race cover fuzz stress-check route-check bench bench-json bench-check bench-baseline lint staticcheck fmt clean
 
 all: lint build test
 
@@ -59,6 +62,17 @@ fuzz:
 stress-check:
 	$(GO) run -race ./cmd/mfpsim -stress $(STRESS_FLAGS)
 
+# The routing plane's gate: a routesim smoke run over every fault-region
+# model, then the seeded RouteSweep at two worker counts byte-compared —
+# the route tables must be identical at any pool size. CI runs this on
+# every PR.
+route-check:
+	$(GO) run ./cmd/routesim -mesh 32 -faults 40 -messages 2000
+	$(GO) run ./cmd/mfpsim -route $(ROUTE_FLAGS) -workers 1 > route-sweep-a.txt
+	$(GO) run ./cmd/mfpsim -route $(ROUTE_FLAGS) -workers 7 > route-sweep-b.txt
+	cmp route-sweep-a.txt route-sweep-b.txt
+	@cat route-sweep-a.txt
+
 # One iteration of every Go benchmark, no unit tests — the CI smoke run.
 bench:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...
@@ -92,4 +106,4 @@ fmt:
 	gofmt -w .
 
 clean:
-	rm -f $(BENCH_OUT) $(COVER_OUT)
+	rm -f $(BENCH_OUT) $(COVER_OUT) route-sweep-a.txt route-sweep-b.txt

@@ -6,12 +6,14 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
 
 	"repro/internal/engine"
 	"repro/internal/grid"
 	"repro/internal/nodeset"
+	"repro/internal/routing"
 	"repro/internal/shard"
 )
 
@@ -24,6 +26,15 @@ const maxMeshSide = 2048
 // thousands of events) so an oversized or endless body cannot exhaust the
 // service's memory.
 const maxEventBody = 8 << 20
+
+// maxRouteBody bounds a route request body, and maxRoutePairs the number
+// of pairs one batched request may carry: a batch occupies a worker pool
+// until it drains, so its size must stay a unit of scheduling, not a whole
+// workload.
+const (
+	maxRouteBody  = 1 << 20
+	maxRoutePairs = 4096
+)
 
 // server exposes a shard.Manager over HTTP. Mesh-scoped queries read a
 // single shard view up front and answer entirely from it, so every
@@ -38,12 +49,53 @@ const maxEventBody = 8 << 20
 //	POST   /meshes/{name}/events       apply a JSON array of fault events
 //	GET    /meshes/{name}/status?x=&y= per-node status
 //	GET    /meshes/{name}/polygons     every component's minimum polygon
+//	POST   /meshes/{name}/route        route messages around the polygons
 //	GET    /meshes/{name}/stats        shard + construction metrics
+//
+// Route queries are served from a routing planner memoized per shard
+// version (see shard.Shard.Planner): concurrent queries at one fault state
+// share the preprocessing, and the next fault event invalidates it. The
+// per-shard cache hit rate is part of /meshes/{name}/stats.
 type server struct {
 	mgr *shard.Manager
+	// routeSem is the server-wide budget of batch-routing workers (one
+	// token per CPU): each batched /route request grabs as many tokens as
+	// are free (blocking only for the first) and sizes its RouteAll pool
+	// accordingly, so an idle server gives one batch full parallelism
+	// while concurrent batches share the machine instead of each spawning
+	// a GOMAXPROCS-wide pool of their own.
+	routeSem chan struct{}
 }
 
-func newServer(mgr *shard.Manager) *server { return &server{mgr: mgr} }
+func newServer(mgr *shard.Manager) *server {
+	return &server{
+		mgr:      mgr,
+		routeSem: make(chan struct{}, runtime.GOMAXPROCS(0)),
+	}
+}
+
+// acquireRouteWorkers takes between 1 and want tokens from the route
+// budget, blocking only until the first is available. The caller must
+// release exactly the returned count.
+func (s *server) acquireRouteWorkers(want int) int {
+	s.routeSem <- struct{}{}
+	got := 1
+	for got < want {
+		select {
+		case s.routeSem <- struct{}{}:
+			got++
+		default:
+			return got
+		}
+	}
+	return got
+}
+
+func (s *server) releaseRouteWorkers(n int) {
+	for i := 0; i < n; i++ {
+		<-s.routeSem
+	}
+}
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch {
@@ -87,9 +139,12 @@ func writeDecodeError(w http.ResponseWriter, err error) {
 // writeShardError maps shard-layer errors onto HTTP statuses: a name that
 // resolves to nothing is 404, a mesh deleted (or a manager shut down) while
 // the request was in flight is 409 — the caller raced an administrative
-// action, not a bad request.
+// action, not a bad request — and a shard that latched an internal failure
+// is 500: the fault is the server's, not the client's.
 func writeShardError(w http.ResponseWriter, err error) {
 	switch {
+	case errors.Is(err, shard.ErrShardFailed):
+		writeError(w, http.StatusInternalServerError, "%v", err)
 	case errors.Is(err, shard.ErrUnknownMesh):
 		writeError(w, http.StatusNotFound, "%v", err)
 	case errors.Is(err, shard.ErrClosed):
@@ -179,6 +234,8 @@ func (s *server) handleMesh(w http.ResponseWriter, r *http.Request) {
 		s.handleStatus(w, r, sh)
 	case "polygons":
 		s.handlePolygons(w, r, sh)
+	case "route":
+		s.handleRoute(w, r, sh)
 	case "stats":
 		s.handleStats(w, r, sh)
 	default:
@@ -289,6 +346,136 @@ func (s *server) handlePolygons(w http.ResponseWriter, r *http.Request, sh *shar
 			Faults:  coords(snap.Components()[i].Nodes),
 			Polygon: coords(poly),
 		}
+	}
+	writeJSON(w, http.StatusOK, reply)
+}
+
+// routeRequest is the /route body: either one pair (src + dst) or a batch
+// (pairs), never both.
+type routeRequest struct {
+	Src   *xy         `json:"src,omitempty"`
+	Dst   *xy         `json:"dst,omitempty"`
+	Pairs []routePair `json:"pairs,omitempty"`
+}
+
+type routePair struct {
+	Src xy `json:"src"`
+	Dst xy `json:"dst"`
+}
+
+// routeReply answers a single-pair query with the full trajectory.
+type routeReply struct {
+	// Version is the shard version the route was computed against;
+	// CacheHit reports whether the query reused a memoized planner.
+	Version      uint64 `json:"version"`
+	CacheHit     bool   `json:"cache_hit"`
+	Src          xy     `json:"src"`
+	Dst          xy     `json:"dst"`
+	Length       int    `json:"length"`
+	AbnormalHops int    `json:"abnormal_hops"`
+	Path         []xy   `json:"path"`
+}
+
+// batchRouteReply answers a batched query with per-pair outcomes (hop
+// counts, not full paths — a batch exists to amortize, not to stream
+// trajectories).
+type batchRouteReply struct {
+	Version  uint64             `json:"version"`
+	CacheHit bool               `json:"cache_hit"`
+	Routes   []batchRouteResult `json:"routes"`
+}
+
+type batchRouteResult struct {
+	Length       int    `json:"length"`
+	AbnormalHops int    `json:"abnormal_hops"`
+	Error        string `json:"error,omitempty"`
+}
+
+// routeStatus maps a routing failure onto its HTTP status: a disabled
+// endpoint is a conflict with the mesh's current fault state (it can heal),
+// an undeliverable route (border detour, exhausted hop budget) is a
+// semantically valid request the current topology cannot satisfy, and
+// anything else (endpoints off the mesh) is a bad request.
+func routeStatus(err error) int {
+	switch {
+	case errors.Is(err, routing.ErrBlockedEndpoint):
+		return http.StatusConflict
+	case errors.Is(err, routing.ErrBorderRegion), errors.Is(err, routing.ErrHopBudget):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func (s *server) handleRoute(w http.ResponseWriter, r *http.Request, sh *shard.Shard) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, `POST {"src":{"x":..,"y":..},"dst":{..}} or {"pairs":[..]}`)
+		return
+	}
+	var req routeRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRouteBody))
+	if err := dec.Decode(&req); err != nil {
+		writeDecodeError(w, fmt.Errorf("bad route request: %w", err))
+		return
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		writeError(w, http.StatusBadRequest, "trailing data after route request")
+		return
+	}
+	single := req.Src != nil || req.Dst != nil
+	if single == (len(req.Pairs) > 0) {
+		writeError(w, http.StatusBadRequest, "provide either src+dst or pairs")
+		return
+	}
+	if single && (req.Src == nil || req.Dst == nil) {
+		writeError(w, http.StatusBadRequest, "single queries need both src and dst")
+		return
+	}
+	if len(req.Pairs) > maxRoutePairs {
+		writeError(w, http.StatusRequestEntityTooLarge, "batch of %d pairs exceeds %d", len(req.Pairs), maxRoutePairs)
+		return
+	}
+
+	planner, v, hit, err := sh.Planner()
+	if err != nil {
+		writeShardError(w, err)
+		return
+	}
+
+	if single {
+		src, dst := grid.XY(req.Src.X, req.Src.Y), grid.XY(req.Dst.X, req.Dst.Y)
+		route, err := planner.Route(src, dst)
+		if err != nil {
+			writeError(w, routeStatus(err), "%v", err)
+			return
+		}
+		path := make([]xy, 0, route.Length()+1)
+		for _, c := range route.Path() {
+			path = append(path, xy{c.X, c.Y})
+		}
+		writeJSON(w, http.StatusOK, routeReply{
+			Version: v.Version, CacheHit: hit,
+			Src: *req.Src, Dst: *req.Dst,
+			Length: route.Length(), AbnormalHops: route.AbnormalHops,
+			Path: path,
+		})
+		return
+	}
+
+	queries := make([]routing.Query, len(req.Pairs))
+	for i, p := range req.Pairs {
+		queries[i] = routing.Query{Src: grid.XY(p.Src.X, p.Src.Y), Dst: grid.XY(p.Dst.X, p.Dst.Y)}
+	}
+	workers := s.acquireRouteWorkers(min(len(queries), cap(s.routeSem)))
+	results := planner.RouteAll(queries, workers)
+	s.releaseRouteWorkers(workers)
+	reply := batchRouteReply{Version: v.Version, CacheHit: hit, Routes: make([]batchRouteResult, len(results))}
+	for i, res := range results {
+		if res.Err != nil {
+			reply.Routes[i] = batchRouteResult{Error: res.Err.Error()}
+			continue
+		}
+		reply.Routes[i] = batchRouteResult{Length: res.Route.Length(), AbnormalHops: res.Route.AbnormalHops}
 	}
 	writeJSON(w, http.StatusOK, reply)
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"runtime"
 	"strconv"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/grid"
 	"repro/internal/mfp"
+	"repro/internal/routing"
 )
 
 // benchWorkerCounts returns the worker-pool sizes the -bench-json mode
@@ -59,10 +61,11 @@ func timeIt(iterations int, fn func()) (float64, int) {
 // runBenchSweep times every requested figure sweep, plus the paper's
 // largest single construction (mfp.Build on 800 clustered faults) at each
 // worker count, plus the churn scenario (incremental engine vs full
-// rebuild per event), and returns the report with speedups filled in.
+// rebuild per event), plus the route-serving workloads derived from the
+// route config, and returns the report with speedups filled in.
 // maxWorkers caps the timed pool sizes (the -workers flag); zero means up
 // to one worker per CPU.
-func runBenchSweep(models []fault.Model, figures []int, cfg experiments.Config, churn experiments.ChurnConfig, iterations, maxWorkers int) (*benchfmt.Report, error) {
+func runBenchSweep(models []fault.Model, figures []int, cfg experiments.Config, churn experiments.ChurnConfig, route experiments.RouteConfig, iterations, maxWorkers int) (*benchfmt.Report, error) {
 	if iterations < 1 {
 		iterations = 1
 	}
@@ -117,6 +120,35 @@ func runBenchSweep(models []fault.Model, figures []int, cfg experiments.Config, 
 			Name: "mfp.Build/mesh100/faults800/seed1", Workers: w,
 			Iterations: iters, Seconds: secs,
 		})
+	}
+
+	// Route-serving records. The sweep record times the whole RouteSweep
+	// scenario (engine feed, planner build, message batch per cell) at
+	// each pool size; the planner record isolates the preprocessing one
+	// planner cache miss pays; the serve record isolates steady-state
+	// query serving — one prepared planner answering a fixed RouteAll
+	// batch. All three derive from the route config, whose names encode
+	// the scale, so reports at different settings never cross-compare.
+	routeName := fmt.Sprintf("%s/faults%s", route.Name(), faultsLabel(route.FaultCounts))
+	for _, w := range counts {
+		route.Workers = w
+		secs, iters := timeIt(iterations, func() { experiments.RouteSweep(route) })
+		rep.Add(benchfmt.Record{Name: routeName, Workers: w, Iterations: iters, Seconds: secs})
+	}
+
+	serveFaults := route.FaultCounts[len(route.FaultCounts)-1]
+	snap, queries := routeServeFixture(route, serveFaults)
+	var planner *routing.Planner
+	secs, iters := timeIt(iterations, func() { planner = routing.NewPlanner(snap) })
+	rep.Add(benchfmt.Record{
+		Name:       fmt.Sprintf("route/planner/mesh%d/faults%d/seed1", route.MeshSize, serveFaults),
+		Workers:    1,
+		Iterations: iters, Seconds: secs,
+	})
+	serveName := fmt.Sprintf("route/serve/mesh%d/faults%d/seed1/msgs%d", route.MeshSize, serveFaults, len(queries))
+	for _, w := range counts {
+		secs, iters := timeIt(iterations, func() { planner.RouteAll(queries, w) })
+		rep.Add(benchfmt.Record{Name: serveName, Workers: w, Iterations: iters, Seconds: secs})
 	}
 
 	rep.ComputeSpeedups()
@@ -236,19 +268,44 @@ func writeBenchReport(path string, rep *benchfmt.Report) error {
 	return f.Close()
 }
 
-// compareBenchReport diffs the current report against the baseline file and
-// returns the workloads that regressed past the tolerated slowdown ratio.
-func compareBenchReport(baselinePath string, current *benchfmt.Report, tolerance float64) ([]benchfmt.Regression, error) {
+// compareBenchReport diffs the current report against the baseline file
+// and returns the full verdict: the workloads that regressed past the
+// tolerated slowdown ratio, plus the pairs no ratio could be formed for
+// (new/retired workloads, zero times), which the caller surfaces as notes.
+func compareBenchReport(baselinePath string, current *benchfmt.Report, tolerance float64) (benchfmt.Comparison, error) {
 	f, err := os.Open(baselinePath)
 	if err != nil {
-		return nil, err
+		return benchfmt.Comparison{}, err
 	}
 	defer f.Close()
 	baseline, err := benchfmt.ReadJSON(f)
 	if err != nil {
-		return nil, err
+		return benchfmt.Comparison{}, err
 	}
-	return benchfmt.Compare(baseline, current, tolerance), nil
+	return benchfmt.Diff(baseline, current, tolerance), nil
+}
+
+// routeServeFixture prepares the serving benchmark at the route config's
+// scale: the engine snapshot of a fixed clustered fault set (seed 1, kept
+// off the border by the config's margin), plus a seeded batch of 2000
+// query pairs drawn from the whole mesh (blocked endpoints included —
+// rejecting them is part of serving).
+func routeServeFixture(route experiments.RouteConfig, faultCount int) (*engine.Snapshot, []routing.Query) {
+	m := grid.New(route.MeshSize, route.MeshSize)
+	faults := fault.InjectWithMargin(m, fault.Clustered, 1, faultCount, route.Margin)
+	snap, err := engine.SnapshotOf(m, faults)
+	if err != nil {
+		panic(fmt.Sprintf("mfpsim: route fixture: %v", err))
+	}
+	rng := rand.New(rand.NewSource(1))
+	queries := make([]routing.Query, 2000)
+	for i := range queries {
+		queries[i] = routing.Query{
+			Src: grid.XY(rng.Intn(m.W), rng.Intn(m.H)),
+			Dst: grid.XY(rng.Intn(m.W), rng.Intn(m.H)),
+		}
+	}
+	return snap, queries
 }
 
 // printBenchSummary renders the report's speedup column for the terminal;

@@ -45,11 +45,13 @@ func TestRunBenchSweepAndReport(t *testing.T) {
 		BaseSeed:    5,
 	}
 	churn := experiments.ChurnConfig{MeshSize: 20, Faults: 6, Events: 20, BaseSeed: 5}
-	rep, err := runBenchSweep([]fault.Model{fault.Random}, []int{9}, cfg, churn, 1, 0)
+	route := testRouteConfig()
+	rep, err := runBenchSweep([]fault.Model{fault.Random}, []int{9}, cfg, churn, route, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	var sawSweepSerial, sawBuild, sawChurnRebuild, sawChurnIncremental bool
+	var sawRouteSweep, sawRoutePlanner, sawRouteServe bool
 	for _, rec := range rep.Records {
 		if strings.HasPrefix(rec.Name, "figure9/random/") && rec.Workers == 1 {
 			sawSweepSerial = true
@@ -72,12 +74,24 @@ func TestRunBenchSweepAndReport(t *testing.T) {
 				t.Fatalf("churn incremental record lost its speedup: %+v", rec)
 			}
 		}
+		if strings.HasPrefix(rec.Name, "route/sweep/") {
+			sawRouteSweep = true
+		}
+		if strings.HasPrefix(rec.Name, "route/planner/") {
+			sawRoutePlanner = true
+		}
+		if strings.HasPrefix(rec.Name, "route/serve/") {
+			sawRouteServe = true
+		}
 		if rec.Seconds <= 0 {
 			t.Fatalf("record %q has non-positive time %v", rec.Name, rec.Seconds)
 		}
 	}
 	if !sawSweepSerial || !sawBuild || !sawChurnRebuild || !sawChurnIncremental {
 		t.Fatalf("report misses expected workloads: %+v", rep.Records)
+	}
+	if !sawRouteSweep || !sawRoutePlanner || !sawRouteServe {
+		t.Fatalf("report misses route workloads: %+v", rep.Records)
 	}
 
 	path := filepath.Join(t.TempDir(), "BENCH_sweep.json")
@@ -97,13 +111,30 @@ func TestRunBenchSweepAndReport(t *testing.T) {
 		t.Fatalf("%d records after round trip, want %d", len(back.Records), len(rep.Records))
 	}
 
-	// A report can never regress against itself.
-	regressions, err := compareBenchReport(path, rep, 1.0)
+	// A report can never regress against itself, and a self-diff has no
+	// one-sided or zero-time pairs to skip.
+	cmp, err := compareBenchReport(path, rep, 1.0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(regressions) != 0 {
-		t.Fatalf("self-comparison flagged %+v", regressions)
+	if len(cmp.Regressions) != 0 {
+		t.Fatalf("self-comparison flagged %+v", cmp.Regressions)
+	}
+	if len(cmp.Skipped) != 0 {
+		t.Fatalf("self-comparison skipped %+v", cmp.Skipped)
+	}
+}
+
+// testRouteConfig is a tiny, fast route scale for bench tests.
+func testRouteConfig() experiments.RouteConfig {
+	return experiments.RouteConfig{
+		MeshSize:    20,
+		FaultCounts: []int{4, 8},
+		Trials:      1,
+		Model:       fault.Clustered,
+		BaseSeed:    5,
+		Messages:    40,
+		Margin:      3,
 	}
 }
 
@@ -139,7 +170,7 @@ func TestTimeItCalibrates(t *testing.T) {
 func TestRunBenchSweepRejectsUnknownFigure(t *testing.T) {
 	cfg := experiments.Config{MeshSize: 10, FaultCounts: []int{5}, Trials: 1, BaseSeed: 1}
 	churn := experiments.ChurnConfig{MeshSize: 10, Faults: 2, Events: 4, BaseSeed: 1}
-	if _, err := runBenchSweep([]fault.Model{fault.Random}, []int{12}, cfg, churn, 1, 0); err == nil {
+	if _, err := runBenchSweep([]fault.Model{fault.Random}, []int{12}, cfg, churn, testRouteConfig(), 1, 0); err == nil {
 		t.Fatal("figure 12 should be rejected")
 	}
 }
@@ -148,7 +179,7 @@ func TestRunBenchSweepRejectsUnknownFigure(t *testing.T) {
 func TestRunBenchSweepHonorsWorkersCap(t *testing.T) {
 	cfg := experiments.Config{MeshSize: 15, FaultCounts: []int{5}, Trials: 1, BaseSeed: 3}
 	churn := experiments.ChurnConfig{MeshSize: 15, Faults: 2, Events: 4, BaseSeed: 3}
-	rep, err := runBenchSweep([]fault.Model{fault.Random}, []int{9}, cfg, churn, 1, 2)
+	rep, err := runBenchSweep([]fault.Model{fault.Random}, []int{9}, cfg, churn, testRouteConfig(), 1, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -14,6 +14,8 @@
 //	mfpsim -churn 200                        # incremental vs rebuild speedup
 //	mfpsim -stress                           # multi-shard differential stress run
 //	mfpsim -stress -stress-shards 40 -stress-events 100000 -stress-clients 16
+//	mfpsim -route                            # detour overhead vs fault density
+//	mfpsim -route -route-messages 1000 -dist clustered -workers 4
 //
 // Figure 9 tables are printed as log10 of the disabled-node count, matching
 // the paper's y-axis; -csv always emits raw values.
@@ -31,6 +33,14 @@
 // override with -faults taking the first count) replayed both through the
 // incremental engine and through a from-scratch core.Construct per event,
 // differentially checked and reported with the speedup.
+//
+// -route runs the route-overhead sweep: every (faultCount, trial) cell
+// feeds its fault set through the incremental engine, builds a
+// routing.Planner from the snapshot (the preparation path mfpd's route
+// endpoint serves from), routes -route-messages seeded pairs, and reports
+// routable%, delivered%, stretch and the abnormal-hop share. Tables are
+// byte-identical at any -workers value; CI diffs two worker counts (make
+// route-check).
 //
 // -stress drives interleaved fault churn across dozens of independent
 // meshes (internal/shard) from concurrent clients under LRU eviction
@@ -70,6 +80,8 @@ func main() {
 	benchCompare := flag.String("bench-compare", "", "baseline report to diff the -bench-json run against; regressions exit non-zero")
 	benchTolerance := flag.Float64("bench-tolerance", 1.30, "slowdown ratio tolerated by -bench-compare")
 	churn := flag.Int("churn", 0, "run the fault-churn scenario with this many events and report the incremental-vs-rebuild speedup")
+	route := flag.Bool("route", false, "run the route-overhead sweep: routed stretch and abnormal-hop share vs fault density under the MFP model")
+	routeMessages := flag.Int("route-messages", experiments.DefaultRoute(fault.Random, 1).Messages, "routed source/destination pairs per sweep cell in -route mode")
 	// Flag defaults come from DefaultStress so the acceptance-scale floor
 	// asserted in its tests binds to what `mfpsim -stress` (and CI's
 	// stress gate) actually runs.
@@ -100,6 +112,16 @@ func main() {
 	}
 	if *stress && (*verify || *benchJSON || *churn > 0) {
 		fatal(fmt.Errorf("-stress cannot be combined with -verify, -bench-json or -churn"))
+	}
+	if *route && (*verify || *benchJSON || *churn > 0 || *stress) {
+		fatal(fmt.Errorf("-route cannot be combined with -verify, -bench-json, -churn or -stress"))
+	}
+	if !*route {
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "route-messages" {
+				fatal(fmt.Errorf("-route-messages requires -route"))
+			}
+		})
 	}
 	if !*stress {
 		// The stress knobs only act in -stress mode; reject them elsewhere
@@ -166,6 +188,38 @@ func main() {
 		fatal(err)
 	}
 
+	if *route {
+		def := experiments.DefaultRoute(models[0], *trials)
+		if 2*def.Margin >= *mesh {
+			fatal(fmt.Errorf("-route needs -mesh > %d (the fault-injection margin)", 2*def.Margin))
+		}
+		for _, model := range models {
+			cfg := experiments.DefaultRoute(model, *trials)
+			cfg.MeshSize = *mesh
+			cfg.BaseSeed = *seed
+			cfg.Workers = *workers
+			cfg.Messages = *routeMessages
+			if len(counts) > 0 {
+				cfg.FaultCounts = counts
+			}
+			if err := cfg.Check(); err != nil {
+				fatal(err)
+			}
+			tab := experiments.RouteSweep(cfg)
+			if *csv {
+				fmt.Printf("# route sweep, %s fault distribution, %dx%d mesh, %d trials, %d messages/cell\n",
+					model, *mesh, *mesh, *trials, cfg.Messages)
+				fmt.Print(tab.CSV(nil))
+				continue
+			}
+			fmt.Printf("Route sweep — extended e-cube detour overhead under the MFP model (%s fault distribution, %dx%d mesh, %d trials, %d messages/cell)\n",
+				model, *mesh, *mesh, *trials, cfg.Messages)
+			fmt.Print(tab.Format(nil))
+			fmt.Println()
+		}
+		return
+	}
+
 	if *churn > 0 {
 		cfg := churnConfig(*mesh, counts, *churn, *seed)
 		if cfg.Faults > *mesh**mesh {
@@ -189,7 +243,8 @@ func main() {
 		if len(counts) > 0 {
 			cfg.FaultCounts = counts
 		}
-		rep, err := runBenchSweep(models, figures, cfg, experiments.DefaultChurn(), *benchIter, *workers)
+		rep, err := runBenchSweep(models, figures, cfg, experiments.DefaultChurn(),
+			experiments.DefaultRoute(fault.Clustered, *trials), *benchIter, *workers)
 		if err != nil {
 			fatal(err)
 		}
@@ -199,17 +254,24 @@ func main() {
 		printBenchSummary(os.Stdout, rep)
 		fmt.Printf("wrote %s\n", *benchOut)
 		if *benchCompare != "" {
-			regressions, err := compareBenchReport(*benchCompare, rep, *benchTolerance)
+			cmp, err := compareBenchReport(*benchCompare, rep, *benchTolerance)
 			if err != nil {
 				fatal(err)
 			}
-			for _, g := range regressions {
+			// Skips are verdicts, not failures: new and retired workloads
+			// are expected across PRs, but a gate that silently compared
+			// nothing must be visible in the log.
+			for _, s := range cmp.Skipped {
+				fmt.Fprintln(os.Stderr, "mfpsim: benchmark", s)
+			}
+			for _, g := range cmp.Regressions {
 				fmt.Fprintln(os.Stderr, "mfpsim: benchmark regression:", g)
 			}
-			if len(regressions) > 0 {
+			if len(cmp.Regressions) > 0 {
 				os.Exit(1)
 			}
-			fmt.Printf("no regressions against %s (tolerance %.2fx)\n", *benchCompare, *benchTolerance)
+			fmt.Printf("no regressions against %s (tolerance %.2fx, %d workloads skipped)\n",
+				*benchCompare, *benchTolerance, len(cmp.Skipped))
 		}
 		return
 	}

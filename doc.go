@@ -28,10 +28,23 @@
 // idle engines, which rebuild exactly from their persisted fault sets on
 // next access. cmd/mfpd serves the shard manager as a long-lived HTTP
 // service (admin create/delete/list plus mesh-scoped events/status/
-// polygon/stats routes, with graceful drain on shutdown), cmd/mfpsim
+// polygon/route/stats routes, with graceful drain on shutdown), cmd/mfpsim
 // -churn and the churn records of -bench-json quantify the
 // incremental-vs-rebuild speedup, and examples/churn is the runnable
 // walkthrough.
+//
+// The routing plane closes the loop from constructed polygons back to the
+// paper's motivation — routing around them: routing.NewPlanner prepares
+// extended e-cube routing directly from an engine snapshot (reusing its
+// cached polygons instead of re-flooding the disabled union), serves
+// single and batched queries (RouteAll, deterministic at any worker
+// count), and is memoized per shard version so concurrent route queries
+// at one fault state share the preprocessing and the next fault event
+// invalidates it. cmd/mfpd exposes it as POST /meshes/{name}/route,
+// cmd/routesim compares the detour overhead of the FB/FP/MFP models on
+// the same planner machinery, and experiments.RouteSweep (mfpsim -route,
+// the route/* records of -bench-json) sweeps routed stretch and
+// abnormal-hop share against fault density.
 //
 // Correctness is enforced in layers: every engine snapshot is
 // differentially tested against a from-scratch core.Construct, cmd/mfpsim

@@ -109,30 +109,91 @@ func (g Regression) String() string {
 	return fmt.Sprintf("%s (workers=%d): %.4fs -> %.4fs (%.2fx)", g.Name, g.Workers, g.Old, g.New, g.Ratio)
 }
 
-// Compare flags every (Name, Workers) present in both reports whose current
-// time exceeds the baseline by more than the tolerated ratio (e.g. 1.25 for
-// "fail when 25% slower"). Workloads present in only one report are ignored:
-// adding or retiring benchmarks is not a regression.
-func Compare(baseline, current *Report, tolerance float64) []Regression {
+// Skip reasons a (Name, Workers) pair can be excluded from the regression
+// ratio with.
+const (
+	// SkipNoBaseline marks a current record with no baseline counterpart
+	// (a new workload).
+	SkipNoBaseline = "missing from baseline"
+	// SkipRetired marks a baseline record with no current counterpart (a
+	// retired workload).
+	SkipRetired = "missing from current"
+	// SkipZeroBaseline marks a pair whose baseline time is zero or
+	// negative: the ratio would be Inf/NaN, so the pair is unusable until
+	// the baseline is re-recorded.
+	SkipZeroBaseline = "zero baseline time"
+	// SkipZeroCurrent marks a pair whose current time is zero or negative
+	// (a broken measurement, never a speedup).
+	SkipZeroCurrent = "zero current time"
+)
+
+// Skip is one workload the comparison could not form a ratio for, with the
+// reason. Skips are verdicts, not errors: new and retired workloads are
+// expected across PRs, but tooling should surface them so a gate that
+// silently compared nothing is visible.
+type Skip struct {
+	Name    string
+	Workers int
+	Reason  string
+}
+
+// String renders the skip for CI logs.
+func (s Skip) String() string {
+	return fmt.Sprintf("%s (workers=%d): skipped: %s", s.Name, s.Workers, s.Reason)
+}
+
+// Comparison is the full verdict of diffing two reports: the workloads
+// that regressed and the ones no ratio could be formed for.
+type Comparison struct {
+	Regressions []Regression
+	Skipped     []Skip
+}
+
+// Diff compares every (Name, Workers) pair across the two reports. Pairs
+// present in both with positive times are ratio-checked against the
+// tolerated slowdown (e.g. 1.25 for "fail when 25% slower"); every other
+// pair — missing on either side, or carrying a zero/negative time that
+// would make the ratio Inf/NaN — produces an explicit Skip verdict instead
+// of being silently ignored.
+func Diff(baseline, current *Report, tolerance float64) Comparison {
 	type key struct {
 		name    string
 		workers int
 	}
 	old := map[key]float64{}
 	for _, rec := range baseline.Records {
-		if rec.Seconds > 0 {
-			old[key{rec.Name, rec.Workers}] = rec.Seconds
+		old[key{rec.Name, rec.Workers}] = rec.Seconds
+	}
+	var out Comparison
+	seen := map[key]bool{}
+	for _, rec := range current.Records {
+		k := key{rec.Name, rec.Workers}
+		seen[k] = true
+		base, ok := old[k]
+		switch {
+		case !ok:
+			out.Skipped = append(out.Skipped, Skip{Name: rec.Name, Workers: rec.Workers, Reason: SkipNoBaseline})
+		case base <= 0:
+			out.Skipped = append(out.Skipped, Skip{Name: rec.Name, Workers: rec.Workers, Reason: SkipZeroBaseline})
+		case rec.Seconds <= 0:
+			out.Skipped = append(out.Skipped, Skip{Name: rec.Name, Workers: rec.Workers, Reason: SkipZeroCurrent})
+		default:
+			if ratio := rec.Seconds / base; ratio > tolerance {
+				out.Regressions = append(out.Regressions,
+					Regression{Name: rec.Name, Workers: rec.Workers, Old: base, New: rec.Seconds, Ratio: ratio})
+			}
 		}
 	}
-	var out []Regression
-	for _, rec := range current.Records {
-		base, ok := old[key{rec.Name, rec.Workers}]
-		if !ok || rec.Seconds <= 0 {
-			continue
-		}
-		if ratio := rec.Seconds / base; ratio > tolerance {
-			out = append(out, Regression{Name: rec.Name, Workers: rec.Workers, Old: base, New: rec.Seconds, Ratio: ratio})
+	for _, rec := range baseline.Records {
+		if !seen[key{rec.Name, rec.Workers}] {
+			out.Skipped = append(out.Skipped, Skip{Name: rec.Name, Workers: rec.Workers, Reason: SkipRetired})
 		}
 	}
 	return out
+}
+
+// Compare returns only the regressions of Diff — the gate half of the
+// verdict. Use Diff when the skip verdicts should be surfaced too.
+func Compare(baseline, current *Report, tolerance float64) []Regression {
+	return Diff(baseline, current, tolerance).Regressions
 }

@@ -1,6 +1,7 @@
 package benchfmt
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -94,5 +95,68 @@ func TestCompare(t *testing.T) {
 	}
 	if rs := Compare(base, cur, 2.5); len(rs) != 0 {
 		t.Fatalf("loose tolerance still flagged %+v", rs)
+	}
+}
+
+// TestDiffSkipVerdicts: one-sided records and zero times must yield
+// explicit skip verdicts — never a silent omission, an Inf ratio or a
+// spurious regression.
+func TestDiffSkipVerdicts(t *testing.T) {
+	base := New("go1.21", 8)
+	base.Add(Record{Name: "steady", Workers: 1, Seconds: 1.0})
+	base.Add(Record{Name: "retired", Workers: 1, Seconds: 1.0})
+	base.Add(Record{Name: "zero-base", Workers: 1, Seconds: 0})
+	base.Add(Record{Name: "zero-cur", Workers: 1, Seconds: 1.0})
+
+	cur := New("go1.21", 8)
+	cur.Add(Record{Name: "steady", Workers: 1, Seconds: 1.0})
+	cur.Add(Record{Name: "zero-base", Workers: 1, Seconds: 5.0})
+	cur.Add(Record{Name: "zero-cur", Workers: 1, Seconds: 0})
+	cur.Add(Record{Name: "fresh", Workers: 1, Seconds: 3.0})
+
+	got := Diff(base, cur, 1.25)
+	if len(got.Regressions) != 0 {
+		t.Fatalf("nothing regressed, got %+v", got.Regressions)
+	}
+	for _, g := range got.Regressions {
+		if math.IsInf(g.Ratio, 0) || math.IsNaN(g.Ratio) {
+			t.Fatalf("Inf/NaN ratio leaked: %+v", g)
+		}
+	}
+	want := map[string]string{
+		"zero-base": SkipZeroBaseline,
+		"zero-cur":  SkipZeroCurrent,
+		"fresh":     SkipNoBaseline,
+		"retired":   SkipRetired,
+	}
+	if len(got.Skipped) != len(want) {
+		t.Fatalf("skips %+v, want one per problem record", got.Skipped)
+	}
+	for _, s := range got.Skipped {
+		if want[s.Name] != s.Reason {
+			t.Fatalf("skip %q reason %q, want %q", s.Name, s.Reason, want[s.Name])
+		}
+		if str := s.String(); !strings.Contains(str, "skipped") || !strings.Contains(str, s.Reason) {
+			t.Fatalf("unhelpful skip string %q", str)
+		}
+	}
+}
+
+// TestDiffZeroBaselineRegressionStillCaught: a report mixing zero and
+// valid baselines must still gate the valid pairs.
+func TestDiffZeroBaselineRegressionStillCaught(t *testing.T) {
+	base := New("go1.21", 8)
+	base.Add(Record{Name: "zero", Workers: 1, Seconds: 0})
+	base.Add(Record{Name: "slow", Workers: 1, Seconds: 1.0})
+	cur := New("go1.21", 8)
+	cur.Add(Record{Name: "zero", Workers: 1, Seconds: 1.0})
+	cur.Add(Record{Name: "slow", Workers: 1, Seconds: 4.0})
+
+	got := Diff(base, cur, 1.25)
+	if len(got.Regressions) != 1 || got.Regressions[0].Name != "slow" || got.Regressions[0].Ratio != 4.0 {
+		t.Fatalf("regressions %+v, want slow at 4.0x", got.Regressions)
+	}
+	if len(got.Skipped) != 1 || got.Skipped[0].Reason != SkipZeroBaseline {
+		t.Fatalf("skips %+v, want the zero-baseline verdict", got.Skipped)
 	}
 }

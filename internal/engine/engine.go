@@ -327,3 +327,24 @@ func (e *Engine) publish() {
 // even while a batch is being applied, and the returned snapshot remains
 // valid (and consistent) indefinitely.
 func (e *Engine) Snapshot() *Snapshot { return e.snap.Load() }
+
+// SnapshotOf builds the snapshot of a static fault set in one shot: a
+// fresh engine fed every fault as an arrival event. It is the bridge from
+// batch-style callers (simulators, benchmarks, tests) to snapshot
+// consumers like routing.NewPlanner; long-lived callers should hold an
+// Engine and Apply instead.
+func SnapshotOf(m grid.Mesh, faults *nodeset.Set) (*Snapshot, error) {
+	e, err := New(m)
+	if err != nil {
+		return nil, err
+	}
+	events := make([]Event, 0, faults.Len())
+	faults.Each(func(c grid.Coord) {
+		events = append(events, Event{Op: Add, Node: c})
+	})
+	_, snap, err := e.Apply(events)
+	if err != nil {
+		return nil, err
+	}
+	return snap, nil
+}

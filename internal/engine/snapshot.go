@@ -46,7 +46,10 @@ func (s *Snapshot) Faults() *nodeset.Set { return s.faults }
 func (s *Snapshot) Components() []*component.Component { return s.comps }
 
 // Polygons returns the minimum faulty polygon of each component,
-// index-aligned with Components (read-only).
+// index-aligned with Components (read-only). Because polygons are cached
+// and shared across snapshots, derived structures can reuse them without
+// recomputation — routing.NewPlanner builds its detour regions directly
+// from this slice instead of re-flooding the disabled union.
 func (s *Snapshot) Polygons() []*nodeset.Set { return s.polygons }
 
 // Disabled returns the union of the polygons — every node excluded from

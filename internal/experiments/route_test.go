@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+)
+
+func smallRoute() RouteConfig {
+	return RouteConfig{
+		MeshSize:    24,
+		FaultCounts: []int{6, 18, 30},
+		Trials:      3,
+		Model:       fault.Clustered,
+		BaseSeed:    7,
+		Messages:    120,
+		Margin:      3,
+	}
+}
+
+// TestRouteSweepDeterministicAcrossWorkers: the rendered table must be
+// byte-identical at any worker count — the property CI's determinism diff
+// gates on.
+func TestRouteSweepDeterministicAcrossWorkers(t *testing.T) {
+	cfg := smallRoute()
+	cfg.Workers = 1
+	base := RouteSweep(cfg).Format(nil)
+	for _, w := range []int{0, 2, 5} {
+		c := cfg
+		c.Workers = w
+		if got := RouteSweep(c).Format(nil); got != base {
+			t.Fatalf("workers=%d table differs:\n%s\nvs workers=1:\n%s", w, got, base)
+		}
+	}
+}
+
+// TestRouteSweepMetricsSane: percentages stay in range, delivery never
+// exceeds routability, and delivered routes are never shorter than the
+// Manhattan distance.
+func TestRouteSweepMetricsSane(t *testing.T) {
+	cfg := smallRoute()
+	cfg.Workers = 1
+	tab := RouteSweep(cfg)
+	if got := len(tab.Series); got != len(routeSeries) {
+		t.Fatalf("%d series, want %d", got, len(routeSeries))
+	}
+	for _, x := range tab.Xs() {
+		routable := tab.Series[0].At(x).Mean()
+		delivered := tab.Series[1].At(x).Mean()
+		stretch := tab.Series[2].At(x).Mean()
+		abnormal := tab.Series[3].At(x).Mean()
+		if routable < 0 || routable > 100 || delivered < 0 || delivered > 100 {
+			t.Fatalf("faults=%d: percentages out of range: routable %.2f, delivered %.2f", x, routable, delivered)
+		}
+		if delivered > routable+1e-9 {
+			t.Fatalf("faults=%d: delivered %.2f%% exceeds routable %.2f%%", x, delivered, routable)
+		}
+		if delivered > 0 && stretch < 1 {
+			t.Fatalf("faults=%d: stretch %.3f below 1", x, stretch)
+		}
+		if abnormal < 0 || abnormal > 100 {
+			t.Fatalf("faults=%d: abnormal%% out of range: %.2f", x, abnormal)
+		}
+	}
+}
+
+// TestRouteSweepFaultFreeBaseline: with (nearly) no faults, everything is
+// routable and delivered at stretch 1 with no abnormal hops.
+func TestRouteSweepFaultFreeBaseline(t *testing.T) {
+	cfg := smallRoute()
+	cfg.FaultCounts = []int{1}
+	cfg.Trials = 2
+	cfg.Workers = 1
+	tab := RouteSweep(cfg)
+	x := tab.Xs()[0]
+	if delivered := tab.Series[1].At(x).Mean(); delivered < 95 {
+		t.Fatalf("near-fault-free delivery %.2f%%, want ~100%%", delivered)
+	}
+	if stretch := tab.Series[2].At(x).Mean(); stretch > 1.01 {
+		t.Fatalf("near-fault-free stretch %.3f, want ~1", stretch)
+	}
+}
+
+// TestRouteConfigCheck: fault counts are checked against the
+// margin-shrunken inner mesh, the check commands run before a sweep so
+// oversized counts fail cleanly instead of panicking mid-sweep.
+func TestRouteConfigCheck(t *testing.T) {
+	cfg := smallRoute() // 24x24, margin 3 -> 18x18 inner mesh
+	if err := cfg.Check(); err != nil {
+		t.Fatalf("fitting counts rejected: %v", err)
+	}
+	cfg.FaultCounts = []int{6, 325}
+	if err := cfg.Check(); err == nil {
+		t.Fatal("325 faults cannot fit the 18x18 inner mesh")
+	}
+}
+
+func TestRouteConfigValidate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid route config must panic")
+		}
+	}()
+	RouteSweep(RouteConfig{MeshSize: 4, FaultCounts: []int{1}, Trials: 1, Messages: 10, Margin: 2})
+}

@@ -128,6 +128,24 @@ func (in *Injector) injectClustered(count int) *nodeset.Set {
 	return faults
 }
 
+// InjectWithMargin injects count faults into m kept at least margin nodes
+// off every border — the standard assumption of the fault-ring routing
+// literature, which needs detour rings inside the mesh. Faults are drawn
+// on the margin-shrunken inner mesh and translated back, so the same seed
+// gives the same pattern at any margin. It panics, like Inject, when count
+// exceeds the inner mesh.
+func InjectWithMargin(m grid.Mesh, model Model, seed int64, count, margin int) *nodeset.Set {
+	if margin < 0 || 2*margin >= m.W || 2*margin >= m.H {
+		panic(fmt.Sprintf("fault: margin %d does not fit %v", margin, m))
+	}
+	inner := grid.New(m.W-2*margin, m.H-2*margin)
+	out := nodeset.New(m)
+	NewInjector(inner, model, seed).Inject(count).Each(func(c grid.Coord) {
+		out.Add(grid.XY(c.X+margin, c.Y+margin))
+	})
+	return out
+}
+
 // ClusterCoefficient reports the fraction of faults that have at least one
 // faulty 8-neighbour. It is a cheap sanity metric used by tests to verify
 // that the clustered model actually clusters.

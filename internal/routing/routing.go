@@ -36,7 +36,6 @@ import (
 
 	"repro/internal/grid"
 	"repro/internal/nodeset"
-	"repro/internal/polygon"
 )
 
 // MessageType classifies a message by its direction of travel, after the
@@ -107,14 +106,11 @@ func (r *Route) Path() []grid.Coord {
 }
 
 // Network is a mesh with disabled regions (faulty polygons) prepared for
-// extended e-cube routing.
+// extended e-cube routing. It is a thin wrapper over a Planner built from
+// the blocked set; build a Planner directly (NewPlanner) to route over
+// live engine snapshots without re-flooding the disabled union.
 type Network struct {
-	mesh     grid.Mesh
-	blocked  *nodeset.Set
-	regions  []*nodeset.Set
-	regionOf []int // dense node index -> region id, -1 when routable
-	rings    [][]grid.Coord
-	ringPos  []map[grid.Coord]int
+	p *Planner
 }
 
 // NewNetwork prepares a routing network. blocked holds every node excluded
@@ -123,31 +119,7 @@ type Network struct {
 // blocked regions being orthogonal convex (use the mfp or dmfp packages);
 // convexity is what bounds detours and guarantees deadlock freedom.
 func NewNetwork(m grid.Mesh, blocked *nodeset.Set) *Network {
-	if m.Torus {
-		panic("routing: extended e-cube is defined for non-torus meshes")
-	}
-	n := &Network{
-		mesh:     m,
-		blocked:  blocked.Clone(),
-		regions:  polygon.Regions8(blocked),
-		regionOf: make([]int, m.Size()),
-	}
-	for i := range n.regionOf {
-		n.regionOf[i] = -1
-	}
-	for id, reg := range n.regions {
-		reg.Each(func(c grid.Coord) { n.regionOf[m.Index(c)] = id })
-		ring := expandRing(reg, polygon.OuterRing(reg))
-		n.rings = append(n.rings, ring)
-		pos := make(map[grid.Coord]int, len(ring))
-		for i, c := range ring {
-			if _, ok := pos[c]; !ok {
-				pos[c] = i
-			}
-		}
-		n.ringPos = append(n.ringPos, pos)
-	}
-	return n
+	return &Network{p: NewPlannerForBlocked(m, blocked)}
 }
 
 // expandRing converts the 8-adjacent boundary walk into a 4-connected cycle
@@ -186,13 +158,16 @@ func expandRing(region *nodeset.Set, walk []grid.Coord) []grid.Coord {
 }
 
 // Mesh returns the network's mesh.
-func (n *Network) Mesh() grid.Mesh { return n.mesh }
+func (n *Network) Mesh() grid.Mesh { return n.p.Mesh() }
 
 // Blocked reports whether the node is excluded from routing.
-func (n *Network) Blocked(c grid.Coord) bool { return n.blocked.Has(c) }
+func (n *Network) Blocked(c grid.Coord) bool { return n.p.Blocked(c) }
 
 // Regions returns the faulty polygons the network detours around.
-func (n *Network) Regions() []*nodeset.Set { return n.regions }
+func (n *Network) Regions() []*nodeset.Set { return n.p.Regions() }
+
+// Planner returns the prepared routing state behind the network.
+func (n *Network) Planner() *Planner { return n.p }
 
 // classify returns the message type for the current position.
 func classify(cur, dst grid.Coord) MessageType {
@@ -206,30 +181,6 @@ func classify(cur, dst grid.Coord) MessageType {
 	default:
 		return SN
 	}
-}
-
-// pathBlocked reports whether the remaining e-cube path from cur to dst
-// crosses the given region.
-func pathBlocked(region *nodeset.Set, cur, dst grid.Coord) bool {
-	x0, x1 := cur.X, dst.X
-	if x0 > x1 {
-		x0, x1 = x1, x0
-	}
-	for x := x0; x <= x1; x++ {
-		if region.Has(grid.XY(x, cur.Y)) {
-			return true
-		}
-	}
-	y0, y1 := cur.Y, dst.Y
-	if y0 > y1 {
-		y0, y1 = y1, y0
-	}
-	for y := y0; y <= y1; y++ {
-		if region.Has(grid.XY(dst.X, y)) {
-			return true
-		}
-	}
-	return false
 }
 
 // orientation returns the ring-walk step direction per the paper's rules:
@@ -259,97 +210,5 @@ func orientation(t MessageType, cur, dst grid.Coord) int {
 
 // Route sends one message from src to dst and returns its trajectory.
 func (n *Network) Route(src, dst grid.Coord) (*Route, error) {
-	if !n.mesh.Contains(src) || !n.mesh.Contains(dst) {
-		return nil, fmt.Errorf("routing: endpoints %v -> %v outside %v", src, dst, n.mesh)
-	}
-	if n.blocked.Has(src) || n.blocked.Has(dst) {
-		return nil, ErrBlockedEndpoint
-	}
-	route := &Route{Src: src, Dst: dst}
-	budget := 6*n.mesh.Size() + 16
-	cur := src
-	for cur != dst {
-		if len(route.Hops) > budget {
-			return nil, ErrHopBudget
-		}
-		t := classify(cur, dst)
-		var dir grid.Direction
-		switch t {
-		case WE:
-			dir = grid.East
-		case EW:
-			dir = grid.West
-		case NS:
-			dir = grid.South
-		case SN:
-			dir = grid.North
-		}
-		next, ok := n.mesh.Step(cur, dir)
-		if !ok {
-			return nil, fmt.Errorf("routing: e-cube step off the mesh at %v", cur)
-		}
-		if !n.blocked.Has(next) {
-			route.Hops = append(route.Hops, Hop{From: cur, To: next, Type: t})
-			cur = next
-			continue
-		}
-		// Abnormal mode: travel the region's boundary ring until the
-		// region stops affecting the remaining e-cube path.
-		region := n.regionOf[n.mesh.Index(next)]
-		var err error
-		cur, err = n.detour(route, region, cur, dst, t)
-		if err != nil {
-			return nil, err
-		}
-	}
-	return route, nil
-}
-
-// detour walks the boundary ring of the region from cur until the message
-// becomes normal again, appending abnormal hops. Besides the region no
-// longer blocking the remaining e-cube path, the exit must not regress the
-// message type (a WE-bound message never exits east of the destination
-// column, a NS-bound one exits on the destination column, and so on) —
-// this one-way type discipline is what makes the four-virtual-channel
-// scheme deadlock-free.
-func (n *Network) detour(route *Route, region int, cur, dst grid.Coord, t MessageType) (grid.Coord, error) {
-	ring := n.rings[region]
-	pos, ok := n.ringPos[region][cur]
-	if !ok {
-		return cur, fmt.Errorf("routing: node %v is not on the ring of region %d", cur, region)
-	}
-	dir := orientation(t, cur, dst)
-	reg := n.regions[region]
-	exitOK := func(v grid.Coord) bool {
-		if pathBlocked(reg, v, dst) {
-			return false
-		}
-		switch t {
-		case WE:
-			return v.X <= dst.X
-		case EW:
-			return v.X >= dst.X
-		case NS:
-			return v.X == dst.X && v.Y >= dst.Y
-		default: // SN
-			return v.X == dst.X && v.Y <= dst.Y
-		}
-	}
-	for hops := 0; hops <= len(ring)+1; hops++ {
-		if cur == dst {
-			return cur, nil
-		}
-		if exitOK(cur) {
-			return cur, nil // normal again
-		}
-		pos = (pos + dir + len(ring)) % len(ring)
-		next := ring[pos]
-		if !n.mesh.Contains(next) {
-			return cur, ErrBorderRegion
-		}
-		route.Hops = append(route.Hops, Hop{From: cur, To: next, Type: t, Abnormal: true})
-		route.AbnormalHops++
-		cur = next
-	}
-	return cur, fmt.Errorf("routing: message circled region %d without escaping", region)
+	return n.p.Route(src, dst)
 }

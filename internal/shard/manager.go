@@ -48,6 +48,12 @@ var (
 	// ErrTooManyMeshes is returned by Create once Config.MaxMeshes meshes
 	// exist.
 	ErrTooManyMeshes = errors.New("shard: mesh limit reached")
+	// ErrShardFailed is returned once a shard has latched an internal
+	// failure (its engine diverged from the persisted fault set, or a
+	// rebuild after eviction failed). The shard stays registered so the
+	// failure is observable in Stats, but every Apply/Read fails until the
+	// mesh is deleted and recreated.
+	ErrShardFailed = errors.New("shard: mesh failed")
 )
 
 // nameRE restricts mesh names to URL-path-safe tokens so mesh-scoped

@@ -8,6 +8,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/grid"
 	"repro/internal/nodeset"
+	"repro/internal/routing"
 )
 
 // request is one mailbox message: an event submission (possibly empty — a
@@ -73,6 +74,15 @@ type Stats struct {
 	Components int `json:"components"`
 	// QueueLen is the instantaneous mailbox backlog in requests.
 	QueueLen int `json:"queue_len"`
+	// RouteQueries counts Planner calls, RouteCacheHits the ones that
+	// reused a planner memoized for the current shard version, and
+	// PlannerBuilds the planner constructions (misses, including the
+	// rebuilds that follow eviction or fault churn).
+	RouteQueries   uint64 `json:"route_queries"`
+	RouteCacheHits uint64 `json:"route_cache_hits"`
+	PlannerBuilds  uint64 `json:"planner_builds"`
+	// Failed carries the shard's latched failure; empty while healthy.
+	Failed string `json:"failed,omitempty"`
 }
 
 // Shard is one named mesh: a persisted fault set, an (evictable) engine,
@@ -97,12 +107,41 @@ type Shard struct {
 	lastUsed     atomic.Uint64
 	evictPending atomic.Bool
 
+	// failed latches the shard's first internal failure (engine divergence,
+	// rebuild error): nil while healthy. Once set it never clears; every
+	// subsequent Apply/Read fails with ErrShardFailed.
+	failed atomic.Pointer[string]
+
+	// planner memoizes one routing planner per shard version, shared by
+	// every concurrent route query at that version; plannerMu single-flights
+	// the build on a miss. Event churn moves the version and so invalidates
+	// the entry for free; eviction drops it outright, and plannerEpoch
+	// (bumped by every eviction and failure latch) keeps a build that was
+	// in flight across the drop from re-caching the evicted snapshot's
+	// memory. The route counters are atomics, not statsMu fields: the
+	// cache-hit path exists to keep concurrent route serving free of
+	// shared locks.
+	planner       atomic.Pointer[plannerEntry]
+	plannerMu     sync.Mutex
+	plannerEpoch  atomic.Uint64
+	routeQueries  atomic.Uint64
+	routeHits     atomic.Uint64
+	plannerBuilds atomic.Uint64
+
 	// Owned by the run goroutine (after newShard returns):
 	eng    *engine.Engine
 	faults *nodeset.Set // persisted authoritative fault set
 
+	// rebuildFail injects a rebuild error in tests; never set in production.
+	rebuildFail error
+
 	statsMu sync.Mutex
 	stats   counters
+}
+
+type plannerEntry struct {
+	version uint64
+	planner *routing.Planner
 }
 
 type counters struct {
@@ -163,6 +202,9 @@ func (s *Shard) Read() (View, error) {
 	if s.closedFl.Load() {
 		return View{}, ErrClosed
 	}
+	if err := s.failedErr(); err != nil {
+		return View{}, err
+	}
 	s.mgr.touch(s)
 	if v := s.view.Load(); v != nil {
 		return *v, nil
@@ -181,7 +223,7 @@ func (s *Shard) Read() (View, error) {
 // defeat the MaxResident bound (Read would rebuild and mark the shard
 // most-recently-used).
 func (s *Shard) Peek() (View, bool) {
-	if s.closedFl.Load() {
+	if s.closedFl.Load() || s.failed.Load() != nil {
 		return View{}, false
 	}
 	if v := s.view.Load(); v != nil {
@@ -190,25 +232,103 @@ func (s *Shard) Peek() (View, bool) {
 	return View{}, false
 }
 
+// Planner returns a routing planner prepared from the shard's current
+// snapshot, together with the view it serves and whether the planner was a
+// cache hit. One planner is memoized per shard version: concurrent route
+// queries at the same version share the preprocessing (rings, region
+// index), a fault event moves the version and invalidates the entry for
+// free, and eviction drops it with the engine. Like Read, calling Planner
+// on an evicted shard forces a rebuild.
+func (s *Shard) Planner() (*routing.Planner, View, bool, error) {
+	epoch := s.plannerEpoch.Load()
+	v, err := s.Read()
+	if err != nil {
+		return nil, View{}, false, err
+	}
+	if e := s.planner.Load(); e != nil && e.version == v.Version {
+		s.noteRoute(true, false)
+		return e.planner, v, true, nil
+	}
+	s.plannerMu.Lock()
+	defer s.plannerMu.Unlock()
+	if e := s.planner.Load(); e != nil && e.version == v.Version {
+		// Built by a concurrent query while we waited on the lock.
+		s.noteRoute(true, false)
+		return e.planner, v, true, nil
+	}
+	p := routing.NewPlanner(v.Snapshot)
+	// Two reasons not to cache what we just built: never replace a newer
+	// version's planner with an older one (a stale reader racing a fresh
+	// batch), and never re-cache across an eviction or failure latch that
+	// cleared the entry after our Read — the store would pin the memory
+	// the eviction was reclaiming. The query still gets its
+	// version-consistent planner either way, it just isn't cached.
+	if s.plannerEpoch.Load() == epoch {
+		if e := s.planner.Load(); e == nil || e.version <= v.Version {
+			s.planner.Store(&plannerEntry{version: v.Version, planner: p})
+		}
+	}
+	s.noteRoute(false, true)
+	return p, v, false, nil
+}
+
+func (s *Shard) noteRoute(hit, built bool) {
+	s.routeQueries.Add(1)
+	if hit {
+		s.routeHits.Add(1)
+	}
+	if built {
+		s.plannerBuilds.Add(1)
+	}
+}
+
+// failedErr returns the latched failure wrapped in ErrShardFailed, or nil
+// while the shard is healthy.
+func (s *Shard) failedErr() error {
+	if msg := s.failed.Load(); msg != nil {
+		return fmt.Errorf("%w: %s", ErrShardFailed, *msg)
+	}
+	return nil
+}
+
+// latchFail records the shard's first internal failure and drops the
+// engine and published view: the state can no longer be trusted, so reads
+// must fail rather than serve it. Called only from the run goroutine.
+func (s *Shard) latchFail(msg string) {
+	s.failed.CompareAndSwap(nil, &msg)
+	s.eng = nil
+	s.view.Store(nil)
+	s.plannerEpoch.Add(1)
+	s.planner.Store(nil)
+}
+
 // Stats returns the shard's current stats.
 func (s *Shard) Stats() Stats {
 	s.statsMu.Lock()
 	c := s.stats
 	s.statsMu.Unlock()
+	failed := ""
+	if msg := s.failed.Load(); msg != nil {
+		failed = *msg
+	}
 	return Stats{
-		Name:       s.name,
-		Width:      s.mesh.W,
-		Height:     s.mesh.H,
-		Version:    c.version,
-		Requests:   c.requests,
-		Events:     c.events,
-		Batches:    c.batches,
-		Evictions:  c.evictions,
-		Rebuilds:   c.rebuilds,
-		Resident:   s.view.Load() != nil,
-		Faults:     c.faults,
-		Components: c.components,
-		QueueLen:   len(s.mailbox),
+		Name:           s.name,
+		Width:          s.mesh.W,
+		Height:         s.mesh.H,
+		Version:        c.version,
+		Requests:       c.requests,
+		Events:         c.events,
+		Batches:        c.batches,
+		Evictions:      c.evictions,
+		Rebuilds:       c.rebuilds,
+		Resident:       s.view.Load() != nil,
+		Faults:         c.faults,
+		Components:     c.components,
+		QueueLen:       len(s.mailbox),
+		RouteQueries:   s.routeQueries.Load(),
+		RouteCacheHits: s.routeHits.Load(),
+		PlannerBuilds:  s.plannerBuilds.Load(),
+		Failed:         failed,
 	}
 }
 
@@ -220,6 +340,9 @@ func (s *Shard) enqueue(req *request) error {
 	defer s.sendMu.RUnlock()
 	if s.closing {
 		return ErrClosed
+	}
+	if err := s.failedErr(); err != nil {
+		return err
 	}
 	s.mgr.touch(s)
 	s.mailbox <- req
@@ -304,8 +427,23 @@ func (s *Shard) process(batch []*request) {
 	if len(reqs) == 0 {
 		return
 	}
+	if err := s.failedErr(); err != nil {
+		// Requests that were already queued when the shard latched its
+		// failure still deserve a reply.
+		for _, r := range reqs {
+			r.reply <- result{err: err}
+		}
+		return
+	}
 	if s.eng == nil {
-		s.rebuild()
+		if err := s.rebuild(); err != nil {
+			s.latchFail(fmt.Sprintf("rebuild after eviction: %v", err))
+			failErr := s.failedErr()
+			for _, r := range reqs {
+				r.reply <- result{err: failErr}
+			}
+			return
+		}
 	}
 
 	// Walk the persisted fault set through each valid submission in order.
@@ -328,10 +466,23 @@ func (s *Shard) process(batch []*request) {
 
 	applied, snap, err := s.eng.Apply(all)
 	if err != nil || applied != total {
-		// Unreachable: submissions were validated above and the persisted
-		// fault set walks in lockstep with the engine.
-		panic(fmt.Sprintf("shard %s: engine diverged from persisted fault set (applied %d, want %d, err %v)",
-			s.name, applied, total, err))
+		// Normally unreachable — submissions were validated above and the
+		// persisted fault set walks in lockstep with the engine — but a
+		// divergence means the shard's state can no longer be trusted, and
+		// one poisoned mesh must not take down the whole process. Latch the
+		// failure: these and all subsequent requests fail with it, and it
+		// surfaces in Stats.
+		s.latchFail(fmt.Sprintf("engine diverged from persisted fault set (applied %d, want %d, err %v)",
+			applied, total, err))
+		failErr := s.failedErr()
+		for i, r := range reqs {
+			if errs[i] != nil {
+				r.reply <- result{err: errs[i]}
+				continue
+			}
+			r.reply <- result{err: failErr}
+		}
+		return
 	}
 
 	s.statsMu.Lock()
@@ -365,11 +516,16 @@ func (s *Shard) process(batch []*request) {
 
 // rebuild reconstructs the engine from the persisted fault set after an
 // eviction. The engine's state is a pure function of the fault set, so the
-// rebuilt constructions are identical to the evicted ones.
-func (s *Shard) rebuild() {
+// rebuilt constructions are identical to the evicted ones. A replay error
+// is returned, not panicked: the caller latches it as a shard failure so
+// one broken mesh cannot take down the whole process.
+func (s *Shard) rebuild() error {
+	if s.rebuildFail != nil {
+		return s.rebuildFail
+	}
 	eng, err := engine.New(s.mesh)
 	if err != nil {
-		panic(fmt.Sprintf("shard %s: rebuild on mesh validated at create: %v", s.name, err))
+		return fmt.Errorf("rebuild on mesh validated at create: %v", err)
 	}
 	if !s.faults.Empty() {
 		events := make([]engine.Event, 0, s.faults.Len())
@@ -377,7 +533,7 @@ func (s *Shard) rebuild() {
 			events = append(events, engine.Event{Op: engine.Add, Node: c})
 		})
 		if _, _, err := eng.Apply(events); err != nil {
-			panic(fmt.Sprintf("shard %s: rebuild replay: %v", s.name, err))
+			return fmt.Errorf("rebuild replay: %v", err)
 		}
 	}
 	s.eng = eng
@@ -387,6 +543,7 @@ func (s *Shard) rebuild() {
 	s.statsMu.Unlock()
 	s.view.Store(&View{Snapshot: eng.Snapshot(), Version: version})
 	nudge(s.mgr.noteResident(s))
+	return nil
 }
 
 // maybeEvict performs a manager-requested eviction: the engine and the
@@ -398,6 +555,8 @@ func (s *Shard) maybeEvict() {
 	}
 	s.eng = nil
 	s.view.Store(nil)
+	s.plannerEpoch.Add(1)
+	s.planner.Store(nil)
 	s.statsMu.Lock()
 	s.stats.evictions++
 	s.statsMu.Unlock()
