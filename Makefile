@@ -22,7 +22,7 @@ STRESS_FLAGS ?=
 # worker counts) and byte-compares.
 ROUTE_FLAGS ?= -mesh 50 -faults 25,50,100 -trials 3 -route-messages 200
 
-.PHONY: all build test race cover fuzz stress-check route-check bench bench-json bench-check bench-baseline lint staticcheck fmt clean
+.PHONY: all build test race cover fuzz stress-check route-check bench bench-json bench-check bench-baseline lint staticcheck tidy-check fmt clean
 
 all: lint build test
 
@@ -101,6 +101,13 @@ lint:
 
 staticcheck:
 	staticcheck ./...
+
+# Module-hygiene gate: `go mod tidy` must be a no-op (a drifted go.mod or
+# go.sum means a dependency was added or dropped without tidying). CI's
+# cleanliness job runs this next to the gofmt check in `make lint`.
+tidy-check:
+	$(GO) mod tidy
+	git diff --exit-code -- go.mod go.sum
 
 fmt:
 	gofmt -w .

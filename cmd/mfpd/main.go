@@ -14,15 +14,24 @@
 //
 //	GET    /meshes                   list every mesh with stats
 //	POST   /meshes                   {"name":"a","width":64,"height":64} -> 201
+//	                                 Add "depth" for a 3-D mesh: its events
+//	                                 then carry x, y and z, and the polygons
+//	                                 endpoint serves minimum polytopes.
 //	DELETE /meshes/a                 drain and delete mesh "a"
 //	POST   /meshes/a/events          body: [{"op":"add","x":3,"y":4},...]
+//	                                 (3-D: [{"op":"add","x":3,"y":4,"z":5},...])
 //	                                 Applies the batch atomically; duplicate
 //	                                 adds and clears of healthy nodes are
 //	                                 counted as ignored, not errors.
 //	GET    /meshes/a/status?x=3&y=4  -> {"x":3,"y":4,"class":"safe","version":17}
+//	                                 (3-D meshes also require z)
 //	GET    /meshes/a/polygons        every component's minimum faulty polygon
+//	                                 (polytope on a 3-D mesh)
 //	GET    /meshes/a/stats           shard stats + construction metrics
 //	GET    /healthz                  -> 200 ok
+//
+// Routing (POST /meshes/a/route) is 2-D-only and answers 404 on a 3-D
+// mesh.
 //
 // Every query is served from the mesh's view current at arrival time: a
 // batch posted concurrently is observed either entirely or not at all.

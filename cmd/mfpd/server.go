@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/grid"
+	"repro/internal/grid3"
 	"repro/internal/nodeset"
 	"repro/internal/routing"
 	"repro/internal/shard"
@@ -20,7 +21,13 @@ import (
 // maxMeshSide bounds admin-created meshes so a single request cannot make
 // the service allocate an absurd bitset universe; the manager's MaxMeshes
 // bound (-max-meshes) caps what a sequence of requests can accumulate.
-const maxMeshSide = 2048
+// maxMeshNodes additionally bounds the node count, which matters for 3-D
+// meshes where three in-range sides can still multiply into gigabytes of
+// bitset (every 2-D mesh within maxMeshSide is automatically within it).
+const (
+	maxMeshSide  = 2048
+	maxMeshNodes = 1 << 24
+)
 
 // maxEventBody bounds an events request body (~8 MiB, hundreds of
 // thousands of events) so an oversized or endless body cannot exhaust the
@@ -166,6 +173,10 @@ type createRequest struct {
 	Name   string `json:"name"`
 	Width  int    `json:"width"`
 	Height int    `json:"height"`
+	// Depth selects a 3-D mesh when positive: the mesh is served by the
+	// 3-D engine (events carry a z, the polygons endpoint serves
+	// polytopes) and has no route endpoint. Omitted or zero means 2-D.
+	Depth int `json:"depth,omitempty"`
 }
 
 type meshesReply struct {
@@ -196,29 +207,50 @@ func (s *server) handleMeshes(w http.ResponseWriter, r *http.Request) {
 				"mesh must be 1..%d on each side, got %dx%d", maxMeshSide, req.Width, req.Height)
 			return
 		}
-		sh, err := s.mgr.Create(req.Name, grid.New(req.Width, req.Height))
-		if err != nil {
-			writeShardError(w, err)
+		if req.Depth < 0 || req.Depth > maxMeshSide {
+			writeError(w, http.StatusBadRequest,
+				"depth must be 0 (2-D) or 1..%d, got %d", maxMeshSide, req.Depth)
 			return
 		}
-		writeJSON(w, http.StatusCreated, sh.Stats())
+		if req.Depth > 0 && req.Width*req.Height*req.Depth > maxMeshNodes {
+			writeError(w, http.StatusBadRequest,
+				"mesh of %dx%dx%d exceeds %d nodes", req.Width, req.Height, req.Depth, maxMeshNodes)
+			return
+		}
+		var stats shard.Stats
+		if req.Depth > 0 {
+			sh, err := s.mgr.Create3(req.Name, grid3.New(req.Width, req.Height, req.Depth))
+			if err != nil {
+				writeShardError(w, err)
+				return
+			}
+			stats = sh.Stats()
+		} else {
+			sh, err := s.mgr.Create(req.Name, grid.New(req.Width, req.Height))
+			if err != nil {
+				writeShardError(w, err)
+				return
+			}
+			stats = sh.Stats()
+		}
+		writeJSON(w, http.StatusCreated, stats)
 	default:
 		writeError(w, http.StatusMethodNotAllowed, "GET lists meshes, POST creates one")
 	}
 }
 
 // handleMesh routes /meshes/{name}[/...]: DELETE on the bare name, and the
-// events/status/polygons/stats sub-resources.
+// events/status/polygons/stats sub-resources, dispatching on the mesh's
+// dimensionality (route exists only on 2-D meshes).
 func (s *server) handleMesh(w http.ResponseWriter, r *http.Request) {
 	rest := strings.TrimPrefix(r.URL.Path, "/meshes/")
 	name, sub, _ := strings.Cut(rest, "/")
-	sh, err := s.mgr.Get(name)
+	t, err := s.mgr.Lookup(name)
 	if err != nil {
 		writeShardError(w, err)
 		return
 	}
-	switch sub {
-	case "":
+	if sub == "" {
 		if r.Method != http.MethodDelete {
 			writeError(w, http.StatusMethodNotAllowed, "DELETE removes the mesh; its data lives under /meshes/%s/...", name)
 			return
@@ -228,18 +260,41 @@ func (s *server) handleMesh(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
-	case "events":
-		s.handleEvents(w, r, sh)
-	case "status":
-		s.handleStatus(w, r, sh)
-	case "polygons":
-		s.handlePolygons(w, r, sh)
-	case "route":
-		s.handleRoute(w, r, sh)
-	case "stats":
-		s.handleStats(w, r, sh)
+		return
+	}
+	switch sh := t.(type) {
+	case *shard.Shard:
+		switch sub {
+		case "events":
+			s.handleEvents(w, r, sh)
+		case "status":
+			s.handleStatus(w, r, sh)
+		case "polygons":
+			s.handlePolygons(w, r, sh)
+		case "route":
+			s.handleRoute(w, r, sh)
+		case "stats":
+			s.handleStats(w, r, sh)
+		default:
+			writeError(w, http.StatusNotFound, "no route %s under /meshes/%s", sub, name)
+		}
+	case *shard.Shard3:
+		switch sub {
+		case "events":
+			s.handleEvents3(w, r, sh)
+		case "status":
+			s.handleStatus3(w, r, sh)
+		case "polygons":
+			s.handlePolygons3(w, r, sh)
+		case "route":
+			writeError(w, http.StatusNotFound, "routing is 2-D only; mesh %s is 3-D", name)
+		case "stats":
+			s.handleStats3(w, r, sh)
+		default:
+			writeError(w, http.StatusNotFound, "no route %s under /meshes/%s", sub, name)
+		}
 	default:
-		writeError(w, http.StatusNotFound, "no route %s under /meshes/%s", sub, name)
+		writeError(w, http.StatusInternalServerError, "unknown mesh kind for %s", name)
 	}
 }
 
@@ -343,7 +398,7 @@ func (s *server) handlePolygons(w http.ResponseWriter, r *http.Request, sh *shar
 	reply := polygonsReply{Version: v.Version, Polygons: make([]polygonReply, len(snap.Polygons()))}
 	for i, poly := range snap.Polygons() {
 		reply.Polygons[i] = polygonReply{
-			Faults:  coords(snap.Components()[i].Nodes),
+			Faults:  coords(snap.Components()[i]),
 			Polygon: coords(poly),
 		}
 	}

@@ -1,0 +1,127 @@
+package main
+
+// The 3-D halves of the mesh-scoped handlers. They mirror the 2-D ones —
+// same reply field names, same status mapping — with xyz coordinates, the
+// z query parameter on status, and polytopes behind the polygons endpoint.
+// Route has no 3-D half: the extended e-cube router is 2-D.
+
+import (
+	"net/http"
+	"strconv"
+
+	"repro/internal/engine3"
+	"repro/internal/grid3"
+	"repro/internal/nodeset3"
+	"repro/internal/shard"
+)
+
+type xyz struct {
+	X int `json:"x"`
+	Y int `json:"y"`
+	Z int `json:"z"`
+}
+
+func coords3(set *nodeset3.Set) []xyz {
+	out := make([]xyz, 0, set.Len())
+	set.Each(func(c grid3.Coord) { out = append(out, xyz{c.X, c.Y, c.Z}) })
+	return out
+}
+
+func (s *server) handleEvents3(w http.ResponseWriter, r *http.Request, sh *shard.Shard3) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST a JSON array of events")
+		return
+	}
+	events, err := engine3.DecodeEvents(http.MaxBytesReader(w, r.Body, maxEventBody))
+	if err != nil {
+		writeDecodeError(w, err)
+		return
+	}
+	res, err := sh.Apply(events)
+	if err != nil {
+		writeShardError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, eventsReply{
+		Version:    res.View.Version,
+		Applied:    res.Applied,
+		Ignored:    res.Ignored,
+		Faults:     res.View.Snapshot.Faults().Len(),
+		Components: len(res.View.Snapshot.Polygons()),
+	})
+}
+
+type statusReply3 struct {
+	X       int    `json:"x"`
+	Y       int    `json:"y"`
+	Z       int    `json:"z"`
+	Class   string `json:"class"`
+	Version uint64 `json:"version"`
+}
+
+func (s *server) handleStatus3(w http.ResponseWriter, r *http.Request, sh *shard.Shard3) {
+	x, errX := strconv.Atoi(r.URL.Query().Get("x"))
+	y, errY := strconv.Atoi(r.URL.Query().Get("y"))
+	z, errZ := strconv.Atoi(r.URL.Query().Get("z"))
+	if errX != nil || errY != nil || errZ != nil {
+		writeError(w, http.StatusBadRequest, "need integer x, y and z query parameters")
+		return
+	}
+	node := grid3.XYZ(x, y, z)
+	if !sh.Mesh().Contains(node) {
+		writeError(w, http.StatusBadRequest, "%v outside %v", node, sh.Mesh())
+		return
+	}
+	v, err := sh.Read()
+	if err != nil {
+		writeShardError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, statusReply3{
+		X: x, Y: y, Z: z,
+		Class:   v.Snapshot.Class(node).String(),
+		Version: v.Version,
+	})
+}
+
+type polytopeReply struct {
+	// Faults are the component's faulty nodes, Polygon its minimum
+	// faulty polytope (faults included), both in index order. The field
+	// name stays "polygon" so 2-D and 3-D replies decode with one shape.
+	Faults  []xyz `json:"faults"`
+	Polygon []xyz `json:"polygon"`
+}
+
+type polytopesReply struct {
+	Version  uint64          `json:"version"`
+	Polygons []polytopeReply `json:"polygons"`
+}
+
+func (s *server) handlePolygons3(w http.ResponseWriter, r *http.Request, sh *shard.Shard3) {
+	v, err := sh.Read()
+	if err != nil {
+		writeShardError(w, err)
+		return
+	}
+	snap := v.Snapshot
+	reply := polytopesReply{Version: v.Version, Polygons: make([]polytopeReply, len(snap.Polygons()))}
+	for i, poly := range snap.Polygons() {
+		reply.Polygons[i] = polytopeReply{
+			Faults:  coords3(snap.Components()[i]),
+			Polygon: coords3(poly),
+		}
+	}
+	writeJSON(w, http.StatusOK, reply)
+}
+
+func (s *server) handleStats3(w http.ResponseWriter, r *http.Request, sh *shard.Shard3) {
+	reply := statsReply{Stats: sh.Stats()}
+	if v, ok := sh.Peek(); ok {
+		snap := v.Snapshot
+		disabled, nonFaulty := snap.Disabled().Len(), snap.DisabledNonFaulty()
+		unsafe, mean := snap.Unsafe().Len(), snap.MeanPolygonSize()
+		reply.Disabled, reply.DisabledNonFaulty = &disabled, &nonFaulty
+		reply.Unsafe, reply.MeanPolygonSize = &unsafe, &mean
+	}
+	writeJSON(w, http.StatusOK, reply)
+}

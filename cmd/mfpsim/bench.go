@@ -13,10 +13,12 @@ import (
 	"repro/internal/benchfmt"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/engine3"
 	"repro/internal/experiments"
 	"repro/internal/fault"
 	"repro/internal/grid"
 	"repro/internal/mfp"
+	"repro/internal/mfp3d"
 	"repro/internal/routing"
 )
 
@@ -65,7 +67,7 @@ func timeIt(iterations int, fn func()) (float64, int) {
 // route config, and returns the report with speedups filled in.
 // maxWorkers caps the timed pool sizes (the -workers flag); zero means up
 // to one worker per CPU.
-func runBenchSweep(models []fault.Model, figures []int, cfg experiments.Config, churn experiments.ChurnConfig, route experiments.RouteConfig, iterations, maxWorkers int) (*benchfmt.Report, error) {
+func runBenchSweep(models []fault.Model, figures []int, cfg experiments.Config, churn experiments.ChurnConfig, churn3 experiments.Churn3Config, route experiments.RouteConfig, iterations, maxWorkers int) (*benchfmt.Report, error) {
 	if iterations < 1 {
 		iterations = 1
 	}
@@ -177,7 +179,57 @@ func runBenchSweep(models []fault.Model, figures []int, cfg experiments.Config, 
 		Iterations: incIters, Seconds: incSecs,
 		Speedup: rebuildSecs / incSecs,
 	})
+
+	// The 3-D churn workload (the kernel-refactor workload): the same
+	// rebuild-vs-incremental pair on a 12×12×12 mesh, timing the generic
+	// engine's polytope maintenance against a batch mfp3d.Build per event.
+	rebuild3Secs, rebuild3Iters := timeIt(iterations, func() { experiments.Churn3Rebuild(churn3) })
+	var churn3Err error
+	inc3Secs, inc3Iters := timeIt(iterations, func() {
+		if _, err := experiments.Churn3Incremental(churn3); err != nil {
+			churn3Err = err
+		}
+	})
+	if churn3Err != nil {
+		return nil, churn3Err
+	}
+	rep.Add(benchfmt.Record{
+		Name: churn3.Name() + "/rebuild", Workers: 1,
+		Iterations: rebuild3Iters, Seconds: rebuild3Secs,
+	})
+	rep.Add(benchfmt.Record{
+		Name: churn3.Name() + "/incremental", Workers: 1,
+		Iterations: inc3Iters, Seconds: inc3Secs,
+		Speedup: rebuild3Secs / inc3Secs,
+	})
 	return rep, nil
+}
+
+// runChurn3Report is the human-readable -churn3d mode: it times both
+// replay strategies of the 3-D scenario once, differentially checks that
+// they land on the same state, and prints the speedup.
+func runChurn3Report(w io.Writer, cfg experiments.Churn3Config) error {
+	seq := cfg.Sequence()
+	var full *mfp3d.Result
+	rebuildSecs, _ := timeIt(1, func() { full = experiments.Churn3Rebuild(cfg) })
+	var snap *engine3.Snapshot
+	var incErr error
+	incSecs, _ := timeIt(1, func() { snap, incErr = experiments.Churn3Incremental(cfg) })
+	if incErr != nil {
+		return incErr
+	}
+
+	if err := experiments.Churn3Diff(snap, full); err != nil {
+		return err
+	}
+
+	perEvent := incSecs / float64(len(seq))
+	fmt.Fprintf(w, "churn3d scenario %s (%d events incl. warm-up)\n", cfg.Name(), len(seq))
+	fmt.Fprintf(w, "  full rebuild per event: %10.4fs total\n", rebuildSecs)
+	fmt.Fprintf(w, "  incremental engine:     %10.4fs total  (%.1fµs/event)\n", incSecs, perEvent*1e6)
+	fmt.Fprintf(w, "  speedup:                %9.1fx\n", rebuildSecs/incSecs)
+	fmt.Fprintf(w, "  differential check:     OK (final states identical)\n")
+	return nil
 }
 
 // runChurnReport is the human-readable -churn mode: it times both replay

@@ -45,12 +45,14 @@ func TestRunBenchSweepAndReport(t *testing.T) {
 		BaseSeed:    5,
 	}
 	churn := experiments.ChurnConfig{MeshSize: 20, Faults: 6, Events: 20, BaseSeed: 5}
+	churn3 := testChurn3Config()
 	route := testRouteConfig()
-	rep, err := runBenchSweep([]fault.Model{fault.Random}, []int{9}, cfg, churn, route, 1, 0)
+	rep, err := runBenchSweep([]fault.Model{fault.Random}, []int{9}, cfg, churn, churn3, route, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	var sawSweepSerial, sawBuild, sawChurnRebuild, sawChurnIncremental bool
+	var sawChurn3Rebuild, sawChurn3Incremental bool
 	var sawRouteSweep, sawRoutePlanner, sawRouteServe bool
 	for _, rec := range rep.Records {
 		if strings.HasPrefix(rec.Name, "figure9/random/") && rec.Workers == 1 {
@@ -64,6 +66,15 @@ func TestRunBenchSweepAndReport(t *testing.T) {
 		}
 		if rec.Name == churn.Name()+"/rebuild" {
 			sawChurnRebuild = true
+		}
+		if rec.Name == churn3.Name()+"/rebuild" {
+			sawChurn3Rebuild = true
+		}
+		if rec.Name == churn3.Name()+"/incremental" {
+			sawChurn3Incremental = true
+			if rec.Speedup <= 0 {
+				t.Fatalf("churn3d incremental record lost its speedup: %+v", rec)
+			}
 		}
 		if rec.Name == churn.Name()+"/incremental" {
 			sawChurnIncremental = true
@@ -89,6 +100,9 @@ func TestRunBenchSweepAndReport(t *testing.T) {
 	}
 	if !sawSweepSerial || !sawBuild || !sawChurnRebuild || !sawChurnIncremental {
 		t.Fatalf("report misses expected workloads: %+v", rep.Records)
+	}
+	if !sawChurn3Rebuild || !sawChurn3Incremental {
+		t.Fatalf("report misses churn3d workloads: %+v", rep.Records)
 	}
 	if !sawRouteSweep || !sawRoutePlanner || !sawRouteServe {
 		t.Fatalf("report misses route workloads: %+v", rep.Records)
@@ -123,6 +137,11 @@ func TestRunBenchSweepAndReport(t *testing.T) {
 	if len(cmp.Skipped) != 0 {
 		t.Fatalf("self-comparison skipped %+v", cmp.Skipped)
 	}
+}
+
+// testChurn3Config is a tiny, fast 3-D churn scale for bench tests.
+func testChurn3Config() experiments.Churn3Config {
+	return experiments.Churn3Config{MeshSize: 8, Faults: 6, Events: 16, BaseSeed: 5}
 }
 
 // testRouteConfig is a tiny, fast route scale for bench tests.
@@ -170,7 +189,7 @@ func TestTimeItCalibrates(t *testing.T) {
 func TestRunBenchSweepRejectsUnknownFigure(t *testing.T) {
 	cfg := experiments.Config{MeshSize: 10, FaultCounts: []int{5}, Trials: 1, BaseSeed: 1}
 	churn := experiments.ChurnConfig{MeshSize: 10, Faults: 2, Events: 4, BaseSeed: 1}
-	if _, err := runBenchSweep([]fault.Model{fault.Random}, []int{12}, cfg, churn, testRouteConfig(), 1, 0); err == nil {
+	if _, err := runBenchSweep([]fault.Model{fault.Random}, []int{12}, cfg, churn, testChurn3Config(), testRouteConfig(), 1, 0); err == nil {
 		t.Fatal("figure 12 should be rejected")
 	}
 }
@@ -179,7 +198,7 @@ func TestRunBenchSweepRejectsUnknownFigure(t *testing.T) {
 func TestRunBenchSweepHonorsWorkersCap(t *testing.T) {
 	cfg := experiments.Config{MeshSize: 15, FaultCounts: []int{5}, Trials: 1, BaseSeed: 3}
 	churn := experiments.ChurnConfig{MeshSize: 15, Faults: 2, Events: 4, BaseSeed: 3}
-	rep, err := runBenchSweep([]fault.Model{fault.Random}, []int{9}, cfg, churn, testRouteConfig(), 1, 2)
+	rep, err := runBenchSweep([]fault.Model{fault.Random}, []int{9}, cfg, churn, testChurn3Config(), testRouteConfig(), 1, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,6 +226,20 @@ func TestRunChurnReport(t *testing.T) {
 	for _, want := range []string{cfg.Name(), "speedup:", "differential check:     OK"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("churn report misses %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunChurn3Report(t *testing.T) {
+	var buf strings.Builder
+	cfg := testChurn3Config()
+	if err := runChurn3Report(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{cfg.Name(), "speedup:", "differential check:     OK"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("churn3d report misses %q:\n%s", want, out)
 		}
 	}
 }

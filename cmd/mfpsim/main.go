@@ -12,6 +12,7 @@
 //	mfpsim -bench-json                       # timing sweep -> BENCH_sweep.json
 //	mfpsim -bench-json -bench-compare old.json  # fail on perf regressions
 //	mfpsim -churn 200                        # incremental vs rebuild speedup
+//	mfpsim -churn3d 200                      # the same scenario on a 3-D mesh
 //	mfpsim -stress                           # multi-shard differential stress run
 //	mfpsim -stress -stress-shards 40 -stress-events 100000 -stress-clients 16
 //	mfpsim -route                            # detour overhead vs fault density
@@ -33,6 +34,13 @@
 // override with -faults taking the first count) replayed both through the
 // incremental engine and through a from-scratch core.Construct per event,
 // differentially checked and reported with the speedup.
+//
+// -churn3d N is the 3-D twin: the fixed 12×12×12 scenario (steady-state
+// fault count from the first -faults entry, default 20) replayed through
+// internal/engine3 and through a from-scratch mfp3d.Build per event,
+// differentially checked (polytopes, disabled union, cuboid unsafe set)
+// and reported with the speedup. Both scenarios also land in -bench-json
+// as the churn/* and churn3d/* records.
 //
 // -route runs the route-overhead sweep: every (faultCount, trial) cell
 // feeds its fault set through the incremental engine, builds a
@@ -80,6 +88,7 @@ func main() {
 	benchCompare := flag.String("bench-compare", "", "baseline report to diff the -bench-json run against; regressions exit non-zero")
 	benchTolerance := flag.Float64("bench-tolerance", 1.30, "slowdown ratio tolerated by -bench-compare")
 	churn := flag.Int("churn", 0, "run the fault-churn scenario with this many events and report the incremental-vs-rebuild speedup")
+	churn3d := flag.Int("churn3d", 0, "run the 3-D fault-churn scenario (12x12x12 mesh) with this many events and report the incremental-vs-rebuild speedup")
 	route := flag.Bool("route", false, "run the route-overhead sweep: routed stretch and abnormal-hop share vs fault density under the MFP model")
 	routeMessages := flag.Int("route-messages", experiments.DefaultRoute(fault.Random, 1).Messages, "routed source/destination pairs per sweep cell in -route mode")
 	// Flag defaults come from DefaultStress so the acceptance-scale floor
@@ -110,11 +119,17 @@ func main() {
 	if *churn > 0 && (*verify || *benchJSON) {
 		fatal(fmt.Errorf("-churn cannot be combined with -verify or -bench-json"))
 	}
-	if *stress && (*verify || *benchJSON || *churn > 0) {
-		fatal(fmt.Errorf("-stress cannot be combined with -verify, -bench-json or -churn"))
+	if *churn3d < 0 {
+		fatal(fmt.Errorf("-churn3d must be >= 0, got %d", *churn3d))
 	}
-	if *route && (*verify || *benchJSON || *churn > 0 || *stress) {
-		fatal(fmt.Errorf("-route cannot be combined with -verify, -bench-json, -churn or -stress"))
+	if *churn3d > 0 && (*verify || *benchJSON || *churn > 0) {
+		fatal(fmt.Errorf("-churn3d cannot be combined with -verify, -bench-json or -churn"))
+	}
+	if *stress && (*verify || *benchJSON || *churn > 0 || *churn3d > 0) {
+		fatal(fmt.Errorf("-stress cannot be combined with -verify, -bench-json or -churn/-churn3d"))
+	}
+	if *route && (*verify || *benchJSON || *churn > 0 || *churn3d > 0 || *stress) {
+		fatal(fmt.Errorf("-route cannot be combined with -verify, -bench-json, -churn, -churn3d or -stress"))
 	}
 	if !*route {
 		flag.Visit(func(f *flag.Flag) {
@@ -231,6 +246,22 @@ func main() {
 		return
 	}
 
+	if *churn3d > 0 {
+		cfg := experiments.DefaultChurn3()
+		cfg.Events = *churn3d
+		cfg.BaseSeed = *seed
+		if len(counts) > 0 {
+			cfg.Faults = counts[0]
+		}
+		if cfg.Faults > cfg.MeshSize*cfg.MeshSize*cfg.MeshSize {
+			fatal(fmt.Errorf("-faults %d exceeds the %dx%dx%d mesh", cfg.Faults, cfg.MeshSize, cfg.MeshSize, cfg.MeshSize))
+		}
+		if err := runChurn3Report(os.Stdout, cfg); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	figures := []int{9, 10, 11}
 	if *figure != 0 {
 		figures = []int{*figure}
@@ -243,7 +274,7 @@ func main() {
 		if len(counts) > 0 {
 			cfg.FaultCounts = counts
 		}
-		rep, err := runBenchSweep(models, figures, cfg, experiments.DefaultChurn(),
+		rep, err := runBenchSweep(models, figures, cfg, experiments.DefaultChurn(), experiments.DefaultChurn3(),
 			experiments.DefaultRoute(fault.Clustered, *trials), *benchIter, *workers)
 		if err != nil {
 			fatal(err)

@@ -18,20 +18,32 @@
 // report (internal/benchfmt) that CI archives per commit and diffs against
 // the committed BENCH_baseline.json.
 //
+// The geometry itself lives once, in internal/kernel: a dimension-generic
+// topology abstraction (Topology[C] over a coordinate type), the dense
+// node bitset, the component merge and the per-axis orthogonal convex
+// closure (single-pass in 2-D, cascading fixpoint in 3-D), and the
+// incremental engine, all parameterized over the topology. grid and grid3
+// are the two topologies; nodeset, nodeset3, polygon, mfp, mfp3d, engine
+// and engine3 are thin instantiations, so the paper's 2-D construction
+// and its stated future work — "extending the proposed method to higher
+// dimension meshes" — are the same code.
+//
 // Beyond the paper's static setting, internal/engine maintains the
 // constructions incrementally under fault churn: AddFault recomputes only
 // the component the event merges, ClearFault re-splits only the component
 // that lost the fault, and immutable snapshots share untouched polygons
-// copy-on-write. internal/shard scales the engine to many independently
-// evolving meshes (tenants): per-shard mailbox goroutines batch incoming
-// events, reads are wait-free on resident shards, and an LRU bound evicts
-// idle engines, which rebuild exactly from their persisted fault sets on
-// next access. cmd/mfpd serves the shard manager as a long-lived HTTP
-// service (admin create/delete/list plus mesh-scoped events/status/
-// polygon/route/stats routes, with graceful drain on shutdown), cmd/mfpsim
-// -churn and the churn records of -bench-json quantify the
-// incremental-vs-rebuild speedup, and examples/churn is the runnable
-// walkthrough.
+// copy-on-write (internal/engine3 is the 3-D twin, with the cuboid union
+// as its faulty-block model). internal/shard scales the engines to many
+// independently evolving meshes (tenants) of either dimensionality:
+// per-shard mailbox goroutines batch incoming events, reads are wait-free
+// on resident shards, and an LRU bound evicts idle engines, which rebuild
+// exactly from their persisted fault sets on next access. cmd/mfpd serves
+// the shard manager as a long-lived HTTP service (admin create/delete/list
+// — create takes an optional depth for 3-D meshes — plus mesh-scoped
+// events/status/polygon/route/stats routes, with graceful drain on
+// shutdown), cmd/mfpsim -churn and -churn3d and the churn records of
+// -bench-json quantify the incremental-vs-rebuild speedup in both
+// dimensions, and examples/churn is the runnable walkthrough.
 //
 // The routing plane closes the loop from constructed polygons back to the
 // paper's motivation — routing around them: routing.NewPlanner prepares

@@ -94,7 +94,7 @@ func Build(m grid.Mesh, faults *nodeset.Set) *Result {
 	res.Regions = connectedRegions(m, unsafe)
 	res.Blocks = make([]grid.Rect, len(res.Regions))
 	for i, r := range res.Regions {
-		res.Blocks[i] = r.Bounds()
+		res.Blocks[i] = nodeset.Bounds(r)
 	}
 	return res
 }

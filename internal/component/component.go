@@ -53,7 +53,7 @@ func New(m grid.Mesh, nodes *nodeset.Set) *Component {
 	if m.Torus {
 		c.OffX, c.OffY = unwrapOffsets(m, nodes)
 	}
-	c.Bounds = c.Unwrapped().Bounds()
+	c.Bounds = nodeset.Bounds(c.Unwrapped())
 	return c
 }
 

@@ -181,39 +181,106 @@ func walkAndDetect(m grid.Mesh, comp *nodeset.Set, walk []grid.Coord) []fired {
 	return fires
 }
 
-// ringIndex locates cells on a component's outer ring for detour routing.
+// ringIndex locates cells on the components' outer rings for detour
+// routing: one dense per-mesh chain table covering every ring, mirroring
+// routing.Planner's index (which replaced the same per-region
+// map[grid.Coord]int there). head[node] chains through the flat
+// next/ring/pos arrays, one entry per in-mesh occurrence of the node on a
+// walk; pinched rings revisit cells, so a node can carry several positions
+// even within one ring, and arc minimizes over all of them.
 type ringIndex struct {
-	pos map[grid.Coord]int
-	n   int
+	mesh grid.Mesh
+	head []int32 // per dense node index, -1 when the node is on no ring
+	next []int32
+	ring []int32
+	pos  []int32
+	n    []int // per-ring walk length
 }
 
-func indexRing(walk []grid.Coord) *ringIndex {
-	idx := &ringIndex{pos: make(map[grid.Coord]int, len(walk)), n: len(walk)}
-	for i, c := range walk {
-		if _, ok := idx.pos[c]; !ok {
-			idx.pos[c] = i
+// indexRings builds the dense index over every component's ring walk.
+// Virtual halo relays (walk cells outside the mesh) hold no processor and
+// are skipped; they still occupy walk positions, so arcs across them are
+// counted correctly.
+func indexRings(m grid.Mesh, walks [][]grid.Coord) *ringIndex {
+	idx := &ringIndex{
+		mesh: m,
+		head: make([]int32, m.Size()),
+		n:    make([]int, len(walks)),
+	}
+	for i := range idx.head {
+		idx.head[i] = -1
+	}
+	total := 0
+	for _, w := range walks {
+		total += len(w)
+	}
+	idx.next = make([]int32, 0, total)
+	idx.ring = make([]int32, 0, total)
+	idx.pos = make([]int32, 0, total)
+	// Prepend entries walking rings and positions backwards, so each
+	// node's chain enumerates in ascending (ring, position) order.
+	for id := len(walks) - 1; id >= 0; id-- {
+		w := walks[id]
+		idx.n[id] = len(w)
+		for i := len(w) - 1; i >= 0; i-- {
+			if !m.Contains(w[i]) {
+				continue // virtual halo relay of a border ring
+			}
+			node := m.Index(w[i])
+			idx.next = append(idx.next, idx.head[node])
+			idx.ring = append(idx.ring, int32(id))
+			idx.pos = append(idx.pos, int32(i))
+			idx.head[node] = int32(len(idx.next) - 1)
 		}
 	}
 	return idx
 }
 
-// arc returns the hop count between two ring cells along the shorter
-// direction. Cells missing from the ring cost a full circulation, a safe
-// upper bound.
-func (r *ringIndex) arc(a, b grid.Coord) int {
-	ia, oka := r.pos[a]
-	ib, okb := r.pos[b]
-	if !oka || !okb {
-		return r.n
+// positions appends every walk position of c on ring id to buf, in
+// ascending order.
+func (r *ringIndex) positions(id int, c grid.Coord, buf []int) []int {
+	if !r.mesh.Contains(c) {
+		return buf
 	}
-	d := ia - ib
-	if d < 0 {
-		d = -d
+	for e := r.head[r.mesh.Index(c)]; e >= 0; e = r.next[e] {
+		if int(r.ring[e]) == id {
+			buf = append(buf, int(r.pos[e]))
+		}
 	}
-	if r.n-d < d {
-		d = r.n - d
+	return buf
+}
+
+// arc returns the hop count between two cells of ring id along the shorter
+// direction. On a pinched ring a cell occupies several positions — the
+// same physical processor, reachable through any of them — so the arc is
+// the minimum circular distance over every occurrence pair; committing to
+// the first occurrence (as the old map index did) could charge a walk the
+// long way around the pinch. Cells missing from the ring cost a full
+// circulation, a safe upper bound.
+func (r *ringIndex) arc(id int, a, b grid.Coord) int {
+	var bufA, bufB [4]int
+	as := r.positions(id, a, bufA[:0])
+	bs := r.positions(id, b, bufB[:0])
+	n := r.n[id]
+	if len(as) == 0 || len(bs) == 0 {
+		return n
 	}
-	return d
+	best := n
+	for _, ia := range as {
+		for _, ib := range bs {
+			d := ia - ib
+			if d < 0 {
+				d = -d
+			}
+			if n-d < d {
+				d = n - d
+			}
+			if d < best {
+				best = d
+			}
+		}
+	}
+	return best
 }
 
 // notifier carries the shared state needed to deliver section notifications.
@@ -221,7 +288,7 @@ type notifier struct {
 	mesh    grid.Mesh
 	faults  *nodeset.Set
 	compOf  []int // dense index -> component id, -1 for non-faulty
-	rings   []*ringIndex
+	rings   *ringIndex
 	polys   []*nodeset.Set
 	overall *nodeset.Set
 }
@@ -269,7 +336,7 @@ func (n *notifier) deliver(compID int, f fired) int {
 			break
 		}
 		q := cells[j]
-		hops += n.rings[blocker].arc(cur, q)
+		hops += n.rings.arc(blocker, cur, q)
 		mark(q)
 		cur = q
 		i = j + 1
@@ -302,14 +369,13 @@ func Build(m grid.Mesh, faults *nodeset.Set) *Result {
 		compOf[i] = -1
 	}
 	outer := make([][]grid.Coord, len(comps))
-	rings := make([]*ringIndex, len(comps))
 	for id, c := range comps {
 		c.Nodes.Each(func(cc grid.Coord) { compOf[m.Index(cc)] = id })
 		outer[id] = rotateToInitiator(outerRing(c.Nodes), c.Nodes)
-		rings[id] = indexRing(outer[id])
 		res.RingLengths[id] = len(outer[id])
 		res.Polygons[id] = c.Nodes.Clone()
 	}
+	rings := indexRings(m, outer)
 
 	n := &notifier{
 		mesh:    m,

@@ -37,21 +37,88 @@ func TestRecordMatchers(t *testing.T) {
 }
 
 func TestRingIndexArc(t *testing.T) {
+	m := grid.New(12, 12)
 	walk := []grid.Coord{
 		grid.XY(0, 0), grid.XY(1, 0), grid.XY(2, 0), grid.XY(2, 1),
 		grid.XY(2, 2), grid.XY(1, 2), grid.XY(0, 2), grid.XY(0, 1),
 	}
-	idx := indexRing(walk)
-	if got := idx.arc(grid.XY(0, 0), grid.XY(2, 0)); got != 2 {
+	idx := indexRings(m, [][]grid.Coord{walk})
+	if got := idx.arc(0, grid.XY(0, 0), grid.XY(2, 0)); got != 2 {
 		t.Fatalf("forward arc = %d, want 2", got)
 	}
 	// The shorter way around wins.
-	if got := idx.arc(grid.XY(0, 0), grid.XY(0, 1)); got != 1 {
+	if got := idx.arc(0, grid.XY(0, 0), grid.XY(0, 1)); got != 1 {
 		t.Fatalf("wrap arc = %d, want 1", got)
 	}
 	// Unknown cells cost a full circulation (safe upper bound).
-	if got := idx.arc(grid.XY(9, 9), grid.XY(0, 0)); got != len(walk) {
+	if got := idx.arc(0, grid.XY(9, 9), grid.XY(0, 0)); got != len(walk) {
 		t.Fatalf("missing-cell arc = %d, want %d", got, len(walk))
+	}
+}
+
+// The pinched-ring regression (the dmfp sibling of PR 4's routing.Planner
+// fix): when a ring revisits a cell, the arc must be the shortest distance
+// over every occurrence pair, not the distance between first occurrences.
+func TestRingIndexArcPinchedRing(t *testing.T) {
+	m := grid.New(12, 12)
+	// A walk that pinches at (1,0): positions 1 and 9 of a 12-cell ring.
+	walk := []grid.Coord{
+		grid.XY(0, 0), grid.XY(1, 0), grid.XY(2, 0), grid.XY(3, 0),
+		grid.XY(4, 0), grid.XY(4, 1), grid.XY(3, 1), grid.XY(2, 1),
+		grid.XY(1, 1), grid.XY(1, 0), grid.XY(0, 1), grid.XY(0, 0),
+	}
+	idx := indexRings(m, [][]grid.Coord{walk})
+	// (1,0) occurs at positions 1 and 9; (0,1) is at position 10. First
+	// occurrences would charge |1-10| vs 12-9 → 3 hops; the true shortest
+	// boundary arc uses the second occurrence: |9-10| = 1.
+	if got := idx.arc(0, grid.XY(1, 0), grid.XY(0, 1)); got != 1 {
+		t.Fatalf("pinched arc = %d, want 1 (first-occurrence lookup gives 3)", got)
+	}
+	// Occurrence-awareness is symmetric.
+	if got := idx.arc(0, grid.XY(0, 1), grid.XY(1, 0)); got != 1 {
+		t.Fatalf("reverse pinched arc = %d, want 1", got)
+	}
+	// And per-ring: a second ring sharing the cell resolves independently.
+	other := []grid.Coord{grid.XY(8, 8), grid.XY(9, 8), grid.XY(9, 9), grid.XY(8, 9)}
+	idx2 := indexRings(m, [][]grid.Coord{walk, other})
+	if got := idx2.arc(1, grid.XY(8, 8), grid.XY(8, 9)); got != 1 {
+		t.Fatalf("second ring arc = %d, want 1", got)
+	}
+	if got := idx2.arc(1, grid.XY(1, 0), grid.XY(0, 1)); got != len(other) {
+		t.Fatalf("cross-ring lookup = %d, want full circulation %d", got, len(other))
+	}
+}
+
+// An end-to-end pinched-blocker scenario: a concave section obstructed by
+// a blocker whose ring pinches must still produce the centralized minimum
+// polygons, and its Build must be stable (the regression surfaced as
+// overcounted detour rounds, never as wrong polygons).
+func TestBuildWithPinchedBlocker(t *testing.T) {
+	m := grid.New(20, 20)
+	faults := nodeset.New(m)
+	// A wide U whose concave section crosses a pinching blocker: two 2x2
+	// lobes joined by a single cell, the shape PR 4 used to pinch the
+	// planner's rings.
+	for y := 2; y <= 8; y++ {
+		faults.Add(grid.XY(2, y))
+		faults.Add(grid.XY(14, y))
+	}
+	for x := 2; x <= 14; x++ {
+		faults.Add(grid.XY(x, 2))
+	}
+	for _, c := range []grid.Coord{
+		grid.XY(6, 5), grid.XY(7, 5), grid.XY(6, 6), grid.XY(7, 6), // west lobe
+		grid.XY(8, 6),                                                // pinch cell
+		grid.XY(9, 5), grid.XY(9, 6), grid.XY(10, 5), grid.XY(10, 6), // east lobe
+	} {
+		faults.Add(c)
+	}
+	r := Build(m, faults)
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Rounds <= 0 {
+		t.Fatalf("rounds = %d, want positive", r.Rounds)
 	}
 }
 

@@ -8,16 +8,23 @@
 // few neighbouring ones, and a repair only ever shrinks or splits the one
 // component it belonged to.
 //
-// The Engine exploits exactly that structure. It keeps one cached entry per
+// The engine exploits exactly that structure. It keeps one cached entry per
 // faulty component — the component and its minimum faulty polygon (the
-// orthogonal convex closure, reusing the same per-component machinery as
-// mfp.Build) — plus the scheme-1 unsafe set maintained by local fixpoint
-// propagation. AddFault recomputes the closure of the single merged
-// component it touches; ClearFault re-splits and re-closes only the
+// orthogonal convex closure) — plus the scheme-1 unsafe set maintained by
+// local fixpoint propagation. AddFault recomputes the closure of the single
+// merged component it touches; ClearFault re-splits and re-closes only the
 // component that lost the fault; every other component's polygon is reused
 // untouched. Snapshots are immutable and share those cached polygons
 // copy-on-write, so readers never block writers and a snapshot stays valid
 // (and cheap) forever.
+//
+// Since the kernel refactor, the maintenance machinery itself is the
+// dimension-generic kernel.Engine; this package is its 2-D instantiation
+// (Engine, Snapshot and Event are kernel types pinned at grid.Mesh) and
+// contributes the one genuinely 2-D piece, the scheme-1 faulty-block
+// fixpoint of fb.go. The 3-D instantiation is internal/engine3, which
+// serves the paper's "higher dimension meshes" future work through the
+// same shard and mfpd layers.
 //
 // The engine covers the models a status query needs: the MFP polygons,
 // their disabled union, and the FB unsafe set that distinguishes enabled
@@ -30,85 +37,45 @@ package engine
 
 import (
 	"fmt"
-	"sort"
-	"sync"
-	"sync/atomic"
+	"io"
 
 	"repro/internal/component"
 	"repro/internal/grid"
+	"repro/internal/kernel"
+	"repro/internal/mfp"
 	"repro/internal/nodeset"
-	"repro/internal/polygon"
 )
 
 // Op is the kind of a fault event.
-type Op uint8
+type Op = kernel.Op
 
+// The two event ops.
 const (
 	// Add marks a node faulty (a fault arrival).
-	Add Op = iota
+	Add = kernel.Add
 	// Clear marks a faulty node repaired (a fault departure).
-	Clear
+	Clear = kernel.Clear
 )
 
-// String returns the wire name of the op ("add" or "clear").
-func (o Op) String() string {
-	switch o {
-	case Add:
-		return "add"
-	case Clear:
-		return "clear"
-	}
-	return fmt.Sprintf("op(%d)", uint8(o))
-}
+// ParseOp converts a wire name ("add" or "clear") back to an Op.
+func ParseOp(s string) (Op, error) { return kernel.ParseOp(s) }
 
-// ParseOp converts a wire name back to an Op.
-func ParseOp(s string) (Op, error) {
-	switch s {
-	case "add":
-		return Add, nil
-	case "clear":
-		return Clear, nil
-	}
-	return 0, fmt.Errorf("engine: unknown op %q (want add or clear)", s)
-}
+// Event is one fault arrival or repair on a 2-D mesh. It is the unit of
+// the batched event streams mfpd accepts; the wire format is
+// {"op":"add","x":3,"y":4} (see kernel.Event and grid.Coord's JSON codec).
+type Event = kernel.Event[grid.Coord]
 
-// Event is one fault arrival or repair. It is the unit of the batched
-// event streams mfpd accepts; see MarshalJSON for the wire format.
-type Event struct {
-	Op   Op
-	Node grid.Coord
-}
+// Engine maintains the fault-region constructions of a 2-D mesh under a
+// stream of fault events — kernel.Engine pinned at grid.Mesh. All methods
+// are safe for concurrent use: mutations serialize on an internal lock
+// while Snapshot is wait-free.
+type Engine = kernel.Engine[grid.Coord, grid.Mesh]
 
-// String renders the event like "add(3,4)".
-func (e Event) String() string { return e.Op.String() + e.Node.String() }
-
-// entry is the engine's cache line: one faulty component and its minimum
-// faulty polygon. Both sets are immutable once the entry is built — churn
-// replaces entries, it never mutates them — which is what lets snapshots
-// share them.
-type entry struct {
-	comp *component.Component
-	poly *nodeset.Set
-	// seed is the component's smallest row-major node index, the sort key
-	// that keeps entries in the same deterministic order component.Find
-	// would produce, so snapshots are byte-identical to a full rebuild.
-	seed int
-}
-
-// Engine maintains the fault-region constructions under a stream of fault
-// events. All methods are safe for concurrent use: mutations serialize on
-// an internal lock while Snapshot is wait-free.
-type Engine struct {
-	mesh grid.Mesh
-
-	mu      sync.Mutex
-	faults  *nodeset.Set // current fault set (mutated in place)
-	unsafe  *nodeset.Set // scheme-1 fixpoint over faults (mutated in place)
-	entries []*entry     // sorted by seed
-	version uint64       // counts applied (state-changing) events
-
-	snap atomic.Pointer[Snapshot]
-}
+// Snapshot is one immutable, internally consistent view of a 2-D engine's
+// state — kernel.Snapshot pinned at grid.Mesh. Note that Components
+// returns the components' node sets; wrap them with component.New (or use
+// MFPResult) when bounding boxes are needed.
+type Snapshot = kernel.Snapshot[grid.Coord, grid.Mesh]
 
 // New returns an engine over an empty fault set. Tori are rejected: the
 // incremental block maintenance relies on mesh boundaries, and the paper's
@@ -117,216 +84,27 @@ func New(m grid.Mesh) (*Engine, error) {
 	if m.Torus {
 		return nil, fmt.Errorf("engine: %v not supported (mesh only)", m)
 	}
-	if m.Size() == 0 {
-		return nil, fmt.Errorf("engine: empty mesh")
-	}
-	e := &Engine{mesh: m, faults: nodeset.New(m), unsafe: nodeset.New(m)}
-	e.publish()
-	return e, nil
-}
-
-// Mesh returns the mesh the engine maintains.
-func (e *Engine) Mesh() grid.Mesh { return e.mesh }
-
-// AddFault marks node faulty and reports whether the state changed (false
-// for a duplicate arrival). It panics when node lies outside the mesh; use
-// Apply for validated event streams.
-func (e *Engine) AddFault(node grid.Coord) bool {
-	n, _, err := e.Apply([]Event{{Op: Add, Node: node}})
-	if err != nil {
-		panic(err.Error())
-	}
-	return n == 1
-}
-
-// ClearFault marks node repaired and reports whether the state changed
-// (false when the node was not faulty). It panics when node lies outside
-// the mesh; use Apply for validated event streams.
-func (e *Engine) ClearFault(node grid.Coord) bool {
-	n, _, err := e.Apply([]Event{{Op: Clear, Node: node}})
-	if err != nil {
-		panic(err.Error())
-	}
-	return n == 1
+	return kernel.NewEngine(m, newScheme1)
 }
 
 // ValidateEvents checks that every event lies inside the mesh and carries
-// a known op, returning the first violation. Apply runs the same check on
-// its whole batch; callers that coalesce independently submitted batches
-// (internal/shard) validate each submission separately so one bad batch
-// fails alone instead of failing its innocent neighbours.
+// a known op, returning the first violation. See kernel.ValidateEvents.
 func ValidateEvents(m grid.Mesh, events []Event) error {
-	for _, ev := range events {
-		if !m.Contains(ev.Node) {
-			return fmt.Errorf("engine: %v outside %v", ev, m)
-		}
-		if ev.Op != Add && ev.Op != Clear {
-			return fmt.Errorf("engine: invalid op %d", uint8(ev.Op))
-		}
-	}
-	return nil
+	return kernel.ValidateEvents(m, events)
 }
 
-// Apply applies a batch of events atomically — concurrent readers observe
-// either the snapshot before the whole batch or after it, never a prefix —
-// and returns how many events changed the state (duplicate adds and clears
-// of non-faulty nodes are no-ops that are skipped, not errors) together
-// with the snapshot the batch produced. The snapshot is captured under the
-// same lock, so it describes exactly this batch's outcome even when other
-// batches land concurrently; Engine.Snapshot would race past them. An
-// event outside the mesh fails the whole batch before any of it is
-// applied.
-func (e *Engine) Apply(events []Event) (applied int, snap *Snapshot, err error) {
-	if err := ValidateEvents(e.mesh, events); err != nil {
-		return 0, nil, err
-	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	for _, ev := range events {
-		changed := false
-		if ev.Op == Add {
-			changed = e.addLocked(ev.Node)
-		} else {
-			changed = e.clearLocked(ev.Node)
-		}
-		if changed {
-			e.version++
-			applied++
-		}
-	}
-	if applied > 0 {
-		e.publish()
-	}
-	return applied, e.snap.Load(), nil
+// Replay applies events to a plain fault set and returns how many changed
+// it — the same counting semantics as Apply's applied result, without an
+// engine. See kernel.Replay.
+func Replay(faults *nodeset.Set, events ...Event) int {
+	return kernel.Replay(faults, events...)
 }
 
-// addLocked is the arrival path: merge the new fault with every component
-// it is adjacent to (Definition 2's 8-neighbourhood, the merge process of
-// Section 3) and recompute that one component's closure.
-func (e *Engine) addLocked(c grid.Coord) bool {
-	if !e.faults.Add(c) {
-		return false
-	}
-
-	// The components the new fault touches are those owning one of its 8
-	// neighbours. Component node sets are disjoint, so collecting owners
-	// over the ≤8 neighbours finds each at most once per neighbour.
-	var neigh []grid.Coord
-	neigh = e.mesh.Neighbors8(c, neigh)
-	merged := e.entries[:0:0]
-	for _, en := range e.entries {
-		for _, n := range neigh {
-			if en.comp.Nodes.Has(n) {
-				merged = append(merged, en)
-				break
-			}
-		}
-	}
-
-	nodes := nodeset.FromCoords(e.mesh, c)
-	for _, en := range merged {
-		nodes.UnionWith(en.comp.Nodes)
-	}
-	comp := component.New(e.mesh, nodes)
-	e.removeEntries(merged)
-	e.insertEntry(&entry{comp: comp, poly: comp.Closure(), seed: nodes.FirstIndex()})
-
-	e.growUnsafe(c)
-	return true
+// DecodeEvents decodes a JSON array of wire events from r — the request
+// body format of mfpd's 2-D events endpoints. See kernel.DecodeEvents.
+func DecodeEvents(r io.Reader) ([]Event, error) {
+	return kernel.DecodeEvents[grid.Coord](r)
 }
-
-// clearLocked is the repair path: the cleared fault's component loses one
-// node, which may split it into several components (or dissolve it when it
-// was the last fault); only those fragments are re-closed.
-func (e *Engine) clearLocked(c grid.Coord) bool {
-	if !e.faults.Remove(c) {
-		return false
-	}
-
-	var owner *entry
-	for _, en := range e.entries {
-		if en.comp.Nodes.Has(c) {
-			owner = en
-			break
-		}
-	}
-	if owner == nil {
-		// Unreachable: every fault is in exactly one component.
-		panic(fmt.Sprintf("engine: fault %v has no component", c))
-	}
-	e.removeEntries([]*entry{owner})
-	remaining := owner.comp.Nodes.Clone()
-	remaining.Remove(c)
-	for _, region := range polygon.Regions8(remaining) {
-		comp := component.New(e.mesh, region)
-		e.insertEntry(&entry{comp: comp, poly: comp.Closure(), seed: region.FirstIndex()})
-	}
-
-	e.shrinkUnsafe(c)
-	return true
-}
-
-// removeEntries deletes the given entries from the sorted slice,
-// preserving the order of the survivors.
-func (e *Engine) removeEntries(dead []*entry) {
-	if len(dead) == 0 {
-		return
-	}
-	isDead := func(en *entry) bool {
-		for _, d := range dead {
-			if en == d {
-				return true
-			}
-		}
-		return false
-	}
-	kept := e.entries[:0]
-	for _, en := range e.entries {
-		if !isDead(en) {
-			kept = append(kept, en)
-		}
-	}
-	for i := len(kept); i < len(e.entries); i++ {
-		e.entries[i] = nil
-	}
-	e.entries = kept
-}
-
-// insertEntry places en at its seed-sorted position, keeping the entry
-// order identical to component.Find's row-major seed order.
-func (e *Engine) insertEntry(en *entry) {
-	i := sort.Search(len(e.entries), func(i int) bool { return e.entries[i].seed > en.seed })
-	e.entries = append(e.entries, nil)
-	copy(e.entries[i+1:], e.entries[i:])
-	e.entries[i] = en
-}
-
-// publish builds the immutable snapshot for the current state and makes it
-// the one Snapshot returns. Polygons and components are shared with the
-// cache (and with every previous snapshot that saw the same component);
-// only the two bitsets that the engine mutates in place are copied.
-func (e *Engine) publish() {
-	s := &Snapshot{
-		mesh:     e.mesh,
-		version:  e.version,
-		faults:   e.faults.Clone(),
-		unsafe:   e.unsafe.Clone(),
-		comps:    make([]*component.Component, len(e.entries)),
-		polygons: make([]*nodeset.Set, len(e.entries)),
-		disabled: nodeset.New(e.mesh),
-	}
-	for i, en := range e.entries {
-		s.comps[i] = en.comp
-		s.polygons[i] = en.poly
-		s.disabled.UnionWith(en.poly)
-	}
-	e.snap.Store(s)
-}
-
-// Snapshot returns the current immutable snapshot. It never blocks, not
-// even while a batch is being applied, and the returned snapshot remains
-// valid (and consistent) indefinitely.
-func (e *Engine) Snapshot() *Snapshot { return e.snap.Load() }
 
 // SnapshotOf builds the snapshot of a static fault set in one shot: a
 // fresh engine fed every fault as an arrival event. It is the bridge from
@@ -347,4 +125,23 @@ func SnapshotOf(m grid.Mesh, faults *nodeset.Set) (*Snapshot, error) {
 		return nil, err
 	}
 	return snap, nil
+}
+
+// MFPResult assembles a snapshot's cached parts into an mfp.Result, the
+// exact value mfp.Build would return for the snapshot's fault set (Rounds
+// excepted, which only BuildLabelling populates). The result shares the
+// snapshot's sets; it is primarily a bridge to mfp.Result.Validate and to
+// code written against the batch API.
+func MFPResult(s *Snapshot) *mfp.Result {
+	comps := make([]*component.Component, len(s.Components()))
+	for i, nodes := range s.Components() {
+		comps[i] = component.New(s.Mesh(), nodes)
+	}
+	return &mfp.Result{
+		Mesh:       s.Mesh(),
+		Faults:     s.Faults(),
+		Components: comps,
+		Polygons:   s.Polygons(),
+		Disabled:   s.Disabled(),
+	}
 }

@@ -28,7 +28,7 @@ func checkAgainstRebuild(t *testing.T, snap *engine.Snapshot) {
 		if !p.Equal(want.Polygons[i]) {
 			t.Fatalf("polygon %d differs from rebuild:\n got %v\nwant %v", i, p, want.Polygons[i])
 		}
-		if !snap.Components()[i].Nodes.Equal(want.Components[i].Nodes) {
+		if !snap.Components()[i].Equal(want.Components[i].Nodes) {
 			t.Fatalf("component %d differs from rebuild", i)
 		}
 	}

@@ -1,7 +1,8 @@
 // Incremental maintenance of labelling scheme 1 (the rectangular faulty
-// block model). The engine needs the scheme-1 unsafe set to classify nodes
-// — a node inside a faulty block but outside every polygon is "enabled",
-// not "safe" — and maintains it by local fixpoint propagation instead of
+// block model), plugged into the generic kernel engine as its 2-D block
+// model. The engine needs the scheme-1 unsafe set to classify nodes — a
+// node inside a faulty block but outside every polygon is "enabled", not
+// "safe" — and maintains it by local fixpoint propagation instead of
 // re-running the whole-mesh synchronous simulation of block.Build.
 //
 // Two structural facts make the events local:
@@ -17,18 +18,46 @@
 //     block region is reset and regrown from its remaining faults, and by
 //     monotonicity the regrowth stays inside the old rectangle and cannot
 //     interact with any other block.
+//
+// This fixpoint has no direct analogue in 3-D (the "unsafe neighbours in
+// both dimensions" rule does not generalize to the cuboid model), which is
+// why the block model is the one piece of the engine that stays
+// per-topology: internal/engine3 plugs in the bounding-cuboid model
+// instead.
 package engine
 
-import "repro/internal/grid"
+import (
+	"repro/internal/grid"
+	"repro/internal/kernel"
+	"repro/internal/nodeset"
+)
+
+// scheme1 is the kernel.BlockModel of the 2-D engine: the scheme-1 unsafe
+// set kept at its fixpoint by local propagation. faults is the engine's
+// live fault set (read-only here); unsafe is owned by the model and
+// mutated in place.
+type scheme1 struct {
+	mesh   grid.Mesh
+	faults *nodeset.Set
+	unsafe *nodeset.Set
+}
+
+func newScheme1(m grid.Mesh, faults *nodeset.Set) kernel.BlockModel[grid.Coord, grid.Mesh] {
+	return &scheme1{mesh: m, faults: faults, unsafe: nodeset.New(m)}
+}
+
+// Unsafe returns a snapshot copy of the maintained fixpoint; the component
+// list is not needed, the fixpoint is already global.
+func (s *scheme1) Unsafe(_ []*nodeset.Set) *nodeset.Set { return s.unsafe.Clone() }
 
 // blockRuleFires reports whether scheme 1 turns the (currently safe) node
 // unsafe: a faulty or unsafe neighbour in the X dimension and one in the Y
 // dimension. The unsafe set includes the faults, and set lookups outside
 // the mesh report false, which matches the "neighbour exists" checks of
 // block.Build's rule on a non-torus mesh.
-func (e *Engine) blockRuleFires(c grid.Coord) bool {
-	if e.unsafe.Has(grid.XY(c.X+1, c.Y)) || e.unsafe.Has(grid.XY(c.X-1, c.Y)) {
-		return e.unsafe.Has(grid.XY(c.X, c.Y+1)) || e.unsafe.Has(grid.XY(c.X, c.Y-1))
+func (s *scheme1) blockRuleFires(c grid.Coord) bool {
+	if s.unsafe.Has(grid.XY(c.X+1, c.Y)) || s.unsafe.Has(grid.XY(c.X-1, c.Y)) {
+		return s.unsafe.Has(grid.XY(c.X, c.Y+1)) || s.unsafe.Has(grid.XY(c.X, c.Y-1))
 	}
 	return false
 }
@@ -36,43 +65,43 @@ func (e *Engine) blockRuleFires(c grid.Coord) bool {
 // propagate runs chaotic iteration of scheme 1 from the given worklist:
 // every queued node is re-checked, and a node that turns unsafe enqueues
 // its link neighbours, whose rule inputs just changed.
-func (e *Engine) propagate(queue []grid.Coord) {
+func (s *scheme1) propagate(queue []grid.Coord) {
 	for len(queue) > 0 {
 		c := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
-		if e.unsafe.Has(c) || !e.blockRuleFires(c) {
+		if s.unsafe.Has(c) || !s.blockRuleFires(c) {
 			continue
 		}
-		e.unsafe.Add(c)
-		queue = e.mesh.Neighbors4(c, queue)
+		s.unsafe.Add(c)
+		queue = s.mesh.Neighbors4(c, queue)
 	}
 }
 
-// growUnsafe incorporates a new fault into the scheme-1 fixpoint. When the
+// Grow incorporates a new fault into the scheme-1 fixpoint. When the
 // fault lands on an already-unsafe node (inside an existing block) nothing
 // else can change; otherwise the change propagates outward from the fault.
-func (e *Engine) growUnsafe(c grid.Coord) {
-	if !e.unsafe.Add(c) {
+func (s *scheme1) Grow(c grid.Coord) {
+	if !s.unsafe.Add(c) {
 		return
 	}
-	e.propagate(e.mesh.Neighbors4(c, nil))
+	s.propagate(s.mesh.Neighbors4(c, nil))
 }
 
-// shrinkUnsafe removes a repaired fault from the scheme-1 fixpoint. The
-// fault's block is collected (4-connected unsafe region), reset to safe,
-// and regrown from the faults that remain in it; the result is the global
+// Shrink removes a repaired fault from the scheme-1 fixpoint. The fault's
+// block is collected (4-connected unsafe region), reset to safe, and
+// regrown from the faults that remain in it; the result is the global
 // fixpoint for the reduced fault set because no other block borders the
 // region (see the package comment above).
-func (e *Engine) shrinkUnsafe(c grid.Coord) {
+func (s *scheme1) Shrink(c grid.Coord) {
 	// Collect the block containing c. c itself is still unsafe: it was a
 	// fault a moment ago and faults are always unsafe.
 	region := []grid.Coord{c}
-	seen := e.unsafe.Clone()
+	seen := s.unsafe.Clone()
 	seen.Remove(c)
 	for frontier := []grid.Coord{c}; len(frontier) > 0; {
 		cur := frontier[len(frontier)-1]
 		frontier = frontier[:len(frontier)-1]
-		for _, n := range e.mesh.Neighbors4(cur, nil) {
+		for _, n := range s.mesh.Neighbors4(cur, nil) {
 			if seen.Remove(n) { // unsafe and not yet visited
 				region = append(region, n)
 				frontier = append(frontier, n)
@@ -85,15 +114,15 @@ func (e *Engine) shrinkUnsafe(c grid.Coord) {
 	// re-marking without any neighbour changing first (its unsafe
 	// neighbours may all be re-seeded faults).
 	for _, n := range region {
-		e.unsafe.Remove(n)
+		s.unsafe.Remove(n)
 	}
 	queue := make([]grid.Coord, 0, len(region))
 	for _, n := range region {
-		if e.faults.Has(n) {
-			e.unsafe.Add(n)
+		if s.faults.Has(n) {
+			s.unsafe.Add(n)
 		} else {
 			queue = append(queue, n)
 		}
 	}
-	e.propagate(queue)
+	s.propagate(queue)
 }

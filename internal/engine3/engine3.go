@@ -1,0 +1,127 @@
+// Package engine3 is the 3-D instantiation of the kernel's incremental
+// engine: the paper's "higher dimension meshes" future work, maintained
+// under fault churn instead of rebuilt per event. Engine, Snapshot and
+// Event are kernel types pinned at grid3.Mesh, so AddFault merges the
+// touched 26-connected component and re-closes only its minimum orthogonal
+// convex polytope, ClearFault re-splits only the component that lost the
+// fault, and snapshots share every untouched polytope copy-on-write —
+// exactly the 2-D engine's behaviour, from the same generic code.
+//
+// The one per-topology choice is the block model behind Snapshot.Unsafe:
+// the 2-D scheme-1 fixpoint has no 3-D analogue, so the 3-D engine
+// maintains the union of component bounding cuboids — mfp3d's
+// DisabledCuboid, the 3-D faulty block model — which the differential
+// tests pin against batch mfp3d.Build after every event.
+//
+// The shard layer and mfpd host 3-D engines next to 2-D ones: create a
+// mesh with a depth and POST events shaped {"op":"add","x":..,"y":..,
+// "z":..}; the polygons endpoint then serves polytopes. Routing remains
+// 2-D-only.
+package engine3
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/grid3"
+	"repro/internal/kernel"
+	"repro/internal/nodeset3"
+)
+
+// Op is the kind of a fault event.
+type Op = kernel.Op
+
+// The two event ops.
+const (
+	// Add marks a node faulty (a fault arrival).
+	Add = kernel.Add
+	// Clear marks a faulty node repaired (a fault departure).
+	Clear = kernel.Clear
+)
+
+// Event is one fault arrival or repair on a 3-D mesh; the wire format is
+// {"op":"add","x":3,"y":4,"z":5} (see kernel.Event and grid3.Coord's JSON
+// codec, which rejects events missing a z).
+type Event = kernel.Event[grid3.Coord]
+
+// Engine maintains the polytope constructions of a 3-D mesh under a stream
+// of fault events — kernel.Engine pinned at grid3.Mesh.
+type Engine = kernel.Engine[grid3.Coord, grid3.Mesh]
+
+// Snapshot is one immutable view of a 3-D engine's state: components,
+// minimum faulty polytopes, their disabled union, and the cuboid unsafe
+// set.
+type Snapshot = kernel.Snapshot[grid3.Coord, grid3.Mesh]
+
+// New returns an engine over an empty fault set. Tori are rejected, like
+// the 2-D engine and the batch mfp3d construction.
+func New(m grid3.Mesh) (*Engine, error) {
+	if m.Torus {
+		return nil, fmt.Errorf("engine3: %v not supported (mesh only)", m)
+	}
+	return kernel.NewEngine(m, newCuboids)
+}
+
+// ValidateEvents checks that every event lies inside the mesh and carries
+// a known op, returning the first violation. See kernel.ValidateEvents.
+func ValidateEvents(m grid3.Mesh, events []Event) error {
+	return kernel.ValidateEvents(m, events)
+}
+
+// Replay applies events to a plain fault set and returns how many changed
+// it. See kernel.Replay.
+func Replay(faults *nodeset3.Set, events ...Event) int {
+	return kernel.Replay(faults, events...)
+}
+
+// DecodeEvents decodes a JSON array of 3-D wire events from r — the
+// request body format of mfpd's events endpoint on a 3-D mesh. See
+// kernel.DecodeEvents.
+func DecodeEvents(r io.Reader) ([]Event, error) {
+	return kernel.DecodeEvents[grid3.Coord](r)
+}
+
+// SnapshotOf builds the snapshot of a static fault set in one shot: a
+// fresh engine fed every fault as an arrival event.
+func SnapshotOf(m grid3.Mesh, faults *nodeset3.Set) (*Snapshot, error) {
+	e, err := New(m)
+	if err != nil {
+		return nil, err
+	}
+	events := make([]Event, 0, faults.Len())
+	faults.Each(func(c grid3.Coord) {
+		events = append(events, Event{Op: Add, Node: c})
+	})
+	_, snap, err := e.Apply(events)
+	if err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// cuboids is the kernel.BlockModel of the 3-D engine: the union of
+// component bounding cuboids (mfp3d's DisabledCuboid). Unlike the 2-D
+// scheme-1 fixpoint there is no incremental state worth keeping — cuboids
+// of separate components may overlap, so a repair can require
+// reconstructing the union anyway — and the union is rebuilt from the
+// component list at snapshot publication, which costs O(total cuboid
+// volume), comparable to the fault-set clone every publish already pays.
+type cuboids struct {
+	mesh grid3.Mesh
+}
+
+func newCuboids(m grid3.Mesh, _ *nodeset3.Set) kernel.BlockModel[grid3.Coord, grid3.Mesh] {
+	return cuboids{mesh: m}
+}
+
+func (cuboids) Grow(grid3.Coord)   {}
+func (cuboids) Shrink(grid3.Coord) {}
+
+// Unsafe builds the union of the components' bounding cuboids.
+func (u cuboids) Unsafe(comps []*nodeset3.Set) *nodeset3.Set {
+	out := nodeset3.New(u.mesh)
+	for _, c := range comps {
+		nodeset3.Bounds(c).Each(func(cc grid3.Coord) { out.Add(cc) })
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/engine3"
+	"repro/internal/grid3"
+	"repro/internal/kernel"
+	"repro/internal/mfp3d"
+	"repro/internal/nodeset3"
+)
+
+// Churn3Config describes a fault arrival/repair process on a 3-D mesh, the
+// new workload the kernel refactor opened: the paper's "higher dimension
+// meshes" future work run under churn instead of as one static
+// construction. It mirrors ChurnConfig — warm-up arrivals to the
+// steady-state fault count, then Events coin-flip steps between arrivals
+// and repairs — and the whole sequence is a deterministic function of the
+// config, so timing runs, differential tests and archived benchmark
+// records all replay the identical stream.
+type Churn3Config struct {
+	// MeshSize is the side length n of the n×n×n mesh.
+	MeshSize int
+	// Faults is the steady-state fault count.
+	Faults int
+	// Events is the number of churn steps after warm-up.
+	Events int
+	// BaseSeed makes the event stream reproducible.
+	BaseSeed int64
+}
+
+// DefaultChurn3 is the benchmark scenario of the repository's churn3d
+// BENCH records: ~1% steady-state fault density on a 12×12×12 mesh, 200
+// churn events. Keep it fixed — the record name derived from it is the
+// workload's identity for -bench-compare.
+func DefaultChurn3() Churn3Config {
+	return Churn3Config{MeshSize: 12, Faults: 20, Events: 200, BaseSeed: 1}
+}
+
+// Name renders the config as the benchmark workload identity, e.g.
+// "churn3d/mesh12/faults20/events200/seed1".
+func (c Churn3Config) Name() string {
+	return fmt.Sprintf("churn3d/mesh%d/faults%d/events%d/seed%d", c.MeshSize, c.Faults, c.Events, c.BaseSeed)
+}
+
+func (c Churn3Config) validate() {
+	if c.MeshSize <= 0 || c.Faults <= 0 || c.Events < 0 || c.Faults > c.MeshSize*c.MeshSize*c.MeshSize {
+		panic(fmt.Sprintf("experiments: invalid churn3d config %+v", c))
+	}
+}
+
+// Mesh returns the scenario's mesh.
+func (c Churn3Config) Mesh() grid3.Mesh {
+	return grid3.New(c.MeshSize, c.MeshSize, c.MeshSize)
+}
+
+// Sequence generates the deterministic event stream: Faults warm-up
+// arrivals followed by Events churn steps, with the same step policy as
+// the 2-D scenario.
+func (c Churn3Config) Sequence() []engine3.Event {
+	c.validate()
+	m := c.Mesh()
+	rng := rand.New(rand.NewSource(c.BaseSeed))
+	faulty := nodeset3.New(m)
+	live := make([]grid3.Coord, 0, c.Faults)
+	events := make([]engine3.Event, 0, c.Faults+c.Events)
+
+	arrival := func() {
+		for {
+			n := grid3.XYZ(rng.Intn(m.W), rng.Intn(m.H), rng.Intn(m.D))
+			if faulty.Add(n) {
+				live = append(live, n)
+				events = append(events, engine3.Event{Op: kernel.Add, Node: n})
+				return
+			}
+		}
+	}
+	for len(live) < c.Faults {
+		arrival()
+	}
+	for i := 0; i < c.Events; i++ {
+		// Force the step kind at the extremes: an empty mesh has nothing to
+		// repair, a saturated one has no healthy node for an arrival (the
+		// rejection sampler would spin forever).
+		saturated := faulty.Len() == m.Size()
+		if len(live) == 0 || (!saturated && rng.Intn(2) == 0) {
+			arrival()
+		} else {
+			j := rng.Intn(len(live))
+			n := live[j]
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+			faulty.Remove(n)
+			events = append(events, engine3.Event{Op: kernel.Clear, Node: n})
+		}
+	}
+	return events
+}
+
+// Churn3Incremental replays the event stream through the incremental 3-D
+// engine and returns its final snapshot. This is the timed body of the
+// "churn3d/.../incremental" benchmark record.
+func Churn3Incremental(c Churn3Config) (*engine3.Snapshot, error) {
+	e, err := engine3.New(c.Mesh())
+	if err != nil {
+		return nil, err
+	}
+	_, snap, err := e.Apply(c.Sequence())
+	if err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// Churn3Rebuild replays the same event stream the way a system without the
+// engine would: mutate the fault set and run a from-scratch mfp3d.Build
+// after every event. It returns the final construction, which differential
+// tests compare against Churn3Incremental's snapshot. This is the timed
+// body of the "churn3d/.../rebuild" benchmark record.
+func Churn3Rebuild(c Churn3Config) *mfp3d.Result {
+	m := c.Mesh()
+	faults := nodeset3.New(m)
+	var last *mfp3d.Result
+	for _, ev := range c.Sequence() {
+		engine3.Replay(faults, ev)
+		last = mfp3d.Build(m, faults)
+	}
+	return last
+}
+
+// Churn3Diff asserts that an incremental 3-D snapshot and a from-scratch
+// mfp3d construction describe the same state: fault set, every polytope
+// (in the shared seed order), the disabled union and the cuboid unsafe
+// set, plus the snapshot's own invariants. It is the 3-D analogue of the
+// 2-D churn differential and is shared by the churn3d test and the
+// mfpsim -churn3d report.
+func Churn3Diff(snap *engine3.Snapshot, full *mfp3d.Result) error {
+	switch {
+	case !snap.Faults().Equal(full.Faults):
+		return fmt.Errorf("churn3d differential check failed: fault sets diverge")
+	case len(snap.Polygons()) != len(full.Polytopes):
+		return fmt.Errorf("churn3d differential check failed: %d polytopes vs %d rebuilt",
+			len(snap.Polygons()), len(full.Polytopes))
+	case !snap.Disabled().Equal(full.DisabledPolytope):
+		return fmt.Errorf("churn3d differential check failed: disabled sets diverge")
+	case !snap.Unsafe().Equal(full.DisabledCuboid):
+		return fmt.Errorf("churn3d differential check failed: cuboid unsafe sets diverge")
+	}
+	for i, p := range snap.Polygons() {
+		if !p.Equal(full.Polytopes[i]) {
+			return fmt.Errorf("churn3d differential check failed: polytope %d diverges", i)
+		}
+		if !snap.Components()[i].Equal(full.Components[i]) {
+			return fmt.Errorf("churn3d differential check failed: component %d diverges", i)
+		}
+	}
+	return snap.Validate()
+}

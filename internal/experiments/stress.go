@@ -311,7 +311,7 @@ func verifyCheckpoint(shards []*stressShard, mesh grid.Mesh, round int) (StressC
 			if !p.Equal(ref.Minimum.Polygons[i]) {
 				return cp, fmt.Errorf("%s checkpoint %d: polygon %d diverged from core.Construct", ss.name, round+1, i)
 			}
-			if !snap.Components()[i].Nodes.Equal(ref.Minimum.Components[i].Nodes) {
+			if !snap.Components()[i].Equal(ref.Minimum.Components[i].Nodes) {
 				return cp, fmt.Errorf("%s checkpoint %d: component %d diverged from core.Construct", ss.name, round+1, i)
 			}
 		}

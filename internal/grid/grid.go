@@ -8,7 +8,10 @@
 // u_x, u_y in {0, ..., n-1}. "Above" a row means a strictly larger Y.
 package grid
 
-import "fmt"
+import (
+	"encoding/json"
+	"fmt"
+)
 
 // Coord is the address of a node in a 2-D mesh or torus.
 type Coord struct {
@@ -21,6 +24,36 @@ func XY(x, y int) Coord { return Coord{X: x, Y: y} }
 
 // String renders the coordinate as "(x,y)", matching the paper's notation.
 func (c Coord) String() string { return fmt.Sprintf("(%d,%d)", c.X, c.Y) }
+
+// MarshalJSON encodes the coordinate as {"x":…,"y":…}, the wire shape the
+// fault-event stream inlines (see kernel.Event).
+func (c Coord) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf(`{"x":%d,"y":%d}`, c.X, c.Y)), nil
+}
+
+// UnmarshalJSON decodes {"x":…,"y":…}, requiring both fields so a corrupt
+// event is rejected instead of silently decoding as the origin, and
+// rejecting a "z" so a 3-D event posted to a 2-D mesh fails loudly
+// instead of being projected onto the plane. Other unknown fields (such
+// as an event's "op") are ignored.
+func (c *Coord) UnmarshalJSON(data []byte) error {
+	var w struct {
+		X *int `json:"x"`
+		Y *int `json:"y"`
+		Z *int `json:"z"`
+	}
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("grid: bad coordinate: %w", err)
+	}
+	if w.X == nil || w.Y == nil {
+		return fmt.Errorf("grid: coordinate %s misses x or y", data)
+	}
+	if w.Z != nil {
+		return fmt.Errorf("grid: 2-D coordinate %s carries z", data)
+	}
+	*c = Coord{X: *w.X, Y: *w.Y}
+	return nil
+}
 
 // Add returns c translated by d.
 func (c Coord) Add(d Coord) Coord { return Coord{c.X + d.X, c.Y + d.Y} }
@@ -193,6 +226,37 @@ func (m Mesh) Neighbors8(c Coord, buf []Coord) []Coord {
 	}
 	return buf
 }
+
+// Links appends the link neighbours of c to buf; it is Neighbors4 under
+// the dimension-generic name of the kernel.Topology interface.
+func (m Mesh) Links(c Coord, buf []Coord) []Coord { return m.Neighbors4(c, buf) }
+
+// Adjacent appends the merge-process neighbours of c (Definition 2) to
+// buf; it is Neighbors8 under the dimension-generic name of the
+// kernel.Topology interface.
+func (m Mesh) Adjacent(c Coord, buf []Coord) []Coord { return m.Neighbors8(c, buf) }
+
+// Axes returns the number of axes of the topology (2).
+func (m Mesh) Axes() int { return 2 }
+
+// AxisLen returns the node count along the given axis (0 = X, 1 = Y).
+func (m Mesh) AxisLen(axis int) int {
+	if axis == 0 {
+		return m.W
+	}
+	return m.H
+}
+
+// AxisPos returns c's position along the given axis.
+func (m Mesh) AxisPos(axis int, c Coord) int {
+	if axis == 0 {
+		return c.X
+	}
+	return c.Y
+}
+
+// AtAxes builds the coordinate with the given per-axis positions.
+func (m Mesh) AtAxes(vals []int) Coord { return Coord{X: vals[0], Y: vals[1]} }
 
 // Dist returns the routing (Manhattan) distance between a and b, accounting
 // for wraparound links on a torus. Both coordinates must lie in the mesh.

@@ -5,7 +5,10 @@
 // axis-aligned boxes.
 package grid3
 
-import "fmt"
+import (
+	"encoding/json"
+	"fmt"
+)
 
 // Coord is the address of a node in a 3-D mesh.
 type Coord struct {
@@ -17,6 +20,31 @@ func XYZ(x, y, z int) Coord { return Coord{X: x, Y: y, Z: z} }
 
 // String renders the coordinate as "(x,y,z)".
 func (c Coord) String() string { return fmt.Sprintf("(%d,%d,%d)", c.X, c.Y, c.Z) }
+
+// MarshalJSON encodes the coordinate as {"x":…,"y":…,"z":…}, the wire
+// shape the 3-D fault-event stream inlines (see kernel.Event).
+func (c Coord) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf(`{"x":%d,"y":%d,"z":%d}`, c.X, c.Y, c.Z)), nil
+}
+
+// UnmarshalJSON decodes {"x":…,"y":…,"z":…}, requiring all three fields so
+// a 2-D event posted to a 3-D mesh is rejected instead of silently decoding
+// with z = 0. Unknown fields (such as an event's "op") are ignored.
+func (c *Coord) UnmarshalJSON(data []byte) error {
+	var w struct {
+		X *int `json:"x"`
+		Y *int `json:"y"`
+		Z *int `json:"z"`
+	}
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("grid3: bad coordinate: %w", err)
+	}
+	if w.X == nil || w.Y == nil || w.Z == nil {
+		return fmt.Errorf("grid3: coordinate %s misses x, y or z", data)
+	}
+	*c = Coord{X: *w.X, Y: *w.Y, Z: *w.Z}
+	return nil
+}
 
 // Add returns c translated by d.
 func (c Coord) Add(d Coord) Coord { return Coord{c.X + d.X, c.Y + d.Y, c.Z + d.Z} }
@@ -120,6 +148,44 @@ func (m Mesh) Neighbors26(c Coord, buf []Coord) []Coord {
 	}
 	return buf
 }
+
+// Links appends the link neighbours of c to buf; it is Neighbors6 under
+// the dimension-generic name of the kernel.Topology interface.
+func (m Mesh) Links(c Coord, buf []Coord) []Coord { return m.Neighbors6(c, buf) }
+
+// Adjacent appends the merge-process neighbours of c (the 3-D analogue of
+// Definition 2) to buf; it is Neighbors26 under the dimension-generic name
+// of the kernel.Topology interface.
+func (m Mesh) Adjacent(c Coord, buf []Coord) []Coord { return m.Neighbors26(c, buf) }
+
+// Axes returns the number of axes of the topology (3).
+func (m Mesh) Axes() int { return 3 }
+
+// AxisLen returns the node count along the given axis (0 = X, 1 = Y,
+// 2 = Z).
+func (m Mesh) AxisLen(axis int) int {
+	switch axis {
+	case 0:
+		return m.W
+	case 1:
+		return m.H
+	}
+	return m.D
+}
+
+// AxisPos returns c's position along the given axis.
+func (m Mesh) AxisPos(axis int, c Coord) int {
+	switch axis {
+	case 0:
+		return c.X
+	case 1:
+		return c.Y
+	}
+	return c.Z
+}
+
+// AtAxes builds the coordinate with the given per-axis positions.
+func (m Mesh) AtAxes(vals []int) Coord { return Coord{X: vals[0], Y: vals[1], Z: vals[2]} }
 
 // Dist returns the routing (Manhattan) distance between two nodes.
 func (m Mesh) Dist(a, b Coord) int {

@@ -1,0 +1,358 @@
+package kernel
+
+// The dimension-generic incremental engine. This is the paper's per-
+// component machinery run under fault churn: a new fault only ever grows
+// one component or merges a few neighbouring ones (the merge process of
+// Section 3), and a repair only ever shrinks or splits the one component
+// it belonged to — so the engine re-closes exactly the touched component
+// and reuses every other component's cached polygon. internal/engine
+// instantiates it for the paper's 2-D mesh (with the scheme-1 faulty-block
+// fixpoint as the block model), internal/engine3 for 3-D meshes (with the
+// bounding-cuboid block model); the maintenance logic lives only here.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Op is the kind of a fault event.
+type Op uint8
+
+const (
+	// Add marks a node faulty (a fault arrival).
+	Add Op = iota
+	// Clear marks a faulty node repaired (a fault departure).
+	Clear
+)
+
+// String returns the wire name of the op ("add" or "clear").
+func (o Op) String() string {
+	switch o {
+	case Add:
+		return "add"
+	case Clear:
+		return "clear"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// ParseOp converts a wire name back to an Op.
+func ParseOp(s string) (Op, error) {
+	switch s {
+	case "add":
+		return Add, nil
+	case "clear":
+		return Clear, nil
+	}
+	return 0, fmt.Errorf("engine: unknown op %q (want add or clear)", s)
+}
+
+// Event is one fault arrival or repair over coordinate type C. It is the
+// unit of the batched event streams mfpd accepts; see MarshalJSON for the
+// wire format.
+type Event[C any] struct {
+	Op   Op
+	Node C
+}
+
+// String renders the event like "add(3,4)".
+func (e Event[C]) String() string { return fmt.Sprintf("%s%v", e.Op, e.Node) }
+
+// BlockModel maintains a topology's faulty-block ("unsafe") construction
+// alongside the engine's polygons. The 2-D model is labelling scheme 1
+// (rectangular faulty blocks kept at a fixpoint by local propagation); the
+// 3-D analogue is the union of component bounding cuboids. The engine calls
+// Grow/Shrink under its lock right after the fault set changes, and Unsafe
+// at snapshot publication with the current components (index order).
+type BlockModel[C any, T Topology[C]] interface {
+	// Grow incorporates a fault arrival at c (already in the fault set).
+	Grow(c C)
+	// Shrink incorporates a repair at c (already removed from the fault
+	// set).
+	Shrink(c C)
+	// Unsafe returns a fresh unsafe set for the current state; comps are
+	// the current faulty components in seed order. The result is owned by
+	// the caller (it is published in an immutable snapshot).
+	Unsafe(comps []*Set[C, T]) *Set[C, T]
+}
+
+// entry is the engine's cache line: one faulty component and its minimum
+// faulty polygon (polytope). Both sets are immutable once the entry is
+// built — churn replaces entries, it never mutates them — which is what
+// lets snapshots share them.
+type entry[C any, T Topology[C]] struct {
+	nodes *Set[C, T]
+	poly  *Set[C, T]
+	// seed is the component's smallest dense node index, the sort key that
+	// keeps entries in the same deterministic order a from-scratch
+	// component search would produce, so snapshots are byte-identical to a
+	// full rebuild.
+	seed int
+}
+
+// Engine maintains the fault-region constructions under a stream of fault
+// events. All methods are safe for concurrent use: mutations serialize on
+// an internal lock while Snapshot is wait-free.
+type Engine[C any, T Topology[C]] struct {
+	mesh T
+
+	mu      sync.Mutex
+	faults  *Set[C, T] // current fault set (mutated in place)
+	blocks  BlockModel[C, T]
+	entries []*entry[C, T] // sorted by seed
+	version uint64         // counts applied (state-changing) events
+
+	snap atomic.Pointer[Snapshot[C, T]]
+}
+
+// NewEngine returns an engine over an empty fault set, with the given
+// block-model factory (called with the engine's live fault set, which the
+// model may read but must not mutate). Topology restrictions — the 2-D
+// engine rejects tori, for example — belong in the instantiating package's
+// constructor.
+func NewEngine[C any, T Topology[C]](mesh T, blocks func(T, *Set[C, T]) BlockModel[C, T]) (*Engine[C, T], error) {
+	if mesh.Size() == 0 {
+		return nil, fmt.Errorf("engine: empty mesh")
+	}
+	e := &Engine[C, T]{mesh: mesh, faults: NewSet[C](mesh)}
+	e.blocks = blocks(mesh, e.faults)
+	e.publish()
+	return e, nil
+}
+
+// Mesh returns the mesh the engine maintains.
+func (e *Engine[C, T]) Mesh() T { return e.mesh }
+
+// AddFault marks node faulty and reports whether the state changed (false
+// for a duplicate arrival). It panics when node lies outside the mesh; use
+// Apply for validated event streams.
+func (e *Engine[C, T]) AddFault(node C) bool {
+	n, _, err := e.Apply([]Event[C]{{Op: Add, Node: node}})
+	if err != nil {
+		panic(err.Error())
+	}
+	return n == 1
+}
+
+// ClearFault marks node repaired and reports whether the state changed
+// (false when the node was not faulty). It panics when node lies outside
+// the mesh; use Apply for validated event streams.
+func (e *Engine[C, T]) ClearFault(node C) bool {
+	n, _, err := e.Apply([]Event[C]{{Op: Clear, Node: node}})
+	if err != nil {
+		panic(err.Error())
+	}
+	return n == 1
+}
+
+// ValidateEvents checks that every event lies inside the mesh and carries
+// a known op, returning the first violation. Apply runs the same check on
+// its whole batch; callers that coalesce independently submitted batches
+// (internal/shard) validate each submission separately so one bad batch
+// fails alone instead of failing its innocent neighbours.
+func ValidateEvents[C any, T Topology[C]](m T, events []Event[C]) error {
+	for _, ev := range events {
+		if !m.Contains(ev.Node) {
+			return fmt.Errorf("engine: %v outside %v", ev, m)
+		}
+		if ev.Op != Add && ev.Op != Clear {
+			return fmt.Errorf("engine: invalid op %d", uint8(ev.Op))
+		}
+	}
+	return nil
+}
+
+// Replay applies events to a plain fault set and returns how many changed
+// it — the same counting semantics as Apply's applied result, without an
+// engine. It is the shared reference walk: the shard layer uses it to keep
+// its persisted fault sets (and per-submission counts) in lockstep with
+// the engine, and the differential harnesses use it to maintain the
+// expected state they verify engines against. Events with an invalid op
+// are ignored, never misread as a Clear; run ValidateEvents first when
+// they must be rejected instead.
+func Replay[C any, T Topology[C]](faults *Set[C, T], events ...Event[C]) int {
+	changed := 0
+	for _, ev := range events {
+		switch ev.Op {
+		case Add:
+			if faults.Add(ev.Node) {
+				changed++
+			}
+		case Clear:
+			if faults.Remove(ev.Node) {
+				changed++
+			}
+		}
+	}
+	return changed
+}
+
+// Apply applies a batch of events atomically — concurrent readers observe
+// either the snapshot before the whole batch or after it, never a prefix —
+// and returns how many events changed the state (duplicate adds and clears
+// of non-faulty nodes are no-ops that are skipped, not errors) together
+// with the snapshot the batch produced. The snapshot is captured under the
+// same lock, so it describes exactly this batch's outcome even when other
+// batches land concurrently; Engine.Snapshot would race past them. An
+// event outside the mesh fails the whole batch before any of it is
+// applied.
+func (e *Engine[C, T]) Apply(events []Event[C]) (applied int, snap *Snapshot[C, T], err error) {
+	if err := ValidateEvents(e.mesh, events); err != nil {
+		return 0, nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, ev := range events {
+		changed := false
+		if ev.Op == Add {
+			changed = e.addLocked(ev.Node)
+		} else {
+			changed = e.clearLocked(ev.Node)
+		}
+		if changed {
+			e.version++
+			applied++
+		}
+	}
+	if applied > 0 {
+		e.publish()
+	}
+	return applied, e.snap.Load(), nil
+}
+
+// addLocked is the arrival path: merge the new fault with every component
+// it is adjacent to (the merge process of Section 3, under the topology's
+// Definition 2 adjacency) and recompute that one component's closure.
+func (e *Engine[C, T]) addLocked(c C) bool {
+	if !e.faults.Add(c) {
+		return false
+	}
+
+	// The components the new fault touches are those owning one of its
+	// adjacent nodes. Component node sets are disjoint, so collecting
+	// owners over the few neighbours finds each at most once per
+	// neighbour. Neighbour indices are resolved once up front: the
+	// entries×neighbours probe loop is the arrival hot path.
+	var neigh []C
+	neigh = e.mesh.Adjacent(c, neigh)
+	neighIdx := make([]int, len(neigh))
+	for i, n := range neigh {
+		neighIdx[i] = e.mesh.Index(n)
+	}
+	merged := e.entries[:0:0]
+	for _, en := range e.entries {
+		for _, i := range neighIdx {
+			if en.nodes.HasIndex(i) {
+				merged = append(merged, en)
+				break
+			}
+		}
+	}
+
+	nodes := SetOf(e.mesh, c)
+	for _, en := range merged {
+		nodes.UnionWith(en.nodes)
+	}
+	e.removeEntries(merged)
+	poly, _ := Closure(nodes)
+	e.insertEntry(&entry[C, T]{nodes: nodes, poly: poly, seed: nodes.FirstIndex()})
+
+	e.blocks.Grow(c)
+	return true
+}
+
+// clearLocked is the repair path: the cleared fault's component loses one
+// node, which may split it into several components (or dissolve it when it
+// was the last fault); only those fragments are re-closed.
+func (e *Engine[C, T]) clearLocked(c C) bool {
+	if !e.faults.Remove(c) {
+		return false
+	}
+
+	var owner *entry[C, T]
+	for _, en := range e.entries {
+		if en.nodes.Has(c) {
+			owner = en
+			break
+		}
+	}
+	if owner == nil {
+		// Unreachable: every fault is in exactly one component.
+		panic(fmt.Sprintf("engine: fault %v has no component", c))
+	}
+	e.removeEntries([]*entry[C, T]{owner})
+	remaining := owner.nodes.Clone()
+	remaining.Remove(c)
+	for _, region := range Regions(remaining) {
+		poly, _ := Closure(region)
+		e.insertEntry(&entry[C, T]{nodes: region, poly: poly, seed: region.FirstIndex()})
+	}
+
+	e.blocks.Shrink(c)
+	return true
+}
+
+// removeEntries deletes the given entries from the sorted slice,
+// preserving the order of the survivors.
+func (e *Engine[C, T]) removeEntries(dead []*entry[C, T]) {
+	if len(dead) == 0 {
+		return
+	}
+	isDead := func(en *entry[C, T]) bool {
+		for _, d := range dead {
+			if en == d {
+				return true
+			}
+		}
+		return false
+	}
+	kept := e.entries[:0]
+	for _, en := range e.entries {
+		if !isDead(en) {
+			kept = append(kept, en)
+		}
+	}
+	for i := len(kept); i < len(e.entries); i++ {
+		e.entries[i] = nil
+	}
+	e.entries = kept
+}
+
+// insertEntry places en at its seed-sorted position, keeping the entry
+// order identical to the index-order seed order a from-scratch component
+// search produces.
+func (e *Engine[C, T]) insertEntry(en *entry[C, T]) {
+	i := sort.Search(len(e.entries), func(i int) bool { return e.entries[i].seed > en.seed })
+	e.entries = append(e.entries, nil)
+	copy(e.entries[i+1:], e.entries[i:])
+	e.entries[i] = en
+}
+
+// publish builds the immutable snapshot for the current state and makes it
+// the one Snapshot returns. Polygons and components are shared with the
+// cache (and with every previous snapshot that saw the same component);
+// only the fault set and the block model's unsafe set are fresh.
+func (e *Engine[C, T]) publish() {
+	s := &Snapshot[C, T]{
+		mesh:     e.mesh,
+		version:  e.version,
+		faults:   e.faults.Clone(),
+		comps:    make([]*Set[C, T], len(e.entries)),
+		polygons: make([]*Set[C, T], len(e.entries)),
+		disabled: NewSet[C](e.mesh),
+	}
+	for i, en := range e.entries {
+		s.comps[i] = en.nodes
+		s.polygons[i] = en.poly
+		s.disabled.UnionWith(en.poly)
+	}
+	s.unsafe = e.blocks.Unsafe(s.comps)
+	e.snap.Store(s)
+}
+
+// Snapshot returns the current immutable snapshot. It never blocks, not
+// even while a batch is being applied, and the returned snapshot remains
+// valid (and consistent) indefinitely.
+func (e *Engine[C, T]) Snapshot() *Snapshot[C, T] { return e.snap.Load() }

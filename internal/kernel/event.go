@@ -1,0 +1,86 @@
+package kernel
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The wire format of an event is {"op":"add"|"clear", ...coordinate...},
+// with the coordinate's fields inlined into the same object: {"op":"add",
+// "x":3,"y":4} in 2-D, {"op":"add","x":3,"y":4,"z":5} in 3-D. The
+// coordinate half of the codec is owned by the coordinate type itself
+// (grid.Coord and grid3.Coord implement json.Marshaler/Unmarshaler with
+// exactly those lowercase fields, rejecting events that miss one), so each
+// topology's events are validated per-topology while the event framing
+// lives once, here.
+
+// MarshalJSON encodes the event by splicing the coordinate's JSON object
+// after the op, e.g. {"op":"add","x":3,"y":4}.
+func (e Event[C]) MarshalJSON() ([]byte, error) {
+	if e.Op != Add && e.Op != Clear {
+		return nil, fmt.Errorf("engine: cannot encode invalid op %d", uint8(e.Op))
+	}
+	node, err := json.Marshal(e.Node)
+	if err != nil {
+		return nil, err
+	}
+	if len(node) < 2 || node[0] != '{' || node[len(node)-1] != '}' {
+		return nil, fmt.Errorf("engine: coordinate %v does not encode as a JSON object", e.Node)
+	}
+	out := make([]byte, 0, len(node)+12)
+	out = append(out, `{"op":"`...)
+	out = append(out, e.Op.String()...)
+	out = append(out, '"')
+	if len(node) > 2 {
+		out = append(out, ',')
+		out = append(out, node[1:]...)
+	} else {
+		out = append(out, '}')
+	}
+	return out, nil
+}
+
+// UnmarshalJSON decodes the wire format produced by MarshalJSON. The op is
+// required here; the coordinate type's own unmarshaller requires its
+// fields. Mesh bounds are not checked — Apply validates them against its
+// mesh.
+func (e *Event[C]) UnmarshalJSON(data []byte) error {
+	var head struct {
+		Op *string `json:"op"`
+	}
+	if err := json.Unmarshal(data, &head); err != nil {
+		return fmt.Errorf("engine: bad event: %w", err)
+	}
+	if head.Op == nil {
+		return fmt.Errorf("engine: event %s misses op", data)
+	}
+	op, err := ParseOp(*head.Op)
+	if err != nil {
+		return err
+	}
+	var node C
+	if err := json.Unmarshal(data, &node); err != nil {
+		return fmt.Errorf("engine: bad event %s: %w", data, err)
+	}
+	*e = Event[C]{Op: op, Node: node}
+	return nil
+}
+
+// DecodeEvents decodes a JSON array of wire events from r — the request
+// body format of mfpd's events endpoints. The whole array is decoded
+// before anything is returned and data trailing the array is rejected, so
+// a truncated or concatenated body can never be half-accepted. Mesh bounds
+// are not checked here — ValidateEvents and Apply check them against a
+// concrete mesh.
+func DecodeEvents[C any](r io.Reader) ([]Event[C], error) {
+	dec := json.NewDecoder(r)
+	var events []Event[C]
+	if err := dec.Decode(&events); err != nil {
+		return nil, fmt.Errorf("engine: bad event batch: %w", err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return nil, fmt.Errorf("engine: trailing data after event batch")
+	}
+	return events, nil
+}

@@ -1,0 +1,231 @@
+package kernel
+
+// This file expresses the paper's orthogonal-convex-region geometry once
+// for any dimension: a region is orthogonal convex when every axis-parallel
+// line meets it in a contiguous segment (Definition 1, with one line family
+// per axis), and the minimum orthogonal convex polygon/polytope of a region
+// is its closure under filling the per-line gaps. The per-axis machinery
+// works on dense "line keys": for axis a, the line through c is identified
+// by c's positions on the other axes, packed with mixed-radix strides.
+
+// lineStrides returns, for the given axis, the per-axis strides that pack
+// the positions of the other axes into a dense line key, together with the
+// number of lines.
+func lineStrides[C any, T Topology[C]](t T, axis int) (strides []int, lines int) {
+	axes := t.Axes()
+	strides = make([]int, axes)
+	lines = 1
+	for b := 0; b < axes; b++ {
+		if b == axis {
+			continue
+		}
+		strides[b] = lines
+		lines *= t.AxisLen(b)
+	}
+	return strides, lines
+}
+
+// lineKey packs c's off-axis positions into the dense line key for axis.
+func lineKey[C any, T Topology[C]](t T, axis int, strides []int, c C) int {
+	k := 0
+	for b := range strides {
+		if b == axis {
+			continue
+		}
+		k += t.AxisPos(b, c) * strides[b]
+	}
+	return k
+}
+
+// sparseLines reports whether the per-line bookkeeping of one axis should
+// use a map over occupied lines instead of dense arrays over every line of
+// the mesh. Dense arrays win for the common case (a component on a mesh
+// whose cross-section is comparable to the region size), but a small
+// region on a large mesh — a 2-node component on a 2048×2048×4 mesh has
+// 4.2M Z-lines — must not allocate and scan the whole cross-section per
+// closure pass.
+func sparseLines(lines, regionLen int) bool { return lines > 2*regionLen+16 }
+
+// lineSpan is the occupancy of one axis line: the extremes and the node
+// count on the line.
+type lineSpan struct{ lo, hi, count int }
+
+// lineSpans collects per-line occupancy for one axis, densely or sparsely
+// depending on the line count. Exactly one of the return values is
+// non-nil.
+func lineSpans[C any, T Topology[C]](s *Set[C, T], axis int, strides []int, lines int) (dense []lineSpan, sparse map[int]lineSpan) {
+	t := s.Mesh()
+	if sparseLines(lines, s.Len()) {
+		sparse = make(map[int]lineSpan, s.Len())
+		s.Each(func(c C) {
+			k := lineKey(t, axis, strides, c)
+			p := t.AxisPos(axis, c)
+			sp, ok := sparse[k]
+			if !ok {
+				sparse[k] = lineSpan{lo: p, hi: p, count: 1}
+				return
+			}
+			if p < sp.lo {
+				sp.lo = p
+			}
+			if p > sp.hi {
+				sp.hi = p
+			}
+			sp.count++
+			sparse[k] = sp
+		})
+		return nil, sparse
+	}
+	dense = make([]lineSpan, lines)
+	s.Each(func(c C) {
+		k := lineKey(t, axis, strides, c)
+		p := t.AxisPos(axis, c)
+		sp := dense[k]
+		if sp.count == 0 {
+			dense[k] = lineSpan{lo: p, hi: p, count: 1}
+			return
+		}
+		if p < sp.lo {
+			sp.lo = p
+		}
+		if p > sp.hi {
+			sp.hi = p
+		}
+		sp.count++
+		dense[k] = sp
+	})
+	return dense, nil
+}
+
+// IsOrthoConvex reports whether the region satisfies Definition 1: for any
+// axis-parallel line, the nodes of the region on that line form a
+// contiguous segment.
+func IsOrthoConvex[C any, T Topology[C]](s *Set[C, T]) bool {
+	t := s.Mesh()
+	convex := func(sp lineSpan) bool {
+		return sp.count == 0 || sp.count == sp.hi-sp.lo+1
+	}
+	for a := 0; a < t.Axes(); a++ {
+		strides, lines := lineStrides[C](t, a)
+		dense, sparse := lineSpans(s, a, strides, lines)
+		for _, sp := range dense {
+			if !convex(sp) {
+				return false
+			}
+		}
+		for _, sp := range sparse {
+			if !convex(sp) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FillOnce returns the region plus the nodes of every axis-line gap — one
+// "scan per axis and fill" pass of the paper's second centralized solution
+// (concave row and column sections in 2-D, one extra line family per
+// additional axis).
+func FillOnce[C any, T Topology[C]](s *Set[C, T]) *Set[C, T] {
+	t := s.Mesh()
+	out := s.Clone()
+	axes := t.Axes()
+	vals := make([]int, axes)
+	for a := 0; a < axes; a++ {
+		strides, lines := lineStrides[C](t, a)
+		dense, sparse := lineSpans(s, a, strides, lines)
+		fill := func(k int, sp lineSpan) {
+			if sp.count == 0 || sp.hi-sp.lo < 2 {
+				return
+			}
+			for b := 0; b < axes; b++ {
+				if b == a {
+					continue
+				}
+				vals[b] = (k / strides[b]) % t.AxisLen(b)
+			}
+			for v := sp.lo + 1; v < sp.hi; v++ {
+				vals[a] = v
+				out.Add(t.AtAxes(vals))
+			}
+		}
+		for k, sp := range dense {
+			fill(k, sp)
+		}
+		for k, sp := range sparse {
+			fill(k, sp)
+		}
+	}
+	return out
+}
+
+// Closure returns the orthogonal convex closure of the region — the unique
+// minimum orthogonal convex polygon (2-D) or polytope (3-D) containing it —
+// together with the number of fill passes needed. In 2-D one pass suffices
+// for 8-connected regions; in 3-D a fill along one axis can open a gap
+// along another, so the loop cascades to a fixpoint (see the tests for a
+// minimal cascading example). Minimality holds in any dimension: every
+// orthogonal convex superset of the region must contain each fill pass.
+func Closure[C any, T Topology[C]](s *Set[C, T]) (*Set[C, T], int) {
+	cur := s
+	passes := 0
+	for {
+		next := FillOnce(cur)
+		if next.Len() == cur.Len() {
+			return next, passes
+		}
+		cur = next
+		passes++
+	}
+}
+
+// Regions splits the set into its connected regions under the merge-process
+// adjacency (Definition 2: 8-adjacency in 2-D, 26-adjacency in 3-D), in
+// deterministic index-order seed order. These are exactly the faulty
+// components of a fault set.
+func Regions[C any, T Topology[C]](s *Set[C, T]) []*Set[C, T] {
+	return regions(s, func(t T, c C, buf []C) []C { return t.Adjacent(c, buf) })
+}
+
+// LinkRegions splits the set into its connected regions under the link
+// adjacency of the network (4-adjacency in 2-D, 6-adjacency in 3-D), in
+// deterministic index-order seed order.
+func LinkRegions[C any, T Topology[C]](s *Set[C, T]) []*Set[C, T] {
+	return regions(s, func(t T, c C, buf []C) []C { return t.Links(c, buf) })
+}
+
+func regions[C any, T Topology[C]](s *Set[C, T], neighbors func(T, C, []C) []C) []*Set[C, T] {
+	t := s.Mesh()
+	var out []*Set[C, T]
+	seen := NewSet[C](t)
+	var stack, buf []C
+	s.Each(func(c C) {
+		if seen.Has(c) {
+			return
+		}
+		region := NewSet[C](t)
+		stack = append(stack[:0], c)
+		seen.Add(c)
+		region.Add(c)
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			buf = neighbors(t, cur, buf[:0])
+			for _, n := range buf {
+				// Neighbour lists are pre-wrapped onto the mesh, so the
+				// dense index is resolved once and the three set probes
+				// skip their own Contains/Index round trips (these are
+				// dictionary calls under Go generics, and this loop is the
+				// hot path of every component search).
+				i := t.Index(n)
+				if s.HasIndex(i) && !seen.HasIndex(i) {
+					seen.AddIndex(i)
+					region.AddIndex(i)
+					stack = append(stack, n)
+				}
+			}
+		}
+		out = append(out, region)
+	})
+	return out
+}

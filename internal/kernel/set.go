@@ -1,0 +1,246 @@
+package kernel
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Set is a dense bitset of the nodes of a fixed topology. On a 100×100 mesh
+// (or a 20×20×20 one) a bitset keeps the fault-region algorithms
+// allocation-free and cache-friendly. The zero value is unusable; create
+// sets with NewSet. Sets are not safe for concurrent mutation.
+type Set[C any, T Topology[C]] struct {
+	topo  T
+	words []uint64
+	n     int // cached cardinality
+}
+
+// NewSet returns an empty set over the given topology.
+func NewSet[C any, T Topology[C]](t T) *Set[C, T] {
+	return &Set[C, T]{topo: t, words: make([]uint64, (t.Size()+63)/64)}
+}
+
+// SetOf returns a set containing exactly the given coordinates. Coordinates
+// outside the mesh cause a panic, mirroring Topology.Index.
+func SetOf[C any, T Topology[C]](t T, coords ...C) *Set[C, T] {
+	s := NewSet[C](t)
+	for _, c := range coords {
+		s.Add(c)
+	}
+	return s
+}
+
+// Mesh returns the topology the set is defined over.
+func (s *Set[C, T]) Mesh() T { return s.topo }
+
+// Len returns the number of nodes in the set.
+func (s *Set[C, T]) Len() int { return s.n }
+
+// Empty reports whether the set has no nodes.
+func (s *Set[C, T]) Empty() bool { return s.n == 0 }
+
+// Has reports whether c is in the set. Coordinates outside the mesh are
+// reported as absent, which lets callers probe neighbours without bounds
+// checks.
+func (s *Set[C, T]) Has(c C) bool {
+	if !s.topo.Contains(c) {
+		return false
+	}
+	i := s.topo.Index(c)
+	return s.words[i>>6]&(1<<(i&63)) != 0
+}
+
+// HasIndex reports whether the node with dense index i is in the set.
+func (s *Set[C, T]) HasIndex(i int) bool {
+	return s.words[i>>6]&(1<<(i&63)) != 0
+}
+
+// Add inserts c and reports whether the set changed.
+func (s *Set[C, T]) Add(c C) bool {
+	return s.AddIndex(s.topo.Index(c))
+}
+
+// AddIndex inserts the node with dense index i and reports whether the set
+// changed.
+func (s *Set[C, T]) AddIndex(i int) bool {
+	w, b := i>>6, uint64(1)<<(i&63)
+	if s.words[w]&b != 0 {
+		return false
+	}
+	s.words[w] |= b
+	s.n++
+	return true
+}
+
+// Remove deletes c and reports whether the set changed.
+func (s *Set[C, T]) Remove(c C) bool {
+	if !s.topo.Contains(c) {
+		return false
+	}
+	i := s.topo.Index(c)
+	w, b := i>>6, uint64(1)<<(i&63)
+	if s.words[w]&b == 0 {
+		return false
+	}
+	s.words[w] &^= b
+	s.n--
+	return true
+}
+
+// Clear removes all nodes.
+func (s *Set[C, T]) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+	s.n = 0
+}
+
+// Clone returns an independent copy.
+func (s *Set[C, T]) Clone() *Set[C, T] {
+	out := &Set[C, T]{topo: s.topo, words: make([]uint64, len(s.words)), n: s.n}
+	copy(out.words, s.words)
+	return out
+}
+
+func (s *Set[C, T]) sameMesh(t *Set[C, T]) {
+	if s.topo != t.topo {
+		panic("kernel: sets over different meshes")
+	}
+}
+
+// UnionWith adds every node of t to s.
+func (s *Set[C, T]) UnionWith(t *Set[C, T]) {
+	s.sameMesh(t)
+	n := 0
+	for i := range s.words {
+		s.words[i] |= t.words[i]
+		n += bits.OnesCount64(s.words[i])
+	}
+	s.n = n
+}
+
+// IntersectWith removes from s every node not in t.
+func (s *Set[C, T]) IntersectWith(t *Set[C, T]) {
+	s.sameMesh(t)
+	n := 0
+	for i := range s.words {
+		s.words[i] &= t.words[i]
+		n += bits.OnesCount64(s.words[i])
+	}
+	s.n = n
+}
+
+// SubtractWith removes from s every node of t.
+func (s *Set[C, T]) SubtractWith(t *Set[C, T]) {
+	s.sameMesh(t)
+	n := 0
+	for i := range s.words {
+		s.words[i] &^= t.words[i]
+		n += bits.OnesCount64(s.words[i])
+	}
+	s.n = n
+}
+
+// Union returns a new set with the nodes of both.
+func Union[C any, T Topology[C]](a, b *Set[C, T]) *Set[C, T] {
+	out := a.Clone()
+	out.UnionWith(b)
+	return out
+}
+
+// Intersect returns a new set with the common nodes.
+func Intersect[C any, T Topology[C]](a, b *Set[C, T]) *Set[C, T] {
+	out := a.Clone()
+	out.IntersectWith(b)
+	return out
+}
+
+// Subtract returns a new set with the nodes of a that are not in b.
+func Subtract[C any, T Topology[C]](a, b *Set[C, T]) *Set[C, T] {
+	out := a.Clone()
+	out.SubtractWith(b)
+	return out
+}
+
+// Equal reports whether the two sets contain the same nodes.
+func (s *Set[C, T]) Equal(t *Set[C, T]) bool {
+	if s.topo != t.topo || s.n != t.n {
+		return false
+	}
+	for i := range s.words {
+		if s.words[i] != t.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsAll reports whether every node of t is in s.
+func (s *Set[C, T]) ContainsAll(t *Set[C, T]) bool {
+	s.sameMesh(t)
+	for i := range s.words {
+		if t.words[i]&^s.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Disjoint reports whether the two sets share no node.
+func (s *Set[C, T]) Disjoint(t *Set[C, T]) bool {
+	s.sameMesh(t)
+	for i := range s.words {
+		if s.words[i]&t.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Each calls fn for every node in the set in dense index order (row-major
+// in 2-D).
+func (s *Set[C, T]) Each(fn func(C)) {
+	for w, word := range s.words {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << b
+			fn(s.topo.CoordAt(w<<6 | b))
+		}
+	}
+}
+
+// FirstIndex returns the smallest dense index in the set, or -1 when the
+// set is empty. It is the index-order "seed" of the set, the ordering key
+// used wherever components must appear in a deterministic order.
+func (s *Set[C, T]) FirstIndex() int {
+	for w, word := range s.words {
+		if word != 0 {
+			return w<<6 | bits.TrailingZeros64(word)
+		}
+	}
+	return -1
+}
+
+// Coords returns the nodes of the set in dense index order.
+func (s *Set[C, T]) Coords() []C {
+	out := make([]C, 0, s.n)
+	s.Each(func(c C) { out = append(out, c) })
+	return out
+}
+
+// String lists the nodes in dense index order, e.g. "{(2,4) (3,4) (4,3)}".
+func (s *Set[C, T]) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.Each(func(c C) {
+		if !first {
+			b.WriteByte(' ')
+		}
+		first = false
+		fmt.Fprintf(&b, "%v", c)
+	})
+	b.WriteByte('}')
+	return b.String()
+}

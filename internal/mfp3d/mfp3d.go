@@ -1,7 +1,12 @@
 // Package mfp3d extends the paper's construction to 3-D meshes — its
 // stated future work ("our future work will focus on extending the
-// proposed method to higher dimension meshes"). The generalization is
-// constructive and centralized:
+// proposed method to higher dimension meshes"). Since the refactor that
+// introduced internal/kernel, the geometry is not a copy of the 2-D code
+// any more: the component merge and the orthogonal convex closure are the
+// kernel's dimension-generic implementations instantiated at grid3.Mesh,
+// and this package only keeps the 3-D vocabulary (polytopes, cuboids) and
+// the batch Result shape. The generalization is constructive and
+// centralized:
 //
 //   - faulty components merge under 26-adjacency (the 3-D analogue of
 //     Definition 2);
@@ -17,126 +22,36 @@
 // Minimality holds by the same argument as in 2-D: any orthogonal convex
 // superset of a component must contain every fill pass, hence the closure
 // is the unique minimum orthogonal convex polytope covering the component.
+//
+// For the same construction maintained incrementally under fault churn —
+// and served over HTTP by mfpd — see internal/engine3.
 package mfp3d
 
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 
 	"repro/internal/grid3"
+	"repro/internal/kernel"
 	"repro/internal/nodeset3"
 )
 
 // IsOrthoConvex reports whether every axis-parallel line meets the region
 // in a contiguous segment.
-func IsOrthoConvex(s *nodeset3.Set) bool {
-	type lineKey struct{ a, b, axis int }
-	lines := map[lineKey][]int{}
-	s.Each(func(c grid3.Coord) {
-		lines[lineKey{c.Y, c.Z, 0}] = append(lines[lineKey{c.Y, c.Z, 0}], c.X)
-		lines[lineKey{c.X, c.Z, 1}] = append(lines[lineKey{c.X, c.Z, 1}], c.Y)
-		lines[lineKey{c.X, c.Y, 2}] = append(lines[lineKey{c.X, c.Y, 2}], c.Z)
-	})
-	for _, vs := range lines {
-		sort.Ints(vs)
-		for i := 1; i < len(vs); i++ {
-			if vs[i] > vs[i-1]+1 {
-				return false
-			}
-		}
-	}
-	return true
-}
+func IsOrthoConvex(s *nodeset3.Set) bool { return kernel.IsOrthoConvex(s) }
 
 // FillOnce returns the region plus the nodes of every axis-line gap — one
 // pass of the 3-D concave-section fill.
-func FillOnce(s *nodeset3.Set) *nodeset3.Set {
-	type lineKey struct{ a, b, axis int }
-	type span struct{ lo, hi int }
-	spans := map[lineKey]span{}
-	observe := func(k lineKey, v int) {
-		sp, ok := spans[k]
-		if !ok {
-			spans[k] = span{v, v}
-			return
-		}
-		if v < sp.lo {
-			sp.lo = v
-		}
-		if v > sp.hi {
-			sp.hi = v
-		}
-		spans[k] = sp
-	}
-	s.Each(func(c grid3.Coord) {
-		observe(lineKey{c.Y, c.Z, 0}, c.X)
-		observe(lineKey{c.X, c.Z, 1}, c.Y)
-		observe(lineKey{c.X, c.Y, 2}, c.Z)
-	})
-	out := s.Clone()
-	for k, sp := range spans {
-		for v := sp.lo + 1; v < sp.hi; v++ {
-			switch k.axis {
-			case 0:
-				out.Add(grid3.XYZ(v, k.a, k.b))
-			case 1:
-				out.Add(grid3.XYZ(k.a, v, k.b))
-			default:
-				out.Add(grid3.XYZ(k.a, k.b, v))
-			}
-		}
-	}
-	return out
-}
+func FillOnce(s *nodeset3.Set) *nodeset3.Set { return kernel.FillOnce(s) }
 
 // Closure returns the orthogonal convex closure of the region — the
 // minimum orthogonal convex polytope containing it — and the number of fill
 // passes needed.
-func Closure(s *nodeset3.Set) (*nodeset3.Set, int) {
-	cur := s
-	passes := 0
-	for {
-		next := FillOnce(cur)
-		if next.Len() == cur.Len() {
-			return next, passes
-		}
-		cur = next
-		passes++
-	}
-}
+func Closure(s *nodeset3.Set) (*nodeset3.Set, int) { return kernel.Closure(s) }
 
 // Components returns the 26-connected components of the fault set in
 // deterministic order.
-func Components(faults *nodeset3.Set) []*nodeset3.Set {
-	m := faults.Mesh()
-	var out []*nodeset3.Set
-	seen := nodeset3.New(m)
-	var stack, buf []grid3.Coord
-	faults.Each(func(c grid3.Coord) {
-		if seen.Has(c) {
-			return
-		}
-		region := nodeset3.New(m)
-		stack = append(stack[:0], c)
-		seen.Add(c)
-		region.Add(c)
-		for len(stack) > 0 {
-			cur := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			buf = m.Neighbors26(cur, buf[:0])
-			for _, n := range buf {
-				if faults.Has(n) && !seen.Has(n) {
-					seen.Add(n)
-					region.Add(n)
-					stack = append(stack, n)
-				}
-			}
-		}
-		out = append(out, region)
-	})
-	return out
-}
+func Components(faults *nodeset3.Set) []*nodeset3.Set { return kernel.Regions(faults) }
 
 // Result holds the 3-D construction: per-component minimum polytopes and,
 // for comparison, the cuboid (3-D faulty block) model.
@@ -175,7 +90,7 @@ func Build(m grid3.Mesh, faults *nodeset3.Set) *Result {
 		poly, _ := Closure(c)
 		res.Polytopes = append(res.Polytopes, poly)
 		res.DisabledPolytope.UnionWith(poly)
-		box := c.Bounds()
+		box := nodeset3.Bounds(c)
 		res.Cuboids = append(res.Cuboids, box)
 		box.Each(func(cc grid3.Coord) { res.DisabledCuboid.Add(cc) })
 	}

@@ -1,268 +1,45 @@
-// Package nodeset provides a dense bitset of mesh nodes. Every fault-region
-// algorithm in this module manipulates sets of nodes (faulty sets, unsafe
-// regions, disabled regions), and on a 100×100 mesh a bitset keeps those
-// operations allocation-free and cache-friendly.
+// Package nodeset is the 2-D instantiation of the kernel's dense node
+// bitset: every fault-region algorithm in this module manipulates sets of
+// nodes (faulty sets, unsafe regions, disabled regions), and on a 100×100
+// mesh a bitset keeps those operations allocation-free and cache-friendly.
+// The implementation lives once in internal/kernel, shared with the 3-D
+// instantiation (internal/nodeset3); this package pins the 2-D type and
+// adds the 2-D-specific bounding-rectangle helper.
 package nodeset
 
 import (
-	"math/bits"
-	"sort"
-	"strings"
-
 	"repro/internal/grid"
+	"repro/internal/kernel"
 )
 
-// Set is a set of nodes of a fixed mesh. The zero value is unusable; create
-// sets with New. Sets are not safe for concurrent mutation.
-type Set struct {
-	mesh  grid.Mesh
-	words []uint64
-	n     int // cached cardinality
-}
+// Set is a set of nodes of a fixed 2-D mesh — kernel.Set over grid.Mesh.
+// The zero value is unusable; create sets with New. Sets are not safe for
+// concurrent mutation.
+type Set = kernel.Set[grid.Coord, grid.Mesh]
 
 // New returns an empty set over the given mesh.
-func New(m grid.Mesh) *Set {
-	return &Set{mesh: m, words: make([]uint64, (m.Size()+63)/64)}
-}
+func New(m grid.Mesh) *Set { return kernel.NewSet[grid.Coord](m) }
 
 // FromCoords returns a set containing exactly the given coordinates.
 // Coordinates outside the mesh cause a panic, mirroring grid.Mesh.Index.
 func FromCoords(m grid.Mesh, coords ...grid.Coord) *Set {
-	s := New(m)
-	for _, c := range coords {
-		s.Add(c)
-	}
-	return s
-}
-
-// Mesh returns the mesh the set is defined over.
-func (s *Set) Mesh() grid.Mesh { return s.mesh }
-
-// Len returns the number of nodes in the set.
-func (s *Set) Len() int { return s.n }
-
-// Empty reports whether the set has no nodes.
-func (s *Set) Empty() bool { return s.n == 0 }
-
-// Has reports whether c is in the set. Coordinates outside the mesh are
-// reported as absent, which lets callers probe neighbours without bounds
-// checks.
-func (s *Set) Has(c grid.Coord) bool {
-	if !s.mesh.Contains(c) {
-		return false
-	}
-	i := s.mesh.Index(c)
-	return s.words[i>>6]&(1<<(i&63)) != 0
-}
-
-// HasIndex reports whether the node with dense index i is in the set.
-func (s *Set) HasIndex(i int) bool {
-	return s.words[i>>6]&(1<<(i&63)) != 0
-}
-
-// Add inserts c and reports whether the set changed.
-func (s *Set) Add(c grid.Coord) bool {
-	i := s.mesh.Index(c)
-	w, b := i>>6, uint64(1)<<(i&63)
-	if s.words[w]&b != 0 {
-		return false
-	}
-	s.words[w] |= b
-	s.n++
-	return true
-}
-
-// AddIndex inserts the node with dense index i and reports whether the set
-// changed.
-func (s *Set) AddIndex(i int) bool {
-	w, b := i>>6, uint64(1)<<(i&63)
-	if s.words[w]&b != 0 {
-		return false
-	}
-	s.words[w] |= b
-	s.n++
-	return true
-}
-
-// Remove deletes c and reports whether the set changed.
-func (s *Set) Remove(c grid.Coord) bool {
-	if !s.mesh.Contains(c) {
-		return false
-	}
-	i := s.mesh.Index(c)
-	w, b := i>>6, uint64(1)<<(i&63)
-	if s.words[w]&b == 0 {
-		return false
-	}
-	s.words[w] &^= b
-	s.n--
-	return true
-}
-
-// Clear removes all nodes.
-func (s *Set) Clear() {
-	for i := range s.words {
-		s.words[i] = 0
-	}
-	s.n = 0
-}
-
-// Clone returns an independent copy.
-func (s *Set) Clone() *Set {
-	out := &Set{mesh: s.mesh, words: make([]uint64, len(s.words)), n: s.n}
-	copy(out.words, s.words)
-	return out
-}
-
-func (s *Set) sameMesh(t *Set) {
-	if s.mesh != t.mesh {
-		panic("nodeset: sets over different meshes")
-	}
-}
-
-// UnionWith adds every node of t to s.
-func (s *Set) UnionWith(t *Set) {
-	s.sameMesh(t)
-	n := 0
-	for i := range s.words {
-		s.words[i] |= t.words[i]
-		n += bits.OnesCount64(s.words[i])
-	}
-	s.n = n
-}
-
-// IntersectWith removes from s every node not in t.
-func (s *Set) IntersectWith(t *Set) {
-	s.sameMesh(t)
-	n := 0
-	for i := range s.words {
-		s.words[i] &= t.words[i]
-		n += bits.OnesCount64(s.words[i])
-	}
-	s.n = n
-}
-
-// SubtractWith removes from s every node of t.
-func (s *Set) SubtractWith(t *Set) {
-	s.sameMesh(t)
-	n := 0
-	for i := range s.words {
-		s.words[i] &^= t.words[i]
-		n += bits.OnesCount64(s.words[i])
-	}
-	s.n = n
+	return kernel.SetOf(m, coords...)
 }
 
 // Union returns a new set with the nodes of both.
-func Union(a, b *Set) *Set {
-	out := a.Clone()
-	out.UnionWith(b)
-	return out
-}
+func Union(a, b *Set) *Set { return kernel.Union(a, b) }
 
 // Intersect returns a new set with the common nodes.
-func Intersect(a, b *Set) *Set {
-	out := a.Clone()
-	out.IntersectWith(b)
-	return out
-}
+func Intersect(a, b *Set) *Set { return kernel.Intersect(a, b) }
 
 // Subtract returns a new set with the nodes of a that are not in b.
-func Subtract(a, b *Set) *Set {
-	out := a.Clone()
-	out.SubtractWith(b)
-	return out
-}
+func Subtract(a, b *Set) *Set { return kernel.Subtract(a, b) }
 
-// Equal reports whether the two sets contain the same nodes.
-func (s *Set) Equal(t *Set) bool {
-	if s.mesh != t.mesh || s.n != t.n {
-		return false
-	}
-	for i := range s.words {
-		if s.words[i] != t.words[i] {
-			return false
-		}
-	}
-	return true
-}
-
-// ContainsAll reports whether every node of t is in s.
-func (s *Set) ContainsAll(t *Set) bool {
-	s.sameMesh(t)
-	for i := range s.words {
-		if t.words[i]&^s.words[i] != 0 {
-			return false
-		}
-	}
-	return true
-}
-
-// Disjoint reports whether the two sets share no node.
-func (s *Set) Disjoint(t *Set) bool {
-	s.sameMesh(t)
-	for i := range s.words {
-		if s.words[i]&t.words[i] != 0 {
-			return false
-		}
-	}
-	return true
-}
-
-// Each calls fn for every node in the set in row-major order.
-func (s *Set) Each(fn func(grid.Coord)) {
-	for w, word := range s.words {
-		for word != 0 {
-			b := bits.TrailingZeros64(word)
-			word &^= 1 << b
-			fn(s.mesh.CoordAt(w<<6 | b))
-		}
-	}
-}
-
-// FirstIndex returns the smallest dense index in the set, or -1 when the
-// set is empty. It is the row-major "seed" of the set, the ordering key
-// used wherever components must appear in a deterministic order.
-func (s *Set) FirstIndex() int {
-	for w, word := range s.words {
-		if word != 0 {
-			return w<<6 | bits.TrailingZeros64(word)
-		}
-	}
-	return -1
-}
-
-// Coords returns the nodes of the set in row-major order.
-func (s *Set) Coords() []grid.Coord {
-	out := make([]grid.Coord, 0, s.n)
-	s.Each(func(c grid.Coord) { out = append(out, c) })
-	return out
-}
-
-// Bounds returns the bounding rectangle of the set (empty for an empty set).
-func (s *Set) Bounds() grid.Rect {
+// Bounds returns the bounding rectangle of the set (empty for an empty
+// set). It is a free function rather than a method because grid.Rect is
+// 2-D-specific while the set type is shared with the 3-D instantiation.
+func Bounds(s *Set) grid.Rect {
 	r := grid.EmptyRect()
 	s.Each(func(c grid.Coord) { r = r.Extend(c) })
 	return r
-}
-
-// String lists the nodes in row-major order, e.g. "{(2,4) (3,4) (4,3)}".
-func (s *Set) String() string {
-	cs := s.Coords()
-	sort.Slice(cs, func(i, j int) bool {
-		if cs[i].Y != cs[j].Y {
-			return cs[i].Y < cs[j].Y
-		}
-		return cs[i].X < cs[j].X
-	})
-	var b strings.Builder
-	b.WriteByte('{')
-	for i, c := range cs {
-		if i > 0 {
-			b.WriteByte(' ')
-		}
-		b.WriteString(c.String())
-	}
-	b.WriteByte('}')
-	return b.String()
 }

@@ -135,12 +135,12 @@ func TestDifferentMeshPanics(t *testing.T) {
 
 func TestBounds(t *testing.T) {
 	m := grid.New(10, 10)
-	if !New(m).Bounds().Empty() {
+	if !Bounds(New(m)).Empty() {
 		t.Fatal("empty set bounds should be empty")
 	}
 	s := FromCoords(m, c(2, 4), c(3, 4), c(4, 3))
 	want := grid.Rect{MinX: 2, MinY: 3, MaxX: 4, MaxY: 4}
-	if got := s.Bounds(); got != want {
+	if got := Bounds(s); got != want {
 		t.Fatalf("Bounds = %v, want %v", got, want)
 	}
 }

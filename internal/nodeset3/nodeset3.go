@@ -1,169 +1,35 @@
-// Package nodeset3 provides a dense bitset of 3-D mesh nodes, mirroring the
-// 2-D nodeset package for the higher-dimension extension.
+// Package nodeset3 is the 3-D instantiation of the kernel's dense node
+// bitset, mirroring the 2-D nodeset package. It used to be a hand-written
+// copy of nodeset; the implementation now lives once in internal/kernel
+// and this package only pins the 3-D type and adds the bounding-box
+// helper.
 package nodeset3
 
 import (
-	"math/bits"
-	"strings"
-
 	"repro/internal/grid3"
+	"repro/internal/kernel"
 )
 
-// Set is a set of nodes of a fixed 3-D mesh. Create sets with New.
-type Set struct {
-	mesh  grid3.Mesh
-	words []uint64
-	n     int
-}
+// Set is a set of nodes of a fixed 3-D mesh — kernel.Set over grid3.Mesh.
+// Create sets with New.
+type Set = kernel.Set[grid3.Coord, grid3.Mesh]
 
 // New returns an empty set over the given mesh.
-func New(m grid3.Mesh) *Set {
-	return &Set{mesh: m, words: make([]uint64, (m.Size()+63)/64)}
-}
+func New(m grid3.Mesh) *Set { return kernel.NewSet[grid3.Coord](m) }
 
 // FromCoords returns a set containing exactly the given coordinates.
 func FromCoords(m grid3.Mesh, coords ...grid3.Coord) *Set {
-	s := New(m)
-	for _, c := range coords {
-		s.Add(c)
-	}
-	return s
+	return kernel.SetOf(m, coords...)
 }
 
-// Mesh returns the mesh the set is defined over.
-func (s *Set) Mesh() grid3.Mesh { return s.mesh }
+// Union returns a new set with the nodes of both.
+func Union(a, b *Set) *Set { return kernel.Union(a, b) }
 
-// Len returns the number of nodes in the set.
-func (s *Set) Len() int { return s.n }
-
-// Empty reports whether the set has no nodes.
-func (s *Set) Empty() bool { return s.n == 0 }
-
-// Has reports whether c is in the set; outside coordinates read as absent.
-func (s *Set) Has(c grid3.Coord) bool {
-	if !s.mesh.Contains(c) {
-		return false
-	}
-	i := s.mesh.Index(c)
-	return s.words[i>>6]&(1<<(i&63)) != 0
-}
-
-// Add inserts c and reports whether the set changed.
-func (s *Set) Add(c grid3.Coord) bool {
-	i := s.mesh.Index(c)
-	w, b := i>>6, uint64(1)<<(i&63)
-	if s.words[w]&b != 0 {
-		return false
-	}
-	s.words[w] |= b
-	s.n++
-	return true
-}
-
-// Remove deletes c and reports whether the set changed.
-func (s *Set) Remove(c grid3.Coord) bool {
-	if !s.mesh.Contains(c) {
-		return false
-	}
-	i := s.mesh.Index(c)
-	w, b := i>>6, uint64(1)<<(i&63)
-	if s.words[w]&b == 0 {
-		return false
-	}
-	s.words[w] &^= b
-	s.n--
-	return true
-}
-
-// Clone returns an independent copy.
-func (s *Set) Clone() *Set {
-	out := &Set{mesh: s.mesh, words: make([]uint64, len(s.words)), n: s.n}
-	copy(out.words, s.words)
-	return out
-}
-
-func (s *Set) sameMesh(t *Set) {
-	if s.mesh != t.mesh {
-		panic("nodeset3: sets over different meshes")
-	}
-}
-
-// UnionWith adds every node of t to s.
-func (s *Set) UnionWith(t *Set) {
-	s.sameMesh(t)
-	n := 0
-	for i := range s.words {
-		s.words[i] |= t.words[i]
-		n += bits.OnesCount64(s.words[i])
-	}
-	s.n = n
-}
-
-// ContainsAll reports whether every node of t is in s.
-func (s *Set) ContainsAll(t *Set) bool {
-	s.sameMesh(t)
-	for i := range s.words {
-		if t.words[i]&^s.words[i] != 0 {
-			return false
-		}
-	}
-	return true
-}
-
-// Disjoint reports whether the two sets share no node.
-func (s *Set) Disjoint(t *Set) bool {
-	s.sameMesh(t)
-	for i := range s.words {
-		if s.words[i]&t.words[i] != 0 {
-			return false
-		}
-	}
-	return true
-}
-
-// Equal reports whether the two sets contain the same nodes.
-func (s *Set) Equal(t *Set) bool {
-	if s.mesh != t.mesh || s.n != t.n {
-		return false
-	}
-	for i := range s.words {
-		if s.words[i] != t.words[i] {
-			return false
-		}
-	}
-	return true
-}
-
-// Each calls fn for every node in the set in index order.
-func (s *Set) Each(fn func(grid3.Coord)) {
-	for w, word := range s.words {
-		for word != 0 {
-			b := bits.TrailingZeros64(word)
-			word &^= 1 << b
-			fn(s.mesh.CoordAt(w<<6 | b))
-		}
-	}
-}
-
-// Bounds returns the bounding box of the set.
-func (s *Set) Bounds() grid3.Box {
+// Bounds returns the bounding box of the set (empty for an empty set). It
+// is a free function rather than a method because grid3.Box is
+// 3-D-specific while the set type is shared with the 2-D instantiation.
+func Bounds(s *Set) grid3.Box {
 	b := grid3.EmptyBox()
 	s.Each(func(c grid3.Coord) { b = b.Extend(c) })
 	return b
-}
-
-// String lists the nodes in index order.
-func (s *Set) String() string {
-	var b strings.Builder
-	b.WriteByte('{')
-	first := true
-	s.Each(func(c grid3.Coord) {
-		if !first {
-			b.WriteByte(' ')
-		}
-		first = false
-		b.WriteString(c.String())
-	})
-	b.WriteByte('}')
-	return b.String()
 }

@@ -66,7 +66,7 @@ func TestDifferentMeshPanics(t *testing.T) {
 func TestBoundsAndString(t *testing.T) {
 	m := grid3.New(6, 6, 6)
 	s := FromCoords(m, grid3.XYZ(1, 2, 3), grid3.XYZ(3, 2, 1))
-	b := s.Bounds()
+	b := Bounds(s)
 	if b.Volume() != 9 {
 		t.Fatalf("bounds volume %d", b.Volume())
 	}

@@ -1,51 +1,29 @@
 // Package polygon provides the orthogonal-convex-region geometry of the
-// paper: the convexity test of Definition 1, the concave row/column sections
-// of Definition 3, the orthogonal convex closure (the minimum orthogonal
-// convex polygon containing a region), and connected-region extraction under
-// both the 4-adjacency of the network links and the 8-adjacency of the
-// merge process (Definition 2).
+// paper in its 2-D form: the convexity test of Definition 1, the concave
+// row/column sections of Definition 3, the orthogonal convex closure (the
+// minimum orthogonal convex polygon containing a region), and
+// connected-region extraction under both the 4-adjacency of the network
+// links and the 8-adjacency of the merge process (Definition 2).
+//
+// The convexity test, the fill pass, the closure and the region split are
+// thin instantiations of the dimension-generic implementations in
+// internal/kernel (shared with the 3-D construction); the concave-section
+// enumeration and the boundary-ring tracing stay here because the
+// distributed solution and the router consume them in 2-D terms.
 package polygon
 
 import (
 	"sort"
 
 	"repro/internal/grid"
+	"repro/internal/kernel"
 	"repro/internal/nodeset"
 )
 
 // IsOrthoConvex reports whether the region satisfies Definition 1: for any
 // horizontal or vertical line, the nodes of the region on that line form a
 // contiguous segment.
-func IsOrthoConvex(s *nodeset.Set) bool {
-	// Row-major iteration visits each row's nodes in increasing X, so a gap
-	// within a row shows up as consecutive nodes with the same Y and a jump
-	// in X greater than one.
-	rowOK := true
-	prev := grid.XY(-2, -2)
-	s.Each(func(c grid.Coord) {
-		if c.Y == prev.Y && c.X > prev.X+1 {
-			rowOK = false
-		}
-		prev = c
-	})
-	if !rowOK {
-		return false
-	}
-	// Columns: sort by (X, Y) and apply the same check.
-	cs := s.Coords()
-	sort.Slice(cs, func(i, j int) bool {
-		if cs[i].X != cs[j].X {
-			return cs[i].X < cs[j].X
-		}
-		return cs[i].Y < cs[j].Y
-	})
-	for i := 1; i < len(cs); i++ {
-		if cs[i].X == cs[i-1].X && cs[i].Y > cs[i-1].Y+1 {
-			return false
-		}
-	}
-	return true
-}
+func IsOrthoConvex(s *nodeset.Set) bool { return kernel.IsOrthoConvex(s) }
 
 // Section is a maximal run of nodes outside a region but between two region
 // nodes on the same row or column — a concave row/column section in the
@@ -111,77 +89,19 @@ func ConcaveColumnSections(s *nodeset.Set) []Section {
 // FillOnce returns the region plus the nodes of all its concave row and
 // column sections — one "scan twice and fill" pass of the paper's second
 // centralized solution.
-func FillOnce(s *nodeset.Set) *nodeset.Set {
-	out := s.Clone()
-	for _, sec := range ConcaveRowSections(s) {
-		for _, c := range sec.Nodes() {
-			out.Add(c)
-		}
-	}
-	for _, sec := range ConcaveColumnSections(s) {
-		for _, c := range sec.Nodes() {
-			out.Add(c)
-		}
-	}
-	return out
-}
+func FillOnce(s *nodeset.Set) *nodeset.Set { return kernel.FillOnce(s) }
 
 // Closure returns the orthogonal convex closure of the region — the unique
 // minimum orthogonal convex polygon containing it — together with the number
 // of fill passes needed. For 8-connected regions a single pass suffices
 // (property-tested); the loop guards the general case.
-func Closure(s *nodeset.Set) (*nodeset.Set, int) {
-	cur := s
-	passes := 0
-	for {
-		next := FillOnce(cur)
-		if next.Len() == cur.Len() {
-			return next, passes
-		}
-		cur = next
-		passes++
-	}
-}
+func Closure(s *nodeset.Set) (*nodeset.Set, int) { return kernel.Closure(s) }
 
 // Regions4 splits the set into 4-connected regions (link connectivity), in
 // deterministic row-major seed order.
-func Regions4(s *nodeset.Set) []*nodeset.Set {
-	return regions(s, grid.Mesh.Neighbors4)
-}
+func Regions4(s *nodeset.Set) []*nodeset.Set { return kernel.LinkRegions(s) }
 
 // Regions8 splits the set into 8-connected regions (the adjacency of
 // Definition 2, used by the merge process), in deterministic row-major seed
 // order.
-func Regions8(s *nodeset.Set) []*nodeset.Set {
-	return regions(s, grid.Mesh.Neighbors8)
-}
-
-func regions(s *nodeset.Set, neighbors func(grid.Mesh, grid.Coord, []grid.Coord) []grid.Coord) []*nodeset.Set {
-	m := s.Mesh()
-	var out []*nodeset.Set
-	seen := nodeset.New(m)
-	var stack, buf []grid.Coord
-	s.Each(func(c grid.Coord) {
-		if seen.Has(c) {
-			return
-		}
-		region := nodeset.New(m)
-		stack = append(stack[:0], c)
-		seen.Add(c)
-		region.Add(c)
-		for len(stack) > 0 {
-			cur := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			buf = neighbors(m, cur, buf[:0])
-			for _, n := range buf {
-				if s.Has(n) && !seen.Has(n) {
-					seen.Add(n)
-					region.Add(n)
-					stack = append(stack, n)
-				}
-			}
-		}
-		out = append(out, region)
-	})
-	return out
-}
+func Regions8(s *nodeset.Set) []*nodeset.Set { return kernel.Regions(s) }

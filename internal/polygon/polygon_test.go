@@ -135,7 +135,7 @@ func TestClosureProperties(t *testing.T) {
 		if !cl.ContainsAll(s) {
 			t.Fatalf("trial %d: closure lost nodes", trial)
 		}
-		if !cl.Bounds().ContainsRect(s.Bounds()) || !s.Bounds().ContainsRect(cl.Bounds()) {
+		if !nodeset.Bounds(cl).ContainsRect(nodeset.Bounds(s)) || !nodeset.Bounds(s).ContainsRect(nodeset.Bounds(cl)) {
 			t.Fatalf("trial %d: closure changed the bounding box", trial)
 		}
 		// Minimality: every added node lies on a gap of SOME orthogonal

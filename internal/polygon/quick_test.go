@@ -74,7 +74,7 @@ func TestQuickFillBounded(t *testing.T) {
 		if !filled.ContainsAll(b.s) {
 			return false
 		}
-		bounds := b.s.Bounds()
+		bounds := nodeset.Bounds(b.s)
 		ok := true
 		filled.Each(func(c grid.Coord) {
 			if !bounds.Contains(c) {

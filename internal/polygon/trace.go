@@ -176,7 +176,7 @@ func SouthWestMost(region *nodeset.Set) (grid.Coord, bool) {
 // 4-connected sets of outside cells that cannot reach the mesh border.
 func Holes(region *nodeset.Set) []*nodeset.Set {
 	m := region.Mesh()
-	bounds := region.Bounds()
+	bounds := nodeset.Bounds(region)
 	if bounds.Empty() || bounds.Width() < 3 || bounds.Height() < 3 {
 		return nil // a hole needs at least a 3x3 bounding box to exist
 	}

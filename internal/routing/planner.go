@@ -29,7 +29,7 @@ type Planner struct {
 	blocked *nodeset.Set // union of the regions; shared, read-only
 
 	regions []*nodeset.Set
-	bounds  []grid.Rect // regions[i].Bounds(), for fast path rejection
+	bounds  []grid.Rect // nodeset.Bounds(regions[i]), for fast path rejection
 	rings   [][]grid.Coord
 
 	regionOf []int32 // dense node index -> region id, -1 when routable
@@ -94,7 +94,7 @@ func mergeTouching(m grid.Mesh, polygons []*nodeset.Set) []*nodeset.Set {
 	}
 	bounds := make([]grid.Rect, n)
 	for i, p := range polygons {
-		bounds[i] = p.Bounds()
+		bounds[i] = nodeset.Bounds(p)
 	}
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
@@ -140,7 +140,7 @@ func touching8(a, b *nodeset.Set) bool {
 	if a.Len() > b.Len() {
 		a, b = b, a
 	}
-	window := b.Bounds().Grow(1)
+	window := nodeset.Bounds(b).Grow(1)
 	found := false
 	var buf []grid.Coord
 	a.Each(func(c grid.Coord) {
@@ -182,7 +182,7 @@ func newPlanner(m grid.Mesh, blocked *nodeset.Set, regions []*nodeset.Set) *Plan
 	total := 0
 	for id, reg := range regions {
 		reg.Each(func(c grid.Coord) { p.regionOf[m.Index(c)] = int32(id) })
-		p.bounds[id] = reg.Bounds()
+		p.bounds[id] = nodeset.Bounds(reg)
 		p.rings[id] = expandRing(reg, polygon.OuterRing(reg))
 		total += len(p.rings[id])
 	}

@@ -1,12 +1,19 @@
 // Package shard scales the incremental engine from one mesh to many
 // tenants. A Manager owns a namespace of independently evolving meshes,
-// each backed by its own engine.Engine behind a per-shard mailbox
+// each backed by its own kernel engine behind a per-shard mailbox
 // goroutine: event submissions queue into the mailbox and the goroutine
-// coalesces everything pending into a single engine.Apply, so a burst of
+// coalesces everything pending into a single engine Apply, so a burst of
 // small batches against a hot shard pays for one snapshot publication, not
 // one per submission. Reads never enter the mailbox — every shard
 // publishes an immutable View through an atomic pointer, so snapshot reads
 // on a resident shard are wait-free even while batches land.
+//
+// Since the kernel refactor the namespace is dimension-mixed: Create
+// registers a 2-D mesh (a *Shard, with the routing plane), Create3 a 3-D
+// one (a *Shard3, serving polytopes), and both run the same generic shard
+// machinery. Lookup returns the dimension-erased Tenant for callers like
+// mfpd that dispatch per dimension; Get and Get3 resolve to the concrete
+// shard types.
 //
 // Memory is bounded by an LRU policy over resident engines
 // (Config.MaxResident): the manager marks the least-recently-used shards
@@ -14,10 +21,10 @@
 // published view at the next mailbox turn. What survives eviction is the
 // shard's persisted fault set — the authoritative record every mutation
 // updates — and because the engine's state is a pure function of the fault
-// set (components in seed order, closures, and the scheme-1 fixpoint are
-// all canonical), the rebuild on next access reproduces the exact
-// pre-eviction constructions. Eviction therefore never loses or reorders
-// state; it only trades the next access's latency for memory.
+// set (components in seed order, closures, and the block model are all
+// canonical), the rebuild on next access reproduces the exact pre-eviction
+// constructions. Eviction therefore never loses or reorders state; it only
+// trades the next access's latency for memory.
 //
 // The package is the backing store of the multi-mesh mfpd service and of
 // the mfpsim -stress harness, which drives tens of thousands of
@@ -34,6 +41,9 @@ import (
 	"sync/atomic"
 
 	"repro/internal/grid"
+	"repro/internal/grid3"
+	"repro/internal/kernel"
+	"repro/internal/routing"
 )
 
 // Errors reported by the manager and its shards.
@@ -54,6 +64,12 @@ var (
 	// failure is observable in Stats, but every Apply/Read fails until the
 	// mesh is deleted and recreated.
 	ErrShardFailed = errors.New("shard: mesh failed")
+	// ErrDimension is returned by Get/Get3 when the name resolves to a
+	// mesh of the other dimensionality.
+	ErrDimension = errors.New("shard: mesh has a different dimensionality")
+	// ErrNoPlanner is returned by Planner on topologies without a routing
+	// plane (3-D meshes; the extended e-cube router is 2-D).
+	ErrNoPlanner = errors.New("shard: no routing plane for this topology")
 )
 
 // nameRE restricts mesh names to URL-path-safe tokens so mesh-scoped
@@ -92,6 +108,27 @@ const (
 	DefaultMailbox  = 64
 )
 
+// Tenant is the dimension-erased face of a shard: what the manager's
+// bookkeeping and dimension-agnostic callers (listing, deletion, stats)
+// need. The concrete types behind it are *Shard (2-D) and *Shard3 (3-D);
+// dispatch per dimension with a type switch, as mfpd does.
+type Tenant interface {
+	// Name returns the shard's mesh name.
+	Name() string
+	// Stats returns the shard's current stats.
+	Stats() Stats
+
+	// The manager-internal lifecycle; unexported so only this package's
+	// shard types can be Tenants.
+	run()
+	close()
+	nudgeEvict()
+	lastUsedStore(uint64)
+	lastUsedLoad() uint64
+	evictPendingLoad() bool
+	evictPendingMark()
+}
+
 // Manager owns a namespace of shards. All methods are safe for concurrent
 // use.
 type Manager struct {
@@ -100,9 +137,9 @@ type Manager struct {
 
 	mu       sync.Mutex
 	closed   bool
-	shards   map[string]*Shard
+	shards   map[string]Tenant
 	pending  map[string]struct{} // names reserved by in-flight Creates
-	resident map[*Shard]struct{}
+	resident map[Tenant]struct{}
 }
 
 // NewManager returns an empty manager.
@@ -115,23 +152,37 @@ func NewManager(cfg Config) *Manager {
 	}
 	return &Manager{
 		cfg:      cfg,
-		shards:   make(map[string]*Shard),
+		shards:   make(map[string]Tenant),
 		pending:  make(map[string]struct{}),
-		resident: make(map[*Shard]struct{}),
+		resident: make(map[Tenant]struct{}),
 	}
 }
 
-// Create registers a new named mesh and starts its shard. The engine is
-// built eagerly so an unsupported mesh (torus, empty) fails here, not on
-// first use.
+// Create registers a new named 2-D mesh and starts its shard. The engine
+// is built eagerly so an unsupported mesh (torus, empty) fails here, not
+// on first use.
 func (m *Manager) Create(name string, mesh grid.Mesh) (*Shard, error) {
+	return create(m, name, mesh, newEngine2, newPlanner2)
+}
+
+// Create3 registers a new named 3-D mesh and starts its shard; the mesh is
+// served by the 3-D engine (polytopes, cuboid unsafe set) and has no
+// routing plane.
+func (m *Manager) Create3(name string, mesh grid3.Mesh) (*Shard3, error) {
+	return create[grid3.Coord](m, name, mesh, newEngine3, nil)
+}
+
+// create is the dimension-generic Create body: it reserves the name and a
+// MaxMeshes slot before building anything, so a rejected request
+// (duplicate name, full namespace) never pays the engine allocation —
+// MaxMeshes is the memory backstop, it must bind before the memory is
+// spent.
+func create[C any, T kernel.Topology[C]](m *Manager, name string, mesh T,
+	newEngine func(T) (*kernel.Engine[C, T], error),
+	newPlanner func(*kernel.Snapshot[C, T]) *routing.Planner) (*shardOf[C, T], error) {
 	if !ValidName(name) {
 		return nil, fmt.Errorf("shard: invalid mesh name %q (want 1-64 chars of [a-zA-Z0-9._-])", name)
 	}
-	// Reserve the name and a MaxMeshes slot before building anything, so a
-	// rejected request (duplicate name, full namespace) never pays the
-	// engine allocation — MaxMeshes is the memory backstop, it must bind
-	// before the memory is spent.
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
@@ -150,7 +201,7 @@ func (m *Manager) Create(name string, mesh grid.Mesh) (*Shard, error) {
 	m.pending[name] = struct{}{}
 	m.mu.Unlock()
 
-	s, err := newShard(m, name, mesh)
+	s, err := newShard(m, name, mesh, newEngine, newPlanner)
 
 	m.mu.Lock()
 	delete(m.pending, name)
@@ -173,8 +224,9 @@ func (m *Manager) Create(name string, mesh grid.Mesh) (*Shard, error) {
 	return s, nil
 }
 
-// Get resolves a mesh name to its shard.
-func (m *Manager) Get(name string) (*Shard, error) {
+// Lookup resolves a mesh name to its dimension-erased Tenant; type-switch
+// on *Shard / *Shard3 for dimension-specific access.
+func (m *Manager) Lookup(name string) (Tenant, error) {
 	m.mu.Lock()
 	s, ok := m.shards[name]
 	closed := m.closed
@@ -188,10 +240,38 @@ func (m *Manager) Get(name string) (*Shard, error) {
 	return s, nil
 }
 
-// Delete removes the named mesh. New requests fail with ErrClosed (or
-// ErrUnknownMesh once a lookup no longer finds the name) while requests
-// already accepted drain first; Delete returns after the shard's goroutine
-// has exited.
+// Get resolves a mesh name to its 2-D shard; a name registered as 3-D
+// fails with ErrDimension.
+func (m *Manager) Get(name string) (*Shard, error) {
+	t, err := m.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	s, ok := t.(*Shard)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q is not 2-D", ErrDimension, name)
+	}
+	return s, nil
+}
+
+// Get3 resolves a mesh name to its 3-D shard; a name registered as 2-D
+// fails with ErrDimension.
+func (m *Manager) Get3(name string) (*Shard3, error) {
+	t, err := m.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	s, ok := t.(*Shard3)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q is not 3-D", ErrDimension, name)
+	}
+	return s, nil
+}
+
+// Delete removes the named mesh of either dimensionality. New requests
+// fail with ErrClosed (or ErrUnknownMesh once a lookup no longer finds the
+// name) while requests already accepted drain first; Delete returns after
+// the shard's goroutine has exited.
 func (m *Manager) Delete(name string) error {
 	m.mu.Lock()
 	s, ok := m.shards[name]
@@ -221,12 +301,12 @@ func (m *Manager) Len() int {
 // List returns the stats of every mesh, sorted by name.
 func (m *Manager) List() []Stats {
 	m.mu.Lock()
-	shards := make([]*Shard, 0, len(m.shards))
+	shards := make([]Tenant, 0, len(m.shards))
 	for _, s := range m.shards {
 		shards = append(shards, s)
 	}
 	m.mu.Unlock()
-	sort.Slice(shards, func(i, j int) bool { return shards[i].name < shards[j].name })
+	sort.Slice(shards, func(i, j int) bool { return shards[i].Name() < shards[j].Name() })
 	out := make([]Stats, len(shards))
 	for i, s := range shards {
 		out[i] = s.Stats()
@@ -240,18 +320,18 @@ func (m *Manager) List() []Stats {
 func (m *Manager) Close() {
 	m.mu.Lock()
 	m.closed = true
-	shards := make([]*Shard, 0, len(m.shards))
+	shards := make([]Tenant, 0, len(m.shards))
 	for _, s := range m.shards {
 		shards = append(shards, s)
 	}
-	m.shards = make(map[string]*Shard)
-	m.resident = make(map[*Shard]struct{})
+	m.shards = make(map[string]Tenant)
+	m.resident = make(map[Tenant]struct{})
 	m.mu.Unlock()
 
 	var wg sync.WaitGroup
 	for _, s := range shards {
 		wg.Add(1)
-		go func(s *Shard) {
+		go func(s Tenant) {
 			defer wg.Done()
 			s.close()
 		}(s)
@@ -260,15 +340,15 @@ func (m *Manager) Close() {
 }
 
 // touch advances the LRU clock for one shard access.
-func (m *Manager) touch(s *Shard) { s.lastUsed.Store(m.clock.Add(1)) }
+func (m *Manager) touch(s Tenant) { s.lastUsedStore(m.clock.Add(1)) }
 
 // noteResident records that s rebuilt its engine and returns the shards
 // the caller must nudge toward eviction. Called from s's own run
 // goroutine, which never holds m.mu.
-func (m *Manager) noteResident(s *Shard) []*Shard {
+func (m *Manager) noteResident(s Tenant) []Tenant {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.closed || m.shards[s.name] != s {
+	if m.closed || m.shards[s.Name()] != s {
 		// Deleted concurrently; the engine dies with the shard, so it does
 		// not count against the bound.
 		return nil
@@ -277,7 +357,7 @@ func (m *Manager) noteResident(s *Shard) []*Shard {
 }
 
 // noteEvicted records that s dropped its engine.
-func (m *Manager) noteEvicted(s *Shard) {
+func (m *Manager) noteEvicted(s Tenant) {
 	m.mu.Lock()
 	delete(m.resident, s)
 	m.mu.Unlock()
@@ -287,7 +367,7 @@ func (m *Manager) noteEvicted(s *Shard) {
 // exceeded, marks the least-recently-used other shards for eviction,
 // returning them for the caller to nudge outside the lock. Marked shards
 // stay formally resident until their own goroutine performs the eviction.
-func (m *Manager) admitLocked(s *Shard) []*Shard {
+func (m *Manager) admitLocked(s Tenant) []Tenant {
 	m.resident[s] = struct{}{}
 	if m.cfg.MaxResident <= 0 {
 		return nil
@@ -295,10 +375,10 @@ func (m *Manager) admitLocked(s *Shard) []*Shard {
 	// Shards already marked count as departing, not resident: without the
 	// discount, repeated admits while a marked shard is still busy would
 	// mark ever more victims and drain the pool below the bound.
-	cands := make([]*Shard, 0, len(m.resident))
+	cands := make([]Tenant, 0, len(m.resident))
 	pending := 0
 	for r := range m.resident {
-		if r.evictPending.Load() {
+		if r.evictPendingLoad() {
 			pending++
 		} else if r != s {
 			cands = append(cands, r)
@@ -308,12 +388,12 @@ func (m *Manager) admitLocked(s *Shard) []*Shard {
 	if over <= 0 {
 		return nil
 	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i].lastUsed.Load() < cands[j].lastUsed.Load() })
+	sort.Slice(cands, func(i, j int) bool { return cands[i].lastUsedLoad() < cands[j].lastUsedLoad() })
 	if over > len(cands) {
 		over = len(cands)
 	}
 	for _, v := range cands[:over] {
-		v.evictPending.Store(true)
+		v.evictPendingMark()
 	}
 	return cands[:over]
 }
@@ -321,7 +401,7 @@ func (m *Manager) admitLocked(s *Shard) []*Shard {
 // nudge wakes each marked shard so an idle one evicts promptly instead of
 // at its next event. A full mailbox means the shard is busy and will check
 // the pending flag after its current batch anyway.
-func nudge(victims []*Shard) {
+func nudge(victims []Tenant) {
 	for _, v := range victims {
 		v.nudgeEvict()
 	}

@@ -6,37 +6,63 @@ import (
 	"sync/atomic"
 
 	"repro/internal/engine"
+	"repro/internal/engine3"
 	"repro/internal/grid"
-	"repro/internal/nodeset"
+	"repro/internal/grid3"
+	"repro/internal/kernel"
 	"repro/internal/routing"
 )
+
+// Shard is one named 2-D mesh: a persisted fault set, an (evictable)
+// engine, and the mailbox goroutine that owns both. All methods are safe
+// for concurrent use. The machinery is the dimension-generic shardOf; this
+// alias pins it at the paper's 2-D mesh, the only instantiation with a
+// routing planner.
+type Shard = shardOf[grid.Coord, grid.Mesh]
+
+// Shard3 is one named 3-D mesh: the same shard machinery pinned at
+// grid3.Mesh, serving polytopes instead of polygons. Route planning is
+// 2-D-only; Planner on a 3-D shard fails with ErrNoPlanner.
+type Shard3 = shardOf[grid3.Coord, grid3.Mesh]
+
+// View pairs a 2-D engine snapshot with the shard version it reflects.
+type View = viewOf[grid.Coord, grid.Mesh]
+
+// View3 pairs a 3-D engine snapshot with the shard version it reflects.
+type View3 = viewOf[grid3.Coord, grid3.Mesh]
+
+// ApplyResult describes the outcome of one 2-D Apply call.
+type ApplyResult = applyResultOf[grid.Coord, grid.Mesh]
+
+// ApplyResult3 describes the outcome of one 3-D Apply call.
+type ApplyResult3 = applyResultOf[grid3.Coord, grid3.Mesh]
 
 // request is one mailbox message: an event submission (possibly empty — a
 // touch that only forces residency and returns the current view), or an
 // eviction nudge (evict true, no reply).
-type request struct {
-	events []engine.Event
+type request[C any, T kernel.Topology[C]] struct {
+	events []kernel.Event[C]
 	evict  bool
-	reply  chan result // buffered(1) so the run goroutine never blocks
+	reply  chan result[C, T] // buffered(1) so the run goroutine never blocks
 }
 
-type result struct {
+type result[C any, T kernel.Topology[C]] struct {
 	applied int
-	view    View
+	view    viewOf[C, T]
 	err     error
 }
 
-// View pairs an engine snapshot with the shard version it reflects. The
+// viewOf pairs an engine snapshot with the shard version it reflects. The
 // shard version counts state-changing events over the shard's whole
 // lifetime; unlike Snapshot.Version it survives eviction/rebuild cycles,
 // so it is the number clients should compare across reads.
-type View struct {
-	Snapshot *engine.Snapshot
+type viewOf[C any, T kernel.Topology[C]] struct {
+	Snapshot *kernel.Snapshot[C, T]
 	Version  uint64
 }
 
-// ApplyResult describes the outcome of one Apply call.
-type ApplyResult struct {
+// applyResultOf describes the outcome of one Apply call.
+type applyResultOf[C any, T kernel.Topology[C]] struct {
 	// Applied counts this submission's events that changed state; Ignored
 	// the duplicate adds and clears of healthy nodes.
 	Applied int
@@ -45,7 +71,7 @@ type ApplyResult struct {
 	// View.Version is the shard version right after this submission's
 	// events, and View.Snapshot reflects at least them (possibly also
 	// later submissions coalesced into the same engine batch).
-	View View
+	View viewOf[C, T]
 }
 
 // Stats is a point-in-time description of one shard. Counter fields are
@@ -54,6 +80,8 @@ type Stats struct {
 	Name   string `json:"name"`
 	Width  int    `json:"width"`
 	Height int    `json:"height"`
+	// Depth is the third mesh dimension; 0 (omitted) on 2-D meshes.
+	Depth int `json:"depth,omitempty"`
 	// Version is the number of state-changing events ever applied.
 	Version uint64 `json:"version"`
 	// Requests counts processed submissions, Events their total event
@@ -85,15 +113,22 @@ type Stats struct {
 	Failed string `json:"failed,omitempty"`
 }
 
-// Shard is one named mesh: a persisted fault set, an (evictable) engine,
-// and the mailbox goroutine that owns both. All methods are safe for
-// concurrent use.
-type Shard struct {
+// shardOf is one named mesh of any dimensionality: a persisted fault set,
+// an (evictable) kernel engine, and the mailbox goroutine that owns both.
+// All methods are safe for concurrent use.
+type shardOf[C any, T kernel.Topology[C]] struct {
 	name string
-	mesh grid.Mesh
+	mesh T
 	mgr  *Manager
 
-	mailbox chan *request
+	// newEngine builds (and rebuilds after eviction) the shard's engine;
+	// it carries the per-dimension constructor (engine.New / engine3.New).
+	newEngine func(T) (*kernel.Engine[C, T], error)
+	// newPlanner prepares a routing planner from a snapshot; nil when the
+	// topology has no routing plane (3-D meshes).
+	newPlanner func(*kernel.Snapshot[C, T]) *routing.Planner
+
+	mailbox chan *request[C, T]
 	done    chan struct{}
 
 	// sendMu makes closing the mailbox safe against concurrent senders:
@@ -103,7 +138,7 @@ type Shard struct {
 	closing  bool
 	closedFl atomic.Bool
 
-	view         atomic.Pointer[View] // nil while evicted
+	view         atomic.Pointer[viewOf[C, T]] // nil while evicted
 	lastUsed     atomic.Uint64
 	evictPending atomic.Bool
 
@@ -129,8 +164,8 @@ type Shard struct {
 	plannerBuilds atomic.Uint64
 
 	// Owned by the run goroutine (after newShard returns):
-	eng    *engine.Engine
-	faults *nodeset.Set // persisted authoritative fault set
+	eng    *kernel.Engine[C, T]
+	faults *kernel.Set[C, T] // persisted authoritative fault set
 
 	// rebuildFail injects a rebuild error in tests; never set in production.
 	rebuildFail error
@@ -149,45 +184,49 @@ type counters struct {
 	faults, components                                      int
 }
 
-func newShard(m *Manager, name string, mesh grid.Mesh) (*Shard, error) {
-	eng, err := engine.New(mesh)
+func newShard[C any, T kernel.Topology[C]](m *Manager, name string, mesh T,
+	newEngine func(T) (*kernel.Engine[C, T], error),
+	newPlanner func(*kernel.Snapshot[C, T]) *routing.Planner) (*shardOf[C, T], error) {
+	eng, err := newEngine(mesh)
 	if err != nil {
 		return nil, err
 	}
-	s := &Shard{
-		name:    name,
-		mesh:    mesh,
-		mgr:     m,
-		mailbox: make(chan *request, m.cfg.Mailbox),
-		done:    make(chan struct{}),
-		eng:     eng,
-		faults:  nodeset.New(mesh),
+	s := &shardOf[C, T]{
+		name:       name,
+		mesh:       mesh,
+		mgr:        m,
+		newEngine:  newEngine,
+		newPlanner: newPlanner,
+		mailbox:    make(chan *request[C, T], m.cfg.Mailbox),
+		done:       make(chan struct{}),
+		eng:        eng,
+		faults:     kernel.NewSet[C](mesh),
 	}
-	s.view.Store(&View{Snapshot: eng.Snapshot()})
+	s.view.Store(&viewOf[C, T]{Snapshot: eng.Snapshot()})
 	m.touch(s)
 	return s, nil
 }
 
 // Name returns the shard's mesh name.
-func (s *Shard) Name() string { return s.name }
+func (s *shardOf[C, T]) Name() string { return s.name }
 
 // Mesh returns the shard's mesh.
-func (s *Shard) Mesh() grid.Mesh { return s.mesh }
+func (s *shardOf[C, T]) Mesh() T { return s.mesh }
 
 // Apply submits a batch of events and blocks until the shard's goroutine
 // has applied it (coalesced with whatever else was queued). Events are
 // validated as one submission: any out-of-mesh event fails this submission
 // alone, without failing others coalesced into the same engine batch.
-func (s *Shard) Apply(events []engine.Event) (ApplyResult, error) {
-	req := &request{events: events, reply: make(chan result, 1)}
+func (s *shardOf[C, T]) Apply(events []kernel.Event[C]) (applyResultOf[C, T], error) {
+	req := &request[C, T]{events: events, reply: make(chan result[C, T], 1)}
 	if err := s.enqueue(req); err != nil {
-		return ApplyResult{}, err
+		return applyResultOf[C, T]{}, err
 	}
 	res := <-req.reply
 	if res.err != nil {
-		return ApplyResult{}, res.err
+		return applyResultOf[C, T]{}, res.err
 	}
-	return ApplyResult{
+	return applyResultOf[C, T]{
 		Applied: res.applied,
 		Ignored: len(events) - res.applied,
 		View:    res.view,
@@ -198,20 +237,20 @@ func (s *Shard) Apply(events []engine.Event) (ApplyResult, error) {
 // wait-free — two atomic loads, never blocked by event batches. On an
 // evicted shard it queues a touch through the mailbox, which rebuilds the
 // engine from the persisted fault set and republishes the view.
-func (s *Shard) Read() (View, error) {
+func (s *shardOf[C, T]) Read() (viewOf[C, T], error) {
 	if s.closedFl.Load() {
-		return View{}, ErrClosed
+		return viewOf[C, T]{}, ErrClosed
 	}
 	if err := s.failedErr(); err != nil {
-		return View{}, err
+		return viewOf[C, T]{}, err
 	}
 	s.mgr.touch(s)
 	if v := s.view.Load(); v != nil {
 		return *v, nil
 	}
-	req := &request{reply: make(chan result, 1)}
+	req := &request[C, T]{reply: make(chan result[C, T], 1)}
 	if err := s.enqueue(req); err != nil {
-		return View{}, err
+		return viewOf[C, T]{}, err
 	}
 	res := <-req.reply
 	return res.view, res.err
@@ -222,14 +261,14 @@ func (s *Shard) Read() (View, error) {
 // blocks, which makes it the right read for monitoring paths that must not
 // defeat the MaxResident bound (Read would rebuild and mark the shard
 // most-recently-used).
-func (s *Shard) Peek() (View, bool) {
+func (s *shardOf[C, T]) Peek() (viewOf[C, T], bool) {
 	if s.closedFl.Load() || s.failed.Load() != nil {
-		return View{}, false
+		return viewOf[C, T]{}, false
 	}
 	if v := s.view.Load(); v != nil {
 		return *v, true
 	}
-	return View{}, false
+	return viewOf[C, T]{}, false
 }
 
 // Planner returns a routing planner prepared from the shard's current
@@ -238,12 +277,16 @@ func (s *Shard) Peek() (View, bool) {
 // queries at the same version share the preprocessing (rings, region
 // index), a fault event moves the version and invalidates the entry for
 // free, and eviction drops it with the engine. Like Read, calling Planner
-// on an evicted shard forces a rebuild.
-func (s *Shard) Planner() (*routing.Planner, View, bool, error) {
+// on an evicted shard forces a rebuild. On a topology without a routing
+// plane (3-D meshes) it fails with ErrNoPlanner.
+func (s *shardOf[C, T]) Planner() (*routing.Planner, viewOf[C, T], bool, error) {
+	if s.newPlanner == nil {
+		return nil, viewOf[C, T]{}, false, fmt.Errorf("%w: %v", ErrNoPlanner, s.mesh)
+	}
 	epoch := s.plannerEpoch.Load()
 	v, err := s.Read()
 	if err != nil {
-		return nil, View{}, false, err
+		return nil, viewOf[C, T]{}, false, err
 	}
 	if e := s.planner.Load(); e != nil && e.version == v.Version {
 		s.noteRoute(true, false)
@@ -256,7 +299,7 @@ func (s *Shard) Planner() (*routing.Planner, View, bool, error) {
 		s.noteRoute(true, false)
 		return e.planner, v, true, nil
 	}
-	p := routing.NewPlanner(v.Snapshot)
+	p := s.newPlanner(v.Snapshot)
 	// Two reasons not to cache what we just built: never replace a newer
 	// version's planner with an older one (a stale reader racing a fresh
 	// batch), and never re-cache across an eviction or failure latch that
@@ -272,7 +315,7 @@ func (s *Shard) Planner() (*routing.Planner, View, bool, error) {
 	return p, v, false, nil
 }
 
-func (s *Shard) noteRoute(hit, built bool) {
+func (s *shardOf[C, T]) noteRoute(hit, built bool) {
 	s.routeQueries.Add(1)
 	if hit {
 		s.routeHits.Add(1)
@@ -284,7 +327,7 @@ func (s *Shard) noteRoute(hit, built bool) {
 
 // failedErr returns the latched failure wrapped in ErrShardFailed, or nil
 // while the shard is healthy.
-func (s *Shard) failedErr() error {
+func (s *shardOf[C, T]) failedErr() error {
 	if msg := s.failed.Load(); msg != nil {
 		return fmt.Errorf("%w: %s", ErrShardFailed, *msg)
 	}
@@ -294,7 +337,7 @@ func (s *Shard) failedErr() error {
 // latchFail records the shard's first internal failure and drops the
 // engine and published view: the state can no longer be trusted, so reads
 // must fail rather than serve it. Called only from the run goroutine.
-func (s *Shard) latchFail(msg string) {
+func (s *shardOf[C, T]) latchFail(msg string) {
 	s.failed.CompareAndSwap(nil, &msg)
 	s.eng = nil
 	s.view.Store(nil)
@@ -303,7 +346,7 @@ func (s *Shard) latchFail(msg string) {
 }
 
 // Stats returns the shard's current stats.
-func (s *Shard) Stats() Stats {
+func (s *shardOf[C, T]) Stats() Stats {
 	s.statsMu.Lock()
 	c := s.stats
 	s.statsMu.Unlock()
@@ -311,10 +354,15 @@ func (s *Shard) Stats() Stats {
 	if msg := s.failed.Load(); msg != nil {
 		failed = *msg
 	}
+	depth := 0
+	if s.mesh.Axes() > 2 {
+		depth = s.mesh.AxisLen(2)
+	}
 	return Stats{
 		Name:           s.name,
-		Width:          s.mesh.W,
-		Height:         s.mesh.H,
+		Width:          s.mesh.AxisLen(0),
+		Height:         s.mesh.AxisLen(1),
+		Depth:          depth,
 		Version:        c.version,
 		Requests:       c.requests,
 		Events:         c.events,
@@ -335,7 +383,7 @@ func (s *Shard) Stats() Stats {
 // enqueue hands a request to the run goroutine, blocking when the mailbox
 // is full (backpressure). The read lock spans the channel send so close()
 // cannot close the mailbox midway through it.
-func (s *Shard) enqueue(req *request) error {
+func (s *shardOf[C, T]) enqueue(req *request[C, T]) error {
 	s.sendMu.RLock()
 	defer s.sendMu.RUnlock()
 	if s.closing {
@@ -352,21 +400,21 @@ func (s *Shard) enqueue(req *request) error {
 // nudgeEvict wakes the run goroutine without queueing work, best-effort:
 // if the mailbox is full the shard is busy and will observe evictPending
 // after its current batch.
-func (s *Shard) nudgeEvict() {
+func (s *shardOf[C, T]) nudgeEvict() {
 	s.sendMu.RLock()
 	defer s.sendMu.RUnlock()
 	if s.closing {
 		return
 	}
 	select {
-	case s.mailbox <- &request{evict: true}:
+	case s.mailbox <- &request[C, T]{evict: true}:
 	default:
 	}
 }
 
 // close stops the shard: new requests are refused, accepted ones drain,
 // and close returns once the run goroutine has exited. Idempotent.
-func (s *Shard) close() {
+func (s *shardOf[C, T]) close() {
 	s.sendMu.Lock()
 	if s.closing {
 		s.sendMu.Unlock()
@@ -383,7 +431,7 @@ func (s *Shard) close() {
 // run is the shard's mailbox goroutine: it drains everything pending into
 // one coalesced batch, applies it, then handles any pending eviction. It
 // exits when the mailbox is closed and fully drained.
-func (s *Shard) run() {
+func (s *shardOf[C, T]) run() {
 	defer close(s.done)
 	for first := range s.mailbox {
 		batch := s.drainInto(first)
@@ -394,8 +442,8 @@ func (s *Shard) run() {
 
 // drainInto collects whatever else is already queued behind first, up to
 // the configured event cap, without blocking.
-func (s *Shard) drainInto(first *request) []*request {
-	batch := []*request{first}
+func (s *shardOf[C, T]) drainInto(first *request[C, T]) []*request[C, T] {
+	batch := []*request[C, T]{first}
 	size := len(first.events)
 	for size < s.mgr.cfg.MaxBatch {
 		select {
@@ -417,7 +465,7 @@ func (s *Shard) drainInto(first *request) []*request {
 // engine in one batch, publishes the new view, and replies to every
 // waiter. Eviction nudges in the batch carry no work; they only woke the
 // goroutine so maybeEvict runs.
-func (s *Shard) process(batch []*request) {
+func (s *shardOf[C, T]) process(batch []*request[C, T]) {
 	reqs := batch[:0:0]
 	for _, r := range batch {
 		if !r.evict {
@@ -431,7 +479,7 @@ func (s *Shard) process(batch []*request) {
 		// Requests that were already queued when the shard latched its
 		// failure still deserve a reply.
 		for _, r := range reqs {
-			r.reply <- result{err: err}
+			r.reply <- result[C, T]{err: err}
 		}
 		return
 	}
@@ -440,7 +488,7 @@ func (s *Shard) process(batch []*request) {
 			s.latchFail(fmt.Sprintf("rebuild after eviction: %v", err))
 			failErr := s.failedErr()
 			for _, r := range reqs {
-				r.reply <- result{err: failErr}
+				r.reply <- result[C, T]{err: failErr}
 			}
 			return
 		}
@@ -450,16 +498,16 @@ func (s *Shard) process(batch []*request) {
 	// This both keeps the authoritative record current and yields the
 	// per-submission applied counts the coalesced engine batch cannot
 	// report itself.
-	var all []engine.Event
+	var all []kernel.Event[C]
 	counts := make([]int, len(reqs))
 	errs := make([]error, len(reqs))
 	total := 0
 	for i, r := range reqs {
-		if err := engine.ValidateEvents(s.mesh, r.events); err != nil {
+		if err := kernel.ValidateEvents(s.mesh, r.events); err != nil {
 			errs[i] = err
 			continue
 		}
-		counts[i] = engine.Replay(s.faults, r.events...)
+		counts[i] = kernel.Replay(s.faults, r.events...)
 		total += counts[i]
 		all = append(all, r.events...)
 	}
@@ -477,10 +525,10 @@ func (s *Shard) process(batch []*request) {
 		failErr := s.failedErr()
 		for i, r := range reqs {
 			if errs[i] != nil {
-				r.reply <- result{err: errs[i]}
+				r.reply <- result[C, T]{err: errs[i]}
 				continue
 			}
-			r.reply <- result{err: failErr}
+			r.reply <- result[C, T]{err: failErr}
 		}
 		return
 	}
@@ -499,18 +547,18 @@ func (s *Shard) process(batch []*request) {
 	s.stats.components = len(snap.Polygons())
 	s.statsMu.Unlock()
 
-	s.view.Store(&View{Snapshot: snap, Version: version})
+	s.view.Store(&viewOf[C, T]{Snapshot: snap, Version: version})
 
 	// Reply with per-submission versions: the shard version right after
 	// each submission's events, in coalescing order.
 	running := version - uint64(total)
 	for i, r := range reqs {
 		if errs[i] != nil {
-			r.reply <- result{err: errs[i]}
+			r.reply <- result[C, T]{err: errs[i]}
 			continue
 		}
 		running += uint64(counts[i])
-		r.reply <- result{applied: counts[i], view: View{Snapshot: snap, Version: running}}
+		r.reply <- result[C, T]{applied: counts[i], view: viewOf[C, T]{Snapshot: snap, Version: running}}
 	}
 }
 
@@ -519,18 +567,18 @@ func (s *Shard) process(batch []*request) {
 // rebuilt constructions are identical to the evicted ones. A replay error
 // is returned, not panicked: the caller latches it as a shard failure so
 // one broken mesh cannot take down the whole process.
-func (s *Shard) rebuild() error {
+func (s *shardOf[C, T]) rebuild() error {
 	if s.rebuildFail != nil {
 		return s.rebuildFail
 	}
-	eng, err := engine.New(s.mesh)
+	eng, err := s.newEngine(s.mesh)
 	if err != nil {
 		return fmt.Errorf("rebuild on mesh validated at create: %v", err)
 	}
 	if !s.faults.Empty() {
-		events := make([]engine.Event, 0, s.faults.Len())
-		s.faults.Each(func(c grid.Coord) {
-			events = append(events, engine.Event{Op: engine.Add, Node: c})
+		events := make([]kernel.Event[C], 0, s.faults.Len())
+		s.faults.Each(func(c C) {
+			events = append(events, kernel.Event[C]{Op: kernel.Add, Node: c})
 		})
 		if _, _, err := eng.Apply(events); err != nil {
 			return fmt.Errorf("rebuild replay: %v", err)
@@ -541,7 +589,7 @@ func (s *Shard) rebuild() error {
 	s.stats.rebuilds++
 	version := s.stats.version
 	s.statsMu.Unlock()
-	s.view.Store(&View{Snapshot: eng.Snapshot(), Version: version})
+	s.view.Store(&viewOf[C, T]{Snapshot: eng.Snapshot(), Version: version})
 	nudge(s.mgr.noteResident(s))
 	return nil
 }
@@ -549,7 +597,7 @@ func (s *Shard) rebuild() error {
 // maybeEvict performs a manager-requested eviction: the engine and the
 // published view are dropped, the persisted fault set stays. The next
 // access rebuilds.
-func (s *Shard) maybeEvict() {
+func (s *shardOf[C, T]) maybeEvict() {
 	if !s.evictPending.Swap(false) || s.eng == nil {
 		return
 	}
@@ -561,4 +609,22 @@ func (s *Shard) maybeEvict() {
 	s.stats.evictions++
 	s.statsMu.Unlock()
 	s.mgr.noteEvicted(s)
+}
+
+// lastUsedStore / lastUsedLoad / evict flags expose the LRU bookkeeping to
+// the manager through the dimension-erased Tenant interface.
+func (s *shardOf[C, T]) lastUsedStore(v uint64) { s.lastUsed.Store(v) }
+func (s *shardOf[C, T]) lastUsedLoad() uint64   { return s.lastUsed.Load() }
+func (s *shardOf[C, T]) evictPendingLoad() bool { return s.evictPending.Load() }
+func (s *shardOf[C, T]) evictPendingMark()      { s.evictPending.Store(true) }
+
+// newEngine2 and newPlanner2 are the 2-D shard's per-dimension hooks.
+func newEngine2(m grid.Mesh) (*kernel.Engine[grid.Coord, grid.Mesh], error) { return engine.New(m) }
+
+func newPlanner2(snap *engine.Snapshot) *routing.Planner { return routing.NewPlanner(snap) }
+
+// newEngine3 is the 3-D shard's engine hook; 3-D shards have no planner
+// hook (routing is 2-D-only).
+func newEngine3(m grid3.Mesh) (*kernel.Engine[grid3.Coord, grid3.Mesh], error) {
+	return engine3.New(m)
 }

@@ -331,9 +331,9 @@ func TestCloseDrains(t *testing.T) {
 	}
 	// Enqueue directly so acceptance is certain, then close: every accepted
 	// submission must still be applied and replied to.
-	reqs := make([]*request, 30)
+	reqs := make([]*request[grid.Coord, grid.Mesh], 30)
 	for i := range reqs {
-		reqs[i] = &request{events: []engine.Event{add(i%10, i/10)}, reply: make(chan result, 1)}
+		reqs[i] = &request[grid.Coord, grid.Mesh]{events: []engine.Event{add(i%10, i/10)}, reply: make(chan result[grid.Coord, grid.Mesh], 1)}
 		if err := s.enqueue(reqs[i]); err != nil {
 			t.Fatal(err)
 		}
