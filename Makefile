@@ -22,7 +22,7 @@ STRESS_FLAGS ?=
 # worker counts) and byte-compares.
 ROUTE_FLAGS ?= -mesh 50 -faults 25,50,100 -trials 3 -route-messages 200
 
-.PHONY: all build test race cover fuzz stress-check route-check bench bench-json bench-check bench-baseline lint staticcheck tidy-check fmt clean
+.PHONY: all build test race cover fuzz stress-check route-check bench bench-json bench-check bench-baseline docs-check lint staticcheck tidy-check fmt clean
 
 all: lint build test
 
@@ -90,6 +90,15 @@ bench-check:
 #   make bench-baseline && git add BENCH_baseline.json
 bench-baseline:
 	$(GO) run ./cmd/mfpsim -bench-json -trials $(BENCH_TRIALS) -bench-out $(BASELINE)
+
+# Documentation gate: every relative markdown link and anchor must resolve
+# (cmd/docscheck), and docs/METRICS.md must list exactly the metric
+# families the process exports — TestMetricsDocumented checks both
+# directions, so adding or renaming a metric without documenting it fails
+# CI, as does documenting a metric that no longer exists.
+docs-check:
+	$(GO) run ./cmd/docscheck
+	$(GO) test -run '^TestMetricsDocumented$$' ./cmd/mfpd
 
 # gofmt gate + go vet always; staticcheck when installed (the dedicated CI
 # job installs it and runs `make staticcheck`, which does not skip).

@@ -1,0 +1,218 @@
+// Command docscheck validates the repository's Markdown so documentation
+// rots loudly instead of silently: every relative link must resolve to a
+// file that exists in the tree, and every anchor — in-file `#fragment` or
+// cross-file `page.md#fragment` — must match a heading on the target page
+// (GitHub slug rules). External http(s) and mailto links are not fetched;
+// a link checker that needs the network is a flaky CI job.
+//
+// Usage:
+//
+//	docscheck [root]
+//
+// Walks root (default ".") for *.md files, skipping .git and testdata
+// directories, and exits non-zero listing every broken link.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"unicode"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	files, err := markdownFiles(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "docscheck:", err)
+		os.Exit(1)
+	}
+	var broken []string
+	anchors := make(map[string]map[string]bool) // file path -> heading slugs
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "docscheck:", err)
+			os.Exit(1)
+		}
+		anchors[f] = headingSlugs(string(data))
+	}
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "docscheck:", err)
+			os.Exit(1)
+		}
+		for _, l := range links(string(data)) {
+			if msg := check(f, l, anchors); msg != "" {
+				broken = append(broken, fmt.Sprintf("%s: %s", f, msg))
+			}
+		}
+	}
+	if len(broken) > 0 {
+		sort.Strings(broken)
+		for _, b := range broken {
+			fmt.Fprintln(os.Stderr, b)
+		}
+		fmt.Fprintf(os.Stderr, "docscheck: %d broken link(s) in %d file(s) scanned\n", len(broken), len(files))
+		os.Exit(1)
+	}
+	fmt.Printf("docscheck: %d markdown file(s) ok\n", len(files))
+}
+
+func markdownFiles(root string) ([]string, error) {
+	var files []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case ".git", "testdata", "node_modules":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.EqualFold(filepath.Ext(path), ".md") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	sort.Strings(files)
+	return files, err
+}
+
+// check resolves one link relative to the file it appears in. It returns
+// an error message, or "" when the link is fine (or out of scope).
+func check(file, link string, anchors map[string]map[string]bool) string {
+	switch {
+	case strings.HasPrefix(link, "http://"),
+		strings.HasPrefix(link, "https://"),
+		strings.HasPrefix(link, "mailto:"):
+		return "" // external: not fetched by design
+	}
+	target, frag, _ := strings.Cut(link, "#")
+	resolved := file
+	if target != "" {
+		resolved = filepath.Join(filepath.Dir(file), filepath.FromSlash(target))
+		info, err := os.Stat(resolved)
+		if err != nil {
+			return fmt.Sprintf("broken link %q: %s does not exist", link, resolved)
+		}
+		if info.IsDir() {
+			return "" // directory links render as listings; nothing to anchor
+		}
+	}
+	if frag == "" {
+		return ""
+	}
+	slugs, ok := anchors[resolved]
+	if !ok {
+		// Anchor into a non-markdown file (e.g. #L10 into source): GitHub
+		// resolves those against the blob view, not headings. Let it pass.
+		return ""
+	}
+	if !slugs[frag] {
+		return fmt.Sprintf("broken anchor %q: no heading in %s slugs to %q", link, resolved, frag)
+	}
+	return ""
+}
+
+var linkRE = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)[^)]*\)`)
+
+// links extracts inline link and image targets, ignoring fenced code
+// blocks (shell snippets are full of [brackets](that) aren't links).
+func links(doc string) []string {
+	var out []string
+	inFence := false
+	for _, line := range strings.Split(doc, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRE.FindAllStringSubmatch(stripCodeSpans(line), -1) {
+			t := strings.TrimSpace(m[1])
+			t = strings.TrimPrefix(t, "<")
+			t = strings.TrimSuffix(t, ">")
+			if t != "" {
+				out = append(out, t)
+			}
+		}
+	}
+	return out
+}
+
+// stripCodeSpans blanks `inline code` so bracket syntax inside it does not
+// parse as a link.
+func stripCodeSpans(line string) string {
+	var b strings.Builder
+	in := false
+	for _, r := range line {
+		switch {
+		case r == '`':
+			in = !in
+			b.WriteRune(' ')
+		case in:
+			b.WriteRune(' ')
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// headingSlugs returns the GitHub anchor slugs of every heading in doc,
+// with GitHub's -1, -2 suffixing for duplicate headings.
+func headingSlugs(doc string) map[string]bool {
+	slugs := make(map[string]bool)
+	seen := make(map[string]int)
+	inFence := false
+	for _, line := range strings.Split(doc, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		level := len(trimmed) - len(strings.TrimLeft(trimmed, "#"))
+		if level > 6 || level == len(trimmed) || trimmed[level] != ' ' {
+			continue
+		}
+		s := slugify(trimmed[level+1:])
+		if n := seen[s]; n > 0 {
+			slugs[fmt.Sprintf("%s-%d", s, n)] = true
+		} else {
+			slugs[s] = true
+		}
+		seen[s]++
+	}
+	return slugs
+}
+
+// slugify applies GitHub's heading-anchor rules: lowercase, drop
+// everything but letters, digits, spaces and hyphens (backticks vanish,
+// so code spans contribute their text), then spaces become hyphens.
+func slugify(heading string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(strings.TrimSpace(heading)) {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r) || r == '-':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteRune('-')
+		}
+	}
+	return b.String()
+}

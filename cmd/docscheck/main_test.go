@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestLinks(t *testing.T) {
+	doc := "See [the docs](docs/OPERATIONS.md) and ![fig](fig.png).\n" +
+		"External [site](https://example.com) and <https://raw.example.com>.\n" +
+		"```\nnot a [link](inside.md) here\n```\n" +
+		"Inline `code with [brackets](no.md)` is skipped.\n" +
+		"[anchored](METRICS.md#shard-layer) [in-file](#running)\n"
+	got := links(doc)
+	want := []string{
+		"docs/OPERATIONS.md", "fig.png", "https://example.com",
+		"METRICS.md#shard-layer", "#running",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("links = %q, want %q", got, want)
+	}
+}
+
+func TestHeadingSlugs(t *testing.T) {
+	doc := "# Metrics reference\n" +
+		"## The first 10 minutes of debugging\n" +
+		"## Per-mesh stats: `GET /meshes/{name}/stats`\n" +
+		"## Dup\n## Dup\n" +
+		"```\n# not a heading\n```\n" +
+		"#missing-space is not a heading\n"
+	slugs := headingSlugs(doc)
+	for _, want := range []string{
+		"metrics-reference",
+		"the-first-10-minutes-of-debugging",
+		"per-mesh-stats-get-meshesnamestats",
+		"dup", "dup-1",
+	} {
+		if !slugs[want] {
+			t.Errorf("missing slug %q in %v", want, slugs)
+		}
+	}
+	if slugs["not-a-heading"] || slugs["missing-space-is-not-a-heading"] {
+		t.Errorf("fence or malformed heading slugged: %v", slugs)
+	}
+}
+
+func TestCheck(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "docs")
+	if err := os.Mkdir(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	a := filepath.Join(dir, "README.md")
+	b := filepath.Join(sub, "B.md")
+	if err := os.WriteFile(a, []byte("# Top\n[ok](docs/B.md#section)\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(b, []byte("# B\n## Section\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	anchors := map[string]map[string]bool{
+		a: headingSlugs("# Top\n"),
+		b: headingSlugs("# B\n## Section\n"),
+	}
+	cases := []struct {
+		link string
+		ok   bool
+	}{
+		{"docs/B.md", true},
+		{"docs/B.md#section", true},
+		{"docs/B.md#nope", false},
+		{"docs/missing.md", false},
+		{"#top", true},
+		{"#absent", false},
+		{"https://example.com/unreachable", true}, // never fetched
+	}
+	for _, c := range cases {
+		msg := check(a, c.link, anchors)
+		if (msg == "") != c.ok {
+			t.Errorf("check(%q) = %q, want ok=%v", c.link, msg, c.ok)
+		}
+	}
+}

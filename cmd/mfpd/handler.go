@@ -1,0 +1,48 @@
+package main
+
+import (
+	"log/slog"
+	"net/http"
+	"strings"
+
+	"repro/internal/obs"
+	"repro/internal/shard"
+)
+
+// httpMetrics is the daemon's HTTP instrument set on the process registry.
+// It is package-level (not per-server) because registration is process-wide
+// and the test suite builds several servers against one registry.
+var httpMetrics = obs.NewHTTPMetrics(obs.Default, "mfpd")
+
+// newHandler is the daemon's full HTTP stack: the API server wrapped in the
+// metrics-and-request-logging middleware. logger may be nil to disable
+// request logging (tests).
+func newHandler(mgr *shard.Manager, logger *slog.Logger) http.Handler {
+	return httpMetrics.Middleware(newServer(mgr), routeInfo, logger)
+}
+
+// routeInfo maps a request to its route pattern and mesh. Patterns are a
+// small fixed vocabulary ("/meshes/{name}/events", never the raw path), so
+// the route label on the HTTP metrics stays bounded no matter how many
+// meshes exist or what garbage paths clients probe; the mesh name goes to
+// the request log only.
+func routeInfo(r *http.Request) obs.RouteInfo {
+	switch {
+	case r.URL.Path == "/healthz":
+		return obs.RouteInfo{Route: "/healthz"}
+	case r.URL.Path == "/metrics":
+		return obs.RouteInfo{Route: "/metrics"}
+	case r.URL.Path == "/meshes" || r.URL.Path == "/meshes/":
+		return obs.RouteInfo{Route: "/meshes"}
+	case strings.HasPrefix(r.URL.Path, "/meshes/"):
+		name, sub, _ := strings.Cut(strings.TrimPrefix(r.URL.Path, "/meshes/"), "/")
+		switch sub {
+		case "":
+			return obs.RouteInfo{Route: "/meshes/{name}", Mesh: name}
+		case "events", "status", "polygons", "route", "stats":
+			return obs.RouteInfo{Route: "/meshes/{name}/" + sub, Mesh: name}
+		}
+		return obs.RouteInfo{Route: "other", Mesh: name}
+	}
+	return obs.RouteInfo{Route: "other"}
+}

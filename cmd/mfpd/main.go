@@ -9,8 +9,9 @@
 //	mfpd                                  # "default" 100x100 mesh on :8080
 //	mfpd -mesh 256 -addr :9000
 //	mfpd -mesh 0 -max-resident 64         # start empty; create meshes via the API
+//	mfpd -debug-addr localhost:6060       # expose net/http/pprof + /metrics
 //
-// API (all responses are JSON):
+// API (all responses are JSON; docs/OPERATIONS.md is the full reference):
 //
 //	GET    /meshes                   list every mesh with stats
 //	POST   /meshes                   {"name":"a","width":64,"height":64} -> 201
@@ -28,6 +29,8 @@
 //	GET    /meshes/a/polygons        every component's minimum faulty polygon
 //	                                 (polytope on a 3-D mesh)
 //	GET    /meshes/a/stats           shard stats + construction metrics
+//	GET    /metrics                  process metrics, Prometheus text format
+//	                                 (docs/METRICS.md documents every family)
 //	GET    /healthz                  -> 200 ok
 //
 // Routing (POST /meshes/a/route) is 2-D-only and answers 404 on a 3-D
@@ -41,6 +44,13 @@
 // -max-meshes caps how many meshes the API may create (429 beyond it),
 // bounding what eviction cannot reclaim.
 //
+// Every request is logged through log/slog (request id, method, route,
+// mesh, status, duration); -log-level debug includes /healthz and /metrics
+// probes, which log at debug so scrapes don't drown the log. -debug-addr
+// starts a second listener serving net/http/pprof and a /metrics mirror —
+// keep it on localhost or a private interface; profiles are not for the
+// public API surface.
+//
 // On SIGINT/SIGTERM the service drains gracefully: in-flight HTTP requests
 // finish, every mesh's queued event batches are applied, then the process
 // exits.
@@ -50,23 +60,34 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"repro/internal/grid"
+	"repro/internal/obs"
 	"repro/internal/shard"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	debugAddr := flag.String("debug-addr", "", "optional second listener serving net/http/pprof and /metrics (keep it private)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
 	mesh := flag.Int("mesh", 100, "side length of the initial \"default\" n×n mesh (0 = start with no meshes)")
 	maxResident := flag.Int("max-resident", 0, "LRU bound on resident engines (0 = unlimited)")
 	maxMeshes := flag.Int("max-meshes", 1024, "bound on meshes the API may create (0 = unlimited)")
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "mfpd: bad -log-level %q (want debug, info, warn or error)\n", *logLevel)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	if *mesh < 0 {
 		fmt.Fprintf(os.Stderr, "mfpd: -mesh must be >= 0, got %d\n", *mesh)
@@ -78,12 +99,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, "mfpd:", err)
 			os.Exit(2)
 		}
-		log.Printf("mfpd: created mesh %q (%dx%d)", "default", *mesh, *mesh)
+		logger.Info("created mesh", "mesh", "default", "width", *mesh, "height", *mesh)
 	}
 
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: newServer(mgr),
+		Handler: newHandler(mgr, logger),
 		// Every request is a small JSON exchange answered from an in-memory
 		// snapshot; anything slow is a stuck client, and zero timeouts
 		// would let such connections pin goroutines forever.
@@ -92,15 +113,36 @@ func main() {
 		IdleTimeout:  2 * time.Minute,
 	}
 
+	// The debug listener is its own server on its own address so pprof and
+	// the metrics mirror can stay off the public interface. No timeouts:
+	// profile streams (e.g. /debug/pprof/profile?seconds=30) are long reads
+	// by design, and the listener is operator-only.
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/metrics", obs.Default.Handler())
+		debugSrv = &http.Server{Addr: *debugAddr, Handler: mux}
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("mfpd: serving %d mesh(es) on %s", mgr.Len(), *addr)
+	if debugSrv != nil {
+		go func() { errc <- debugSrv.ListenAndServe() }()
+		logger.Info("debug listener up", "addr", *debugAddr)
+	}
+	logger.Info("serving", "meshes", mgr.Len(), "addr", *addr)
 
 	select {
 	case err := <-errc:
-		log.Fatal(err)
+		logger.Error("listener failed", "err", err)
+		os.Exit(1)
 	case <-ctx.Done():
 	}
 	// Release the signal handler immediately so a second SIGINT/SIGTERM
@@ -111,12 +153,15 @@ func main() {
 	// Graceful drain: stop accepting connections and let in-flight requests
 	// finish, then drain every shard's mailbox so accepted event batches
 	// are applied before exit.
-	log.Printf("mfpd: shutting down")
+	logger.Info("shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
-		log.Printf("mfpd: http shutdown: %v", err)
+		logger.Error("http shutdown", "err", err)
+	}
+	if debugSrv != nil {
+		debugSrv.Close()
 	}
 	mgr.Close()
-	log.Printf("mfpd: drained")
+	logger.Info("drained")
 }

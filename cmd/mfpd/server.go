@@ -14,6 +14,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/grid3"
 	"repro/internal/nodeset"
+	"repro/internal/obs"
 	"repro/internal/routing"
 	"repro/internal/shard"
 )
@@ -50,6 +51,7 @@ const (
 // Routes:
 //
 //	GET    /healthz
+//	GET    /metrics                    Prometheus text metrics (obs.Default)
 //	GET    /meshes                     list every mesh with stats
 //	POST   /meshes                     create a mesh {"name","width","height"}
 //	DELETE /meshes/{name}              drain and delete a mesh
@@ -108,6 +110,8 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case r.URL.Path == "/healthz":
 		s.handleHealthz(w, r)
+	case r.URL.Path == "/metrics":
+		obs.Default.Handler().ServeHTTP(w, r)
 	case r.URL.Path == "/meshes" || r.URL.Path == "/meshes/":
 		s.handleMeshes(w, r)
 	case strings.HasPrefix(r.URL.Path, "/meshes/"):

@@ -58,6 +58,18 @@
 // the route/* records of -bench-json) sweeps routed stretch and
 // abnormal-hop share against fault density.
 //
+// The serving plane is observable end to end: internal/obs is a
+// dependency-free metrics registry (atomic counters, gauges and
+// fixed-bucket histograms) that the kernel engine, the shard layer, the
+// routing planner and mfpd's HTTP middleware all report into, exported in
+// Prometheus text format on GET /metrics. mfpd logs every request through
+// log/slog with a process-unique request id, and -debug-addr opens a
+// private net/http/pprof listener. docs/METRICS.md documents every metric
+// family (CI fails if the exported surface and the doc drift apart) and
+// docs/OPERATIONS.md is the operator's reference for flags, lifecycle and
+// the full HTTP API; mfpsim -stress cross-checks the metric counters
+// against the harness's own accounting on every run.
+//
 // Correctness is enforced in layers: every engine snapshot is
 // differentially tested against a from-scratch core.Construct, cmd/mfpsim
 // -stress replays a deterministic multi-shard churn scenario from

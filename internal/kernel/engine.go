@@ -96,7 +96,8 @@ type entry[C any, T Topology[C]] struct {
 // events. All methods are safe for concurrent use: mutations serialize on
 // an internal lock while Snapshot is wait-free.
 type Engine[C any, T Topology[C]] struct {
-	mesh T
+	mesh    T
+	metrics engineMetrics
 
 	mu      sync.Mutex
 	faults  *Set[C, T] // current fault set (mutated in place)
@@ -116,7 +117,7 @@ func NewEngine[C any, T Topology[C]](mesh T, blocks func(T, *Set[C, T]) BlockMod
 	if mesh.Size() == 0 {
 		return nil, fmt.Errorf("engine: empty mesh")
 	}
-	e := &Engine[C, T]{mesh: mesh, faults: NewSet[C](mesh)}
+	e := &Engine[C, T]{mesh: mesh, metrics: newEngineMetrics(mesh.Axes()), faults: NewSet[C](mesh)}
 	e.blocks = blocks(mesh, e.faults)
 	e.publish()
 	return e, nil
@@ -217,6 +218,7 @@ func (e *Engine[C, T]) Apply(events []Event[C]) (applied int, snap *Snapshot[C, 
 		}
 	}
 	if applied > 0 {
+		e.metrics.eventsApplied.Add(uint64(applied))
 		e.publish()
 	}
 	return applied, e.snap.Load(), nil
@@ -256,8 +258,11 @@ func (e *Engine[C, T]) addLocked(c C) bool {
 		nodes.UnionWith(en.nodes)
 	}
 	e.removeEntries(merged)
-	poly, _ := Closure(nodes)
+	poly, passes := Closure(nodes)
 	e.insertEntry(&entry[C, T]{nodes: nodes, poly: poly, seed: nodes.FirstIndex()})
+	e.metrics.componentsTouched.Add(uint64(len(merged)) + 1)
+	e.metrics.closures.Inc()
+	e.metrics.closurePasses.Add(uint64(passes))
 
 	e.blocks.Grow(c)
 	return true
@@ -285,9 +290,12 @@ func (e *Engine[C, T]) clearLocked(c C) bool {
 	e.removeEntries([]*entry[C, T]{owner})
 	remaining := owner.nodes.Clone()
 	remaining.Remove(c)
+	e.metrics.componentsTouched.Inc()
 	for _, region := range Regions(remaining) {
-		poly, _ := Closure(region)
+		poly, passes := Closure(region)
 		e.insertEntry(&entry[C, T]{nodes: region, poly: poly, seed: region.FirstIndex()})
+		e.metrics.closures.Inc()
+		e.metrics.closurePasses.Add(uint64(passes))
 	}
 
 	e.blocks.Shrink(c)
@@ -350,6 +358,7 @@ func (e *Engine[C, T]) publish() {
 	}
 	s.unsafe = e.blocks.Unsafe(s.comps)
 	e.snap.Store(s)
+	e.metrics.publishes.Inc()
 }
 
 // Snapshot returns the current immutable snapshot. It never blocks, not

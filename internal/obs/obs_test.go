@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeValues(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "help")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("test_gauge", "help")
+	g.Set(10)
+	g.Dec()
+	g.Add(-2)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+	if v, ok := r.Value("test_total"); !ok || v != 5 {
+		t.Fatalf("Value(test_total) = %v %v", v, ok)
+	}
+	if _, ok := r.Value("missing"); ok {
+		t.Fatal("Value on a missing family succeeded")
+	}
+}
+
+func TestRegistrationIdempotentAndConflicting(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("dup_total", "same help")
+	b := r.Counter("dup_total", "same help")
+	if a != b {
+		t.Fatal("identical re-registration did not return the same counter")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("conflicting re-registration did not panic")
+			}
+		}()
+		r.Gauge("dup_total", "same help")
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("invalid metric name did not panic")
+			}
+		}()
+		r.Counter("0bad", "help")
+	}()
+}
+
+func TestHistogramBucketsAndSum(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "help", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	if got, want := h.Sum(), 55.55; got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, line := range []string{
+		`test_seconds_bucket{le="0.1"} 1`,
+		`test_seconds_bucket{le="1"} 2`,
+		`test_seconds_bucket{le="10"} 3`,
+		`test_seconds_bucket{le="+Inf"} 4`,
+		`test_seconds_count 4`,
+		"# TYPE test_seconds histogram",
+	} {
+		if !strings.Contains(out, line) {
+			t.Fatalf("export missing %q in:\n%s", line, out)
+		}
+	}
+}
+
+func TestVecLabelsAndEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("labeled_total", "help", "op", "dim")
+	v.With("add", "2").Add(3)
+	v.With(`we"ird`+"\n", "3").Inc()
+	if got, ok := r.Value("labeled_total", "add", "2"); !ok || got != 3 {
+		t.Fatalf("Value(labeled add 2) = %v %v", got, ok)
+	}
+	var b strings.Builder
+	r.WriteText(&b)
+	out := b.String()
+	if !strings.Contains(out, `labeled_total{op="add",dim="2"} 3`) {
+		t.Fatalf("labeled sample missing in:\n%s", out)
+	}
+	if !strings.Contains(out, `labeled_total{op="we\"ird\n",dim="3"} 1`) {
+		t.Fatalf("escaped sample missing in:\n%s", out)
+	}
+}
+
+func TestEmptyFamilyStillExportsHeader(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("never_used_total", "help", "k")
+	var b strings.Builder
+	r.WriteText(&b)
+	if !strings.Contains(b.String(), "# TYPE never_used_total counter") {
+		t.Fatalf("empty family header missing in:\n%s", b.String())
+	}
+	names := r.FamilyNames()
+	if len(names) != 1 || names[0] != "never_used_total" {
+		t.Fatalf("FamilyNames = %v", names)
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_total", "help")
+	h := r.Histogram("conc_seconds", "help", LatencyBuckets)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || h.Count() != 8000 {
+		t.Fatalf("counter %d histogram %d, want 8000 both", c.Value(), h.Count())
+	}
+}
+
+func TestHandlerContentType(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "help").Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	req, _ := http.NewRequest(http.MethodPost, srv.URL, nil)
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /metrics = %d, want 405", resp2.StatusCode)
+	}
+}
+
+func TestMiddlewareMetricsAndLog(t *testing.T) {
+	r := NewRegistry()
+	m := NewHTTPMetrics(r, "test")
+	var logBuf strings.Builder
+	logger := slog.New(slog.NewTextHandler(&logBuf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	inner := http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path == "/boom" {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		if m.inflight.Value() != 1 {
+			t.Errorf("in-flight = %d during request, want 1", m.inflight.Value())
+		}
+		time.Sleep(time.Millisecond)
+		w.Write([]byte("ok"))
+	})
+	h := m.Middleware(inner, func(req *http.Request) RouteInfo {
+		if req.URL.Path == "/boom" {
+			return RouteInfo{Route: "/boom"}
+		}
+		return RouteInfo{Route: "/meshes/{name}/events", Mesh: "tenant-a"}
+	}, logger)
+
+	for _, path := range []string{"/meshes/tenant-a/events", "/boom"} {
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		h.ServeHTTP(httptest.NewRecorder(), req)
+	}
+
+	if v, ok := r.Value("test_http_requests_total", "/meshes/{name}/events", "2xx"); !ok || v != 1 {
+		t.Fatalf("2xx counter = %v %v", v, ok)
+	}
+	if v, ok := r.Value("test_http_requests_total", "/boom", "5xx"); !ok || v != 1 {
+		t.Fatalf("5xx counter = %v %v", v, ok)
+	}
+	if v, ok := r.Value("test_http_request_seconds", "/meshes/{name}/events"); !ok || v != 1 {
+		t.Fatalf("latency histogram count = %v %v", v, ok)
+	}
+	if m.inflight.Value() != 0 {
+		t.Fatalf("in-flight = %d after requests, want 0", m.inflight.Value())
+	}
+	log := logBuf.String()
+	for _, want := range []string{"request_id=r", "mesh=tenant-a", "status=200", "status=500", "route=/meshes/{name}/events"} {
+		if !strings.Contains(log, want) {
+			t.Fatalf("request log missing %q in:\n%s", want, log)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteText renders every family in the Prometheus text exposition format
+// (version 0.0.4), families sorted by name and samples sorted by label
+// signature. Families that have not recorded a sample yet still emit their
+// HELP and TYPE header lines, so the full metric surface is discoverable
+// from a fresh process — which is also what lets the docs-parity guard
+// compare a scrape against docs/METRICS.md without generating traffic
+// first.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		f.writeText(bw)
+	}
+	return bw.Flush()
+}
+
+// Handler returns the GET /metrics handler serving WriteText.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			http.Error(w, "GET serves metrics", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if req.Method == http.MethodHead {
+			return
+		}
+		r.WriteText(w)
+	})
+}
+
+func (f *family) writeText(w *bufio.Writer) {
+	w.WriteString("# HELP ")
+	w.WriteString(f.name)
+	w.WriteByte(' ')
+	w.WriteString(escapeHelp(f.help))
+	w.WriteByte('\n')
+	w.WriteString("# TYPE ")
+	w.WriteString(f.name)
+	w.WriteByte(' ')
+	w.WriteString(f.kind.String())
+	w.WriteByte('\n')
+
+	f.mu.Lock()
+	sigs := append([]string(nil), f.order...)
+	children := make([]any, len(sigs))
+	sort.Strings(sigs)
+	for i, sig := range sigs {
+		children[i] = f.children[sig]
+	}
+	f.mu.Unlock()
+
+	for i, sig := range sigs {
+		values := splitSignature(sig, len(f.labels))
+		switch m := children[i].(type) {
+		case *Counter:
+			writeSample(w, f.name, "", f.labels, values, "", formatUint(m.Value()))
+		case *Gauge:
+			writeSample(w, f.name, "", f.labels, values, "", strconv.FormatInt(m.Value(), 10))
+		case *Histogram:
+			cum := uint64(0)
+			for b, bound := range m.bounds {
+				cum += m.counts[b].Load()
+				writeSample(w, f.name, "_bucket", f.labels, values, formatFloat(bound), formatUint(cum))
+			}
+			cum += m.counts[len(m.bounds)].Load()
+			writeSample(w, f.name, "_bucket", f.labels, values, "+Inf", formatUint(cum))
+			writeSample(w, f.name, "_sum", f.labels, values, "", formatFloat(m.Sum()))
+			writeSample(w, f.name, "_count", f.labels, values, "", formatUint(m.Count()))
+		}
+	}
+}
+
+// writeSample emits one `name_suffix{labels,le="bound"} value` line; le is
+// the histogram bucket bound, empty for non-bucket samples.
+func writeSample(w *bufio.Writer, name, suffix string, labels, values []string, le, value string) {
+	w.WriteString(name)
+	w.WriteString(suffix)
+	if len(labels) > 0 || le != "" {
+		w.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(l)
+			w.WriteString(`="`)
+			w.WriteString(escapeLabel(values[i]))
+			w.WriteByte('"')
+		}
+		if le != "" {
+			if len(labels) > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(`le="`)
+			w.WriteString(le)
+			w.WriteByte('"')
+		}
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(value)
+	w.WriteByte('\n')
+}
+
+func splitSignature(sig string, n int) []string {
+	switch n {
+	case 0:
+		return nil
+	case 1:
+		return []string{sig}
+	}
+	return strings.Split(sig, "\xff")
+}
+
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslashes and newlines, per the text format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes backslashes, quotes and newlines in a label value.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

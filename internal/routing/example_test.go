@@ -3,6 +3,7 @@ package routing_test
 import (
 	"fmt"
 
+	"repro/internal/engine"
 	"repro/internal/grid"
 	"repro/internal/nodeset"
 	"repro/internal/routing"
@@ -25,4 +26,33 @@ func ExampleNetwork_Route() {
 	// Output:
 	// hops: 8
 	// path: [(1,3) (2,3) (3,3) (3,2) (4,2) (5,2) (6,2) (6,3) (6,4)]
+}
+
+// ExampleNewPlanner is the serving path: prepare routing directly from an
+// engine snapshot (reusing its cached polygons) and answer queries against
+// the live fault state. This is what mfpd memoizes per mesh version.
+func ExampleNewPlanner() {
+	eng, err := engine.New(grid.New(8, 8))
+	if err != nil {
+		panic(err)
+	}
+	if _, _, err := eng.Apply([]engine.Event{
+		{Op: engine.Add, Node: grid.XY(2, 4)},
+		{Op: engine.Add, Node: grid.XY(3, 4)},
+		{Op: engine.Add, Node: grid.XY(4, 3)},
+	}); err != nil {
+		panic(err)
+	}
+
+	p := routing.NewPlanner(eng.Snapshot())
+	fmt.Println("blocked nodes:", p.BlockedCount())
+
+	route, err := p.Route(grid.XY(1, 3), grid.XY(6, 4))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("hops:", route.Length(), "abnormal:", route.AbnormalHops)
+	// Output:
+	// blocked nodes: 3
+	// hops: 8 abnormal: 1
 }

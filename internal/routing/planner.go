@@ -3,6 +3,7 @@ package routing
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/grid"
@@ -166,6 +167,7 @@ func touching8(a, b *nodeset.Set) bool {
 // paths. blocked must be the union of regions; both are retained, not
 // copied.
 func newPlanner(m grid.Mesh, blocked *nodeset.Set, regions []*nodeset.Set) *Planner {
+	start := time.Now()
 	p := &Planner{
 		mesh:     m,
 		blocked:  blocked,
@@ -204,6 +206,8 @@ func newPlanner(m grid.Mesh, blocked *nodeset.Set, regions []*nodeset.Set) *Plan
 			p.ringHead[node] = int32(len(p.ringNext) - 1)
 		}
 	}
+	metricPlannerBuilds.Inc()
+	metricPlannerBuildSeconds.ObserveDuration(time.Since(start))
 	return p
 }
 
@@ -277,6 +281,12 @@ func (p *Planner) pathBlocked(id int, cur, dst grid.Coord) bool {
 // Route sends one message from src to dst and returns its trajectory,
 // following the extended e-cube algorithm documented on this package.
 func (p *Planner) Route(src, dst grid.Coord) (*Route, error) {
+	r, err := p.route(src, dst)
+	routeOutcome(err).Inc()
+	return r, err
+}
+
+func (p *Planner) route(src, dst grid.Coord) (*Route, error) {
 	if !p.mesh.Contains(src) || !p.mesh.Contains(dst) {
 		return nil, fmt.Errorf("routing: endpoints %v -> %v outside %v", src, dst, p.mesh)
 	}

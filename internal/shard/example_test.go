@@ -1,0 +1,44 @@
+package shard_test
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/grid"
+	"repro/internal/shard"
+)
+
+// ExampleManager hosts a mesh in a shard manager, submits a fault batch
+// through its mailbox, and reads the resulting view and stats. Apply
+// blocks until the shard's goroutine has applied the submission, so the
+// returned view always reflects it.
+func ExampleManager() {
+	mgr := shard.NewManager(shard.Config{})
+	defer mgr.Close()
+
+	sh, err := mgr.Create("prod", grid.New(16, 16))
+	if err != nil {
+		panic(err)
+	}
+
+	res, err := sh.Apply([]engine.Event{
+		{Op: engine.Add, Node: grid.XY(4, 4)},
+		{Op: engine.Add, Node: grid.XY(4, 5)},
+		{Op: engine.Add, Node: grid.XY(4, 4)}, // duplicate: ignored
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("applied:", res.Applied, "ignored:", res.Ignored)
+	fmt.Println("version:", res.View.Version)
+	fmt.Println("components:", len(res.View.Snapshot.Polygons()))
+
+	st := sh.Stats()
+	fmt.Println("requests:", st.Requests, "events:", st.Events)
+
+	// Output:
+	// applied: 2 ignored: 1
+	// version: 2
+	// components: 1
+	// requests: 1 events: 3
+}

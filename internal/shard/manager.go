@@ -216,6 +216,7 @@ func create[C any, T kernel.Topology[C]](m *Manager, name string, mesh T,
 		return nil, ErrClosed
 	}
 	m.shards[name] = s
+	shardMetrics.meshes.Inc()
 	victims := m.admitLocked(s)
 	m.mu.Unlock()
 
@@ -277,7 +278,11 @@ func (m *Manager) Delete(name string) error {
 	s, ok := m.shards[name]
 	if ok {
 		delete(m.shards, name)
-		delete(m.resident, s)
+		shardMetrics.meshes.Dec()
+		if _, wasResident := m.resident[s]; wasResident {
+			delete(m.resident, s)
+			shardMetrics.resident.Dec()
+		}
 	}
 	closed := m.closed
 	m.mu.Unlock()
@@ -324,6 +329,8 @@ func (m *Manager) Close() {
 	for _, s := range m.shards {
 		shards = append(shards, s)
 	}
+	shardMetrics.meshes.Add(-int64(len(m.shards)))
+	shardMetrics.resident.Add(-int64(len(m.resident)))
 	m.shards = make(map[string]Tenant)
 	m.resident = make(map[Tenant]struct{})
 	m.mu.Unlock()
@@ -359,7 +366,10 @@ func (m *Manager) noteResident(s Tenant) []Tenant {
 // noteEvicted records that s dropped its engine.
 func (m *Manager) noteEvicted(s Tenant) {
 	m.mu.Lock()
-	delete(m.resident, s)
+	if _, ok := m.resident[s]; ok {
+		delete(m.resident, s)
+		shardMetrics.resident.Dec()
+	}
 	m.mu.Unlock()
 }
 
@@ -368,7 +378,10 @@ func (m *Manager) noteEvicted(s Tenant) {
 // returning them for the caller to nudge outside the lock. Marked shards
 // stay formally resident until their own goroutine performs the eviction.
 func (m *Manager) admitLocked(s Tenant) []Tenant {
-	m.resident[s] = struct{}{}
+	if _, ok := m.resident[s]; !ok {
+		m.resident[s] = struct{}{}
+		shardMetrics.resident.Inc()
+	}
 	if m.cfg.MaxResident <= 0 {
 		return nil
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/engine3"
@@ -100,7 +101,12 @@ type Stats struct {
 	// even while evicted).
 	Faults     int `json:"faults"`
 	Components int `json:"components"`
-	// QueueLen is the instantaneous mailbox backlog in requests.
+	// QueueLength is the instantaneous mailbox backlog in requests.
+	QueueLength int `json:"queue_length"`
+	// QueueLen mirrors QueueLength under its pre-v6 wire name.
+	//
+	// Deprecated: read queue_length. The queue_len alias is kept for one
+	// release so existing scrapers keep working, then it goes away.
 	QueueLen int `json:"queue_len"`
 	// RouteQueries counts Planner calls, RouteCacheHits the ones that
 	// reused a planner memoized for the current shard version, and
@@ -317,11 +323,14 @@ func (s *shardOf[C, T]) Planner() (*routing.Planner, viewOf[C, T], bool, error) 
 
 func (s *shardOf[C, T]) noteRoute(hit, built bool) {
 	s.routeQueries.Add(1)
+	shardMetrics.routeQueries.Inc()
 	if hit {
 		s.routeHits.Add(1)
+		shardMetrics.plannerHits.Inc()
 	}
 	if built {
 		s.plannerBuilds.Add(1)
+		shardMetrics.plannerBuilds.Inc()
 	}
 }
 
@@ -338,7 +347,9 @@ func (s *shardOf[C, T]) failedErr() error {
 // engine and published view: the state can no longer be trusted, so reads
 // must fail rather than serve it. Called only from the run goroutine.
 func (s *shardOf[C, T]) latchFail(msg string) {
-	s.failed.CompareAndSwap(nil, &msg)
+	if s.failed.CompareAndSwap(nil, &msg) {
+		shardMetrics.failures.Inc()
+	}
 	s.eng = nil
 	s.view.Store(nil)
 	s.plannerEpoch.Add(1)
@@ -372,6 +383,7 @@ func (s *shardOf[C, T]) Stats() Stats {
 		Resident:       s.view.Load() != nil,
 		Faults:         c.faults,
 		Components:     c.components,
+		QueueLength:    len(s.mailbox),
 		QueueLen:       len(s.mailbox),
 		RouteQueries:   s.routeQueries.Load(),
 		RouteCacheHits: s.routeHits.Load(),
@@ -533,6 +545,7 @@ func (s *shardOf[C, T]) process(batch []*request[C, T]) {
 		return
 	}
 
+	received := uint64(0)
 	s.statsMu.Lock()
 	version := s.stats.version + uint64(total)
 	s.stats.version = version
@@ -540,12 +553,20 @@ func (s *shardOf[C, T]) process(batch []*request[C, T]) {
 		s.stats.requests++
 		if errs[i] == nil {
 			s.stats.events += uint64(len(r.events))
+			received += uint64(len(r.events))
 		}
 	}
 	s.stats.batches++
 	s.stats.faults = s.faults.Len()
 	s.stats.components = len(snap.Polygons())
 	s.statsMu.Unlock()
+
+	shardMetrics.requests.Add(uint64(len(reqs)))
+	shardMetrics.eventsReceived.Add(received)
+	shardMetrics.eventsApplied.Add(uint64(total))
+	shardMetrics.batches.Inc()
+	shardMetrics.batchEvents.Observe(float64(len(all)))
+	shardMetrics.batchRequests.Observe(float64(len(reqs)))
 
 	s.view.Store(&viewOf[C, T]{Snapshot: snap, Version: version})
 
@@ -571,6 +592,7 @@ func (s *shardOf[C, T]) rebuild() error {
 	if s.rebuildFail != nil {
 		return s.rebuildFail
 	}
+	start := time.Now()
 	eng, err := s.newEngine(s.mesh)
 	if err != nil {
 		return fmt.Errorf("rebuild on mesh validated at create: %v", err)
@@ -585,6 +607,8 @@ func (s *shardOf[C, T]) rebuild() error {
 		}
 	}
 	s.eng = eng
+	shardMetrics.rebuilds.Inc()
+	shardMetrics.rebuildSeconds.ObserveDuration(time.Since(start))
 	s.statsMu.Lock()
 	s.stats.rebuilds++
 	version := s.stats.version
@@ -608,6 +632,7 @@ func (s *shardOf[C, T]) maybeEvict() {
 	s.statsMu.Lock()
 	s.stats.evictions++
 	s.statsMu.Unlock()
+	shardMetrics.evictions.Inc()
 	s.mgr.noteEvicted(s)
 }
 
