@@ -18,11 +18,13 @@ FUZZTIME ?= 30s
 # experiments.DefaultStress (24 shards / 24k events, above the 20/20k
 # acceptance floor its tests assert) and flow into mfpsim's flag defaults.
 STRESS_FLAGS ?=
+# Extra flags for the crash-check gate (the durability acceptance run).
+CRASH_FLAGS ?=
 # The seeded route sweep the route-check gate runs twice (at different
 # worker counts) and byte-compares.
 ROUTE_FLAGS ?= -mesh 50 -faults 25,50,100 -trials 3 -route-messages 200
 
-.PHONY: all build test race cover fuzz stress-check route-check bench bench-json bench-check bench-baseline docs-check lint staticcheck tidy-check fmt clean
+.PHONY: all build test race cover fuzz stress-check crash-check route-check bench bench-json bench-check bench-baseline docs-check lint staticcheck tidy-check fmt clean
 
 all: lint build test
 
@@ -54,6 +56,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeEvents$$' -fuzztime $(FUZZTIME) ./internal/engine
 	$(GO) test -run '^$$' -fuzz '^FuzzApply$$' -fuzztime $(FUZZTIME) ./internal/engine
 	$(GO) test -run '^$$' -fuzz '^FuzzHandleEvents$$' -fuzztime $(FUZZTIME) ./cmd/mfpd
+	$(GO) test -run '^$$' -fuzz '^FuzzWALDecode$$' -fuzztime $(FUZZTIME) ./internal/wal
 
 # The shard layer's acceptance gate, mirroring bench-check: a race-enabled
 # multi-shard stress run (>= 20 shards, >= 20k events) differentially
@@ -61,6 +64,18 @@ fuzz:
 # data race exits non-zero. CI runs this on every PR.
 stress-check:
 	$(GO) run -race ./cmd/mfpsim -stress $(STRESS_FLAGS)
+
+# The durability acceptance gate: the race-enabled stress scenario run
+# durably with seeded kill/recover cycles and torn-tail injection, under a
+# zero-acknowledged-events-lost gate — twice, at different worker counts,
+# byte-comparing stdout: recovery must reconstruct exactly the state a
+# crash-free run produces, independent of scheduling. CI runs this on
+# every PR.
+crash-check:
+	$(GO) run -race ./cmd/mfpsim -stress -stress-crash -stress-clients 1 $(CRASH_FLAGS) > crash-a.txt
+	$(GO) run -race ./cmd/mfpsim -stress -stress-crash -stress-clients 7 $(CRASH_FLAGS) > crash-b.txt
+	cmp crash-a.txt crash-b.txt
+	@cat crash-a.txt
 
 # The routing plane's gate: a routesim smoke run over every fault-region
 # model, then the seeded RouteSweep at two worker counts byte-compared —
@@ -122,4 +137,4 @@ fmt:
 	gofmt -w .
 
 clean:
-	rm -f $(BENCH_OUT) $(COVER_OUT) route-sweep-a.txt route-sweep-b.txt
+	rm -f $(BENCH_OUT) $(COVER_OUT) route-sweep-a.txt route-sweep-b.txt crash-a.txt crash-b.txt

@@ -22,25 +22,31 @@ func newHandler(mgr *shard.Manager, logger *slog.Logger) http.Handler {
 }
 
 // routeInfo maps a request to its route pattern and mesh. Patterns are a
-// small fixed vocabulary ("/meshes/{name}/events", never the raw path), so
-// the route label on the HTTP metrics stays bounded no matter how many
+// small fixed vocabulary ("/v1/meshes/{name}/events", never the raw path),
+// so the route label on the HTTP metrics stays bounded no matter how many
 // meshes exist or what garbage paths clients probe; the mesh name goes to
-// the request log only.
+// the request log only. Versioned traffic and the deprecated unversioned
+// alias get distinct patterns (the "/v1" prefix), so the migration off the
+// alias is observable per route before the alias is removed.
 func routeInfo(r *http.Request) obs.RouteInfo {
+	path, prefix := r.URL.Path, ""
+	if rest, ok := strings.CutPrefix(path, "/v1"); ok && (rest == "" || rest[0] == '/') {
+		path, prefix = rest, "/v1"
+	}
 	switch {
-	case r.URL.Path == "/healthz":
+	case prefix == "" && path == "/healthz":
 		return obs.RouteInfo{Route: "/healthz"}
-	case r.URL.Path == "/metrics":
+	case prefix == "" && path == "/metrics":
 		return obs.RouteInfo{Route: "/metrics"}
-	case r.URL.Path == "/meshes" || r.URL.Path == "/meshes/":
-		return obs.RouteInfo{Route: "/meshes"}
-	case strings.HasPrefix(r.URL.Path, "/meshes/"):
-		name, sub, _ := strings.Cut(strings.TrimPrefix(r.URL.Path, "/meshes/"), "/")
+	case path == "/meshes" || path == "/meshes/":
+		return obs.RouteInfo{Route: prefix + "/meshes"}
+	case strings.HasPrefix(path, "/meshes/"):
+		name, sub, _ := strings.Cut(strings.TrimPrefix(path, "/meshes/"), "/")
 		switch sub {
 		case "":
-			return obs.RouteInfo{Route: "/meshes/{name}", Mesh: name}
+			return obs.RouteInfo{Route: prefix + "/meshes/{name}", Mesh: name}
 		case "events", "status", "polygons", "route", "stats":
-			return obs.RouteInfo{Route: "/meshes/{name}/" + sub, Mesh: name}
+			return obs.RouteInfo{Route: prefix + "/meshes/{name}/" + sub, Mesh: name}
 		}
 		return obs.RouteInfo{Route: "other", Mesh: name}
 	}

@@ -9,32 +9,44 @@
 //	mfpd                                  # "default" 100x100 mesh on :8080
 //	mfpd -mesh 256 -addr :9000
 //	mfpd -mesh 0 -max-resident 64         # start empty; create meshes via the API
+//	mfpd -data-dir /var/lib/mfpd          # durable: WAL + crash recovery
 //	mfpd -debug-addr localhost:6060       # expose net/http/pprof + /metrics
 //
-// API (all responses are JSON; docs/OPERATIONS.md is the full reference):
+// API, versioned under /v1 (all responses are JSON; errors are a uniform
+// {"error":{"code":"...","message":"..."}} envelope; docs/OPERATIONS.md is
+// the full reference):
 //
-//	GET    /meshes                   list every mesh with stats
-//	POST   /meshes                   {"name":"a","width":64,"height":64} -> 201
-//	                                 Add "depth" for a 3-D mesh: its events
-//	                                 then carry x, y and z, and the polygons
-//	                                 endpoint serves minimum polytopes.
-//	DELETE /meshes/a                 drain and delete mesh "a"
-//	POST   /meshes/a/events          body: [{"op":"add","x":3,"y":4},...]
-//	                                 (3-D: [{"op":"add","x":3,"y":4,"z":5},...])
-//	                                 Applies the batch atomically; duplicate
-//	                                 adds and clears of healthy nodes are
-//	                                 counted as ignored, not errors.
-//	GET    /meshes/a/status?x=3&y=4  -> {"x":3,"y":4,"class":"safe","version":17}
-//	                                 (3-D meshes also require z)
-//	GET    /meshes/a/polygons        every component's minimum faulty polygon
-//	                                 (polytope on a 3-D mesh)
-//	GET    /meshes/a/stats           shard stats + construction metrics
-//	GET    /metrics                  process metrics, Prometheus text format
-//	                                 (docs/METRICS.md documents every family)
-//	GET    /healthz                  -> 200 ok
+//	GET    /v1/meshes                   list every mesh with stats
+//	POST   /v1/meshes                   {"name":"a","width":64,"height":64} -> 201
+//	                                    Add "depth" for a 3-D mesh: its events
+//	                                    then carry x, y and z, and the polygons
+//	                                    endpoint serves minimum polytopes.
+//	DELETE /v1/meshes/a                 drain and delete mesh "a"
+//	POST   /v1/meshes/a/events          body: [{"op":"add","x":3,"y":4},...]
+//	                                    (3-D: [{"op":"add","x":3,"y":4,"z":5},...])
+//	                                    Applies the batch atomically; duplicate
+//	                                    adds and clears of healthy nodes are
+//	                                    counted as ignored, not errors.
+//	GET    /v1/meshes/a/status?x=3&y=4  -> {"x":3,"y":4,"class":"safe","version":17}
+//	                                    (3-D meshes also require z)
+//	GET    /v1/meshes/a/polygons        every component's minimum faulty polygon
+//	                                    (polytope on a 3-D mesh)
+//	GET    /v1/meshes/a/stats           shard stats + construction metrics
+//	GET    /metrics                     process metrics, Prometheus text format
+//	                                    (docs/METRICS.md documents every family)
+//	GET    /healthz                     -> 200 ok
 //
-// Routing (POST /meshes/a/route) is 2-D-only and answers 404 on a 3-D
-// mesh.
+// The pre-versioning unversioned paths (/meshes...) keep answering with
+// identical bodies for one release, marked by a "Deprecation: true"
+// response header. Routing (POST /v1/meshes/a/route) is 2-D-only and
+// answers 404 on a 3-D mesh.
+//
+// With -data-dir set, every acknowledged event batch is appended to a
+// per-mesh write-ahead log and fsynced before the reply, logs are
+// compacted into fault-set snapshots as they grow (-compact-bytes), and
+// startup recovers every mesh found in the directory — including torn
+// final records from a mid-write crash, which are detected by CRC and
+// truncated, never silently replayed. DELETE removes a mesh's log with it.
 //
 // Every query is served from the mesh's view current at arrival time: a
 // batch posted concurrently is observed either entirely or not at all.
@@ -58,6 +70,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -80,6 +93,8 @@ func main() {
 	mesh := flag.Int("mesh", 100, "side length of the initial \"default\" n×n mesh (0 = start with no meshes)")
 	maxResident := flag.Int("max-resident", 0, "LRU bound on resident engines (0 = unlimited)")
 	maxMeshes := flag.Int("max-meshes", 1024, "bound on meshes the API may create (0 = unlimited)")
+	dataDir := flag.String("data-dir", "", "directory for per-mesh write-ahead logs; empty = in-memory only")
+	compactBytes := flag.Int64("compact-bytes", shard.DefaultCompactBytes, "log size at which a mesh's WAL compacts into a snapshot (negative = never)")
 	flag.Parse()
 
 	var level slog.Level
@@ -93,13 +108,34 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mfpd: -mesh must be >= 0, got %d\n", *mesh)
 		os.Exit(2)
 	}
-	mgr := shard.NewManager(shard.Config{MaxResident: *maxResident, MaxMeshes: *maxMeshes})
+	mgr := shard.NewManager(shard.Config{
+		MaxResident:  *maxResident,
+		MaxMeshes:    *maxMeshes,
+		DataDir:      *dataDir,
+		CompactBytes: *compactBytes,
+	})
+	// Recovery before anything serves: every mesh persisted under -data-dir
+	// is reopened and replayed (snapshot + log, torn tails truncated). A
+	// mesh that cannot be recovered is a loud startup failure — a
+	// half-recovered namespace silently serving wrong state would be worse.
+	recovered, err := mgr.Recover()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mfpd: recovery:", err)
+		os.Exit(1)
+	}
+	if len(recovered) > 0 {
+		logger.Info("recovered meshes", "count", len(recovered), "data_dir", *dataDir)
+	}
 	if *mesh > 0 {
-		if _, err := mgr.Create("default", grid.New(*mesh, *mesh)); err != nil {
-			fmt.Fprintln(os.Stderr, "mfpd:", err)
-			os.Exit(2)
+		// The initial "default" mesh is only created when recovery didn't
+		// already bring one back — a restart must not clobber durable state.
+		if _, err := mgr.Lookup("default"); errors.Is(err, shard.ErrUnknownMesh) {
+			if _, err := mgr.Create("default", grid.New(*mesh, *mesh)); err != nil {
+				fmt.Fprintln(os.Stderr, "mfpd:", err)
+				os.Exit(2)
+			}
+			logger.Info("created mesh", "mesh", "default", "width", *mesh, "height", *mesh)
 		}
-		logger.Info("created mesh", "mesh", "default", "width", *mesh, "height", *mesh)
 	}
 
 	srv := &http.Server{

@@ -124,17 +124,33 @@ func faultCluster() []engine.Event {
 // into the fixed route-pattern vocabulary.
 func TestRoutePatternBoundsCardinality(t *testing.T) {
 	cases := map[string]string{
-		"/healthz":               "/healthz",
-		"/metrics":               "/metrics",
-		"/meshes":                "/meshes",
-		"/meshes/":               "/meshes",
-		"/meshes/a":              "/meshes/{name}",
-		"/meshes/a/events":       "/meshes/{name}/events",
-		"/meshes/a/route":        "/meshes/{name}/route",
-		"/meshes/a/bogus":        "other",
-		"/meshes/a/events/extra": "other",
-		"/totally/made/up":       "other",
-		"/":                      "other",
+		"/healthz":                  "/healthz",
+		"/metrics":                  "/metrics",
+		"/meshes":                   "/meshes",
+		"/meshes/":                  "/meshes",
+		"/meshes/a":                 "/meshes/{name}",
+		"/meshes/a/events":          "/meshes/{name}/events",
+		"/meshes/a/route":           "/meshes/{name}/route",
+		"/meshes/a/bogus":           "other",
+		"/meshes/a/events/extra":    "other",
+		"/totally/made/up":          "other",
+		"/":                         "other",
+		"/v1/meshes":                "/v1/meshes",
+		"/v1/meshes/":               "/v1/meshes",
+		"/v1/meshes/a":              "/v1/meshes/{name}",
+		"/v1/meshes/a/events":       "/v1/meshes/{name}/events",
+		"/v1/meshes/a/route":        "/v1/meshes/{name}/route",
+		"/v1/meshes/a/stats":        "/v1/meshes/{name}/stats",
+		"/v1/meshes/a/bogus":        "other",
+		"/v1/meshes/a/events/extra": "other",
+		// /healthz and /metrics are infrastructure endpoints, not part of
+		// the versioned surface: under /v1 they are unknown paths.
+		"/v1/healthz": "other",
+		"/v1/metrics": "other",
+		"/v1":         "other",
+		"/v1/":        "other",
+		// A path merely starting with "v1" is not versioned traffic.
+		"/v1beta/meshes": "other",
 	}
 	for path, want := range cases {
 		r := httptest.NewRequest(http.MethodGet, path, nil)

@@ -170,14 +170,14 @@ func TestRouteErrorStatuses(t *testing.T) {
 		// MFP polygons are convex, so a live mesh cannot livelock the
 		// router; the mapping is still pinned so a budget failure from a
 		// future construction bug degrades into a clean 422.
-		if got := routeStatus(routing.ErrHopBudget); got != http.StatusUnprocessableEntity {
-			t.Fatalf("ErrHopBudget -> %d, want 422", got)
+		if got, code := routeStatus(routing.ErrHopBudget); got != http.StatusUnprocessableEntity || code != codeUndeliverable {
+			t.Fatalf("ErrHopBudget -> %d %s, want 422 undeliverable", got, code)
 		}
-		if got := routeStatus(fmt.Errorf("wrapped: %w", routing.ErrHopBudget)); got != http.StatusUnprocessableEntity {
-			t.Fatalf("wrapped ErrHopBudget -> %d, want 422", got)
+		if got, code := routeStatus(fmt.Errorf("wrapped: %w", routing.ErrHopBudget)); got != http.StatusUnprocessableEntity || code != codeUndeliverable {
+			t.Fatalf("wrapped ErrHopBudget -> %d %s, want 422 undeliverable", got, code)
 		}
-		if got := routeStatus(errors.New("anything else")); got != http.StatusBadRequest {
-			t.Fatalf("unknown error -> %d, want 400", got)
+		if got, code := routeStatus(errors.New("anything else")); got != http.StatusBadRequest || code != codeBadRequest {
+			t.Fatalf("unknown error -> %d %s, want 400 bad_request", got, code)
 		}
 	})
 }

@@ -48,18 +48,25 @@ const (
 // single shard view up front and answer entirely from it, so every
 // response is internally consistent even while event batches land.
 //
+// The API is versioned under /v1; /healthz and /metrics are
+// infrastructure endpoints and stay unversioned.
+//
 // Routes:
 //
 //	GET    /healthz
-//	GET    /metrics                    Prometheus text metrics (obs.Default)
-//	GET    /meshes                     list every mesh with stats
-//	POST   /meshes                     create a mesh {"name","width","height"}
-//	DELETE /meshes/{name}              drain and delete a mesh
-//	POST   /meshes/{name}/events       apply a JSON array of fault events
-//	GET    /meshes/{name}/status?x=&y= per-node status
-//	GET    /meshes/{name}/polygons     every component's minimum polygon
-//	POST   /meshes/{name}/route        route messages around the polygons
-//	GET    /meshes/{name}/stats        shard + construction metrics
+//	GET    /metrics                       Prometheus text metrics (obs.Default)
+//	GET    /v1/meshes                     list every mesh with stats
+//	POST   /v1/meshes                     create a mesh {"name","width","height"}
+//	DELETE /v1/meshes/{name}              drain and delete a mesh
+//	POST   /v1/meshes/{name}/events       apply a JSON array of fault events
+//	GET    /v1/meshes/{name}/status?x=&y= per-node status
+//	GET    /v1/meshes/{name}/polygons     every component's minimum polygon
+//	POST   /v1/meshes/{name}/route        route messages around the polygons
+//	GET    /v1/meshes/{name}/stats        shard + construction metrics
+//
+// The pre-versioning paths (/meshes...) answer identically for one
+// release, marked with a "Deprecation: true" response header; new clients
+// must use /v1.
 //
 // Route queries are served from a routing planner memoized per shard
 // version (see shard.Shard.Planner): concurrent queries at one fault state
@@ -107,17 +114,37 @@ func (s *server) releaseRouteWorkers(n int) {
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if rest, ok := strings.CutPrefix(r.URL.Path, "/v1"); ok && (rest == "" || rest[0] == '/') {
+		s.serveAPI(w, r, rest)
+		return
+	}
 	switch {
 	case r.URL.Path == "/healthz":
 		s.handleHealthz(w, r)
 	case r.URL.Path == "/metrics":
 		obs.Default.Handler().ServeHTTP(w, r)
-	case r.URL.Path == "/meshes" || r.URL.Path == "/meshes/":
-		s.handleMeshes(w, r)
-	case strings.HasPrefix(r.URL.Path, "/meshes/"):
-		s.handleMesh(w, r)
+	case r.URL.Path == "/meshes" || strings.HasPrefix(r.URL.Path, "/meshes/"):
+		// Pre-versioning alias: same handlers, same bodies, flagged as
+		// deprecated so clients migrate to /v1 before the alias is removed.
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", `</v1/meshes>; rel="successor-version"`)
+		s.serveAPI(w, r, r.URL.Path)
 	default:
-		writeError(w, http.StatusNotFound, "no route %s (see /meshes)", r.URL.Path)
+		writeError(w, http.StatusNotFound, codeNotFound, "no route %s (see /v1/meshes)", r.URL.Path)
+	}
+}
+
+// serveAPI dispatches the versioned API surface. path is the request path
+// with any /v1 prefix already removed, so /v1 traffic and the deprecated
+// unversioned alias share one code path and cannot drift apart.
+func (s *server) serveAPI(w http.ResponseWriter, r *http.Request, path string) {
+	switch {
+	case path == "/meshes" || path == "/meshes/":
+		s.handleMeshes(w, r)
+	case strings.HasPrefix(path, "/meshes/"):
+		s.handleMesh(w, r, strings.TrimPrefix(path, "/meshes/"))
+	default:
+		writeError(w, http.StatusNotFound, codeNotFound, "no route %s (see /v1/meshes)", r.URL.Path)
 	}
 }
 
@@ -127,12 +154,36 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
+// Error codes carried by the uniform error envelope. Machine-readable and
+// stable under /v1: clients branch on the code, humans read the message.
+const (
+	codeNotFound         = "not_found"
+	codeBadRequest       = "bad_request"
+	codeMethodNotAllowed = "method_not_allowed"
+	codeBodyTooLarge     = "body_too_large"
+	codeMeshExists       = "mesh_exists"
+	codeMeshClosed       = "mesh_closed"
+	codeMeshFailed       = "mesh_failed"
+	codeUnknownMesh      = "unknown_mesh"
+	codeTooManyMeshes    = "too_many_meshes"
+	codeBlockedEndpoint  = "blocked_endpoint"
+	codeUndeliverable    = "undeliverable"
+	codeInternal         = "internal"
+)
+
+// errorReply is the uniform error envelope: every non-2xx response body is
+// {"error":{"code":"...","message":"..."}}.
 type errorReply struct {
-	Error string `json:"error"`
+	Error errorBody `json:"error"`
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorReply{Error: fmt.Sprintf(format, args...)})
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, errorReply{Error: errorBody{Code: code, Message: fmt.Sprintf(format, args...)}})
 }
 
 // writeDecodeError distinguishes a body that tripped the MaxBytesReader
@@ -141,10 +192,10 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 func writeDecodeError(w http.ResponseWriter, err error) {
 	var tooBig *http.MaxBytesError
 	if errors.As(err, &tooBig) {
-		writeError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", tooBig.Limit)
+		writeError(w, http.StatusRequestEntityTooLarge, codeBodyTooLarge, "body exceeds %d bytes", tooBig.Limit)
 		return
 	}
-	writeError(w, http.StatusBadRequest, "%v", err)
+	writeError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
 }
 
 // writeShardError maps shard-layer errors onto HTTP statuses: a name that
@@ -155,17 +206,17 @@ func writeDecodeError(w http.ResponseWriter, err error) {
 func writeShardError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, shard.ErrShardFailed):
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		writeError(w, http.StatusInternalServerError, codeMeshFailed, "%v", err)
 	case errors.Is(err, shard.ErrUnknownMesh):
-		writeError(w, http.StatusNotFound, "%v", err)
+		writeError(w, http.StatusNotFound, codeUnknownMesh, "%v", err)
 	case errors.Is(err, shard.ErrClosed):
-		writeError(w, http.StatusConflict, "%v", err)
+		writeError(w, http.StatusConflict, codeMeshClosed, "%v", err)
 	case errors.Is(err, shard.ErrMeshExists):
-		writeError(w, http.StatusConflict, "%v", err)
+		writeError(w, http.StatusConflict, codeMeshExists, "%v", err)
 	case errors.Is(err, shard.ErrTooManyMeshes):
-		writeError(w, http.StatusTooManyRequests, "%v", err)
+		writeError(w, http.StatusTooManyRequests, codeTooManyMeshes, "%v", err)
 	default:
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
 	}
 }
 
@@ -203,21 +254,21 @@ func (s *server) handleMeshes(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if _, err := dec.Token(); err != io.EOF {
-			writeError(w, http.StatusBadRequest, "trailing data after create request")
+			writeError(w, http.StatusBadRequest, codeBadRequest, "trailing data after create request")
 			return
 		}
 		if req.Width <= 0 || req.Height <= 0 || req.Width > maxMeshSide || req.Height > maxMeshSide {
-			writeError(w, http.StatusBadRequest,
+			writeError(w, http.StatusBadRequest, codeBadRequest,
 				"mesh must be 1..%d on each side, got %dx%d", maxMeshSide, req.Width, req.Height)
 			return
 		}
 		if req.Depth < 0 || req.Depth > maxMeshSide {
-			writeError(w, http.StatusBadRequest,
+			writeError(w, http.StatusBadRequest, codeBadRequest,
 				"depth must be 0 (2-D) or 1..%d, got %d", maxMeshSide, req.Depth)
 			return
 		}
 		if req.Depth > 0 && req.Width*req.Height*req.Depth > maxMeshNodes {
-			writeError(w, http.StatusBadRequest,
+			writeError(w, http.StatusBadRequest, codeBadRequest,
 				"mesh of %dx%dx%d exceeds %d nodes", req.Width, req.Height, req.Depth, maxMeshNodes)
 			return
 		}
@@ -239,15 +290,15 @@ func (s *server) handleMeshes(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, http.StatusCreated, stats)
 	default:
-		writeError(w, http.StatusMethodNotAllowed, "GET lists meshes, POST creates one")
+		writeError(w, http.StatusMethodNotAllowed, codeMethodNotAllowed, "GET lists meshes, POST creates one")
 	}
 }
 
-// handleMesh routes /meshes/{name}[/...]: DELETE on the bare name, and the
-// events/status/polygons/stats sub-resources, dispatching on the mesh's
-// dimensionality (route exists only on 2-D meshes).
-func (s *server) handleMesh(w http.ResponseWriter, r *http.Request) {
-	rest := strings.TrimPrefix(r.URL.Path, "/meshes/")
+// handleMesh routes /v1/meshes/{name}[/...]: DELETE on the bare name, and
+// the events/status/polygons/stats sub-resources, dispatching on the mesh's
+// dimensionality (route exists only on 2-D meshes). rest is the path after
+// the meshes/ segment, version prefix already stripped.
+func (s *server) handleMesh(w http.ResponseWriter, r *http.Request, rest string) {
 	name, sub, _ := strings.Cut(rest, "/")
 	t, err := s.mgr.Lookup(name)
 	if err != nil {
@@ -256,7 +307,7 @@ func (s *server) handleMesh(w http.ResponseWriter, r *http.Request) {
 	}
 	if sub == "" {
 		if r.Method != http.MethodDelete {
-			writeError(w, http.StatusMethodNotAllowed, "DELETE removes the mesh; its data lives under /meshes/%s/...", name)
+			writeError(w, http.StatusMethodNotAllowed, codeMethodNotAllowed, "DELETE removes the mesh; its data lives under /v1/meshes/%s/...", name)
 			return
 		}
 		if err := s.mgr.Delete(name); err != nil {
@@ -280,7 +331,7 @@ func (s *server) handleMesh(w http.ResponseWriter, r *http.Request) {
 		case "stats":
 			s.handleStats(w, r, sh)
 		default:
-			writeError(w, http.StatusNotFound, "no route %s under /meshes/%s", sub, name)
+			writeError(w, http.StatusNotFound, codeNotFound, "no route %s under /v1/meshes/%s", sub, name)
 		}
 	case *shard.Shard3:
 		switch sub {
@@ -291,14 +342,14 @@ func (s *server) handleMesh(w http.ResponseWriter, r *http.Request) {
 		case "polygons":
 			s.handlePolygons3(w, r, sh)
 		case "route":
-			writeError(w, http.StatusNotFound, "routing is 2-D only; mesh %s is 3-D", name)
+			writeError(w, http.StatusNotFound, codeNotFound, "routing is 2-D only; mesh %s is 3-D", name)
 		case "stats":
 			s.handleStats3(w, r, sh)
 		default:
-			writeError(w, http.StatusNotFound, "no route %s under /meshes/%s", sub, name)
+			writeError(w, http.StatusNotFound, codeNotFound, "no route %s under /v1/meshes/%s", sub, name)
 		}
 	default:
-		writeError(w, http.StatusInternalServerError, "unknown mesh kind for %s", name)
+		writeError(w, http.StatusInternalServerError, codeInternal, "unknown mesh kind for %s", name)
 	}
 }
 
@@ -316,7 +367,7 @@ type eventsReply struct {
 
 func (s *server) handleEvents(w http.ResponseWriter, r *http.Request, sh *shard.Shard) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST a JSON array of events")
+		writeError(w, http.StatusMethodNotAllowed, codeMethodNotAllowed, "POST a JSON array of events")
 		return
 	}
 	events, err := engine.DecodeEvents(http.MaxBytesReader(w, r.Body, maxEventBody))
@@ -349,12 +400,12 @@ func (s *server) handleStatus(w http.ResponseWriter, r *http.Request, sh *shard.
 	x, errX := strconv.Atoi(r.URL.Query().Get("x"))
 	y, errY := strconv.Atoi(r.URL.Query().Get("y"))
 	if errX != nil || errY != nil {
-		writeError(w, http.StatusBadRequest, "need integer x and y query parameters")
+		writeError(w, http.StatusBadRequest, codeBadRequest, "need integer x and y query parameters")
 		return
 	}
 	node := grid.XY(x, y)
 	if !sh.Mesh().Contains(node) {
-		writeError(w, http.StatusBadRequest, "%v outside %v", node, sh.Mesh())
+		writeError(w, http.StatusBadRequest, codeBadRequest, "%v outside %v", node, sh.Mesh())
 		return
 	}
 	v, err := sh.Read()
@@ -450,25 +501,25 @@ type batchRouteResult struct {
 	Error        string `json:"error,omitempty"`
 }
 
-// routeStatus maps a routing failure onto its HTTP status: a disabled
-// endpoint is a conflict with the mesh's current fault state (it can heal),
-// an undeliverable route (border detour, exhausted hop budget) is a
-// semantically valid request the current topology cannot satisfy, and
-// anything else (endpoints off the mesh) is a bad request.
-func routeStatus(err error) int {
+// routeStatus maps a routing failure onto its HTTP status and error code:
+// a disabled endpoint is a conflict with the mesh's current fault state
+// (it can heal), an undeliverable route (border detour, exhausted hop
+// budget) is a semantically valid request the current topology cannot
+// satisfy, and anything else (endpoints off the mesh) is a bad request.
+func routeStatus(err error) (int, string) {
 	switch {
 	case errors.Is(err, routing.ErrBlockedEndpoint):
-		return http.StatusConflict
+		return http.StatusConflict, codeBlockedEndpoint
 	case errors.Is(err, routing.ErrBorderRegion), errors.Is(err, routing.ErrHopBudget):
-		return http.StatusUnprocessableEntity
+		return http.StatusUnprocessableEntity, codeUndeliverable
 	default:
-		return http.StatusBadRequest
+		return http.StatusBadRequest, codeBadRequest
 	}
 }
 
 func (s *server) handleRoute(w http.ResponseWriter, r *http.Request, sh *shard.Shard) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, `POST {"src":{"x":..,"y":..},"dst":{..}} or {"pairs":[..]}`)
+		writeError(w, http.StatusMethodNotAllowed, codeMethodNotAllowed, `POST {"src":{"x":..,"y":..},"dst":{..}} or {"pairs":[..]}`)
 		return
 	}
 	var req routeRequest
@@ -478,20 +529,20 @@ func (s *server) handleRoute(w http.ResponseWriter, r *http.Request, sh *shard.S
 		return
 	}
 	if _, err := dec.Token(); err != io.EOF {
-		writeError(w, http.StatusBadRequest, "trailing data after route request")
+		writeError(w, http.StatusBadRequest, codeBadRequest, "trailing data after route request")
 		return
 	}
 	single := req.Src != nil || req.Dst != nil
 	if single == (len(req.Pairs) > 0) {
-		writeError(w, http.StatusBadRequest, "provide either src+dst or pairs")
+		writeError(w, http.StatusBadRequest, codeBadRequest, "provide either src+dst or pairs")
 		return
 	}
 	if single && (req.Src == nil || req.Dst == nil) {
-		writeError(w, http.StatusBadRequest, "single queries need both src and dst")
+		writeError(w, http.StatusBadRequest, codeBadRequest, "single queries need both src and dst")
 		return
 	}
 	if len(req.Pairs) > maxRoutePairs {
-		writeError(w, http.StatusRequestEntityTooLarge, "batch of %d pairs exceeds %d", len(req.Pairs), maxRoutePairs)
+		writeError(w, http.StatusRequestEntityTooLarge, codeBodyTooLarge, "batch of %d pairs exceeds %d", len(req.Pairs), maxRoutePairs)
 		return
 	}
 
@@ -505,7 +556,8 @@ func (s *server) handleRoute(w http.ResponseWriter, r *http.Request, sh *shard.S
 		src, dst := grid.XY(req.Src.X, req.Src.Y), grid.XY(req.Dst.X, req.Dst.Y)
 		route, err := planner.Route(src, dst)
 		if err != nil {
-			writeError(w, routeStatus(err), "%v", err)
+			status, code := routeStatus(err)
+			writeError(w, status, code, "%v", err)
 			return
 		}
 		path := make([]xy, 0, route.Length()+1)

@@ -29,7 +29,7 @@ func coords3(set *nodeset3.Set) []xyz {
 
 func (s *server) handleEvents3(w http.ResponseWriter, r *http.Request, sh *shard.Shard3) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST a JSON array of events")
+		writeError(w, http.StatusMethodNotAllowed, codeMethodNotAllowed, "POST a JSON array of events")
 		return
 	}
 	events, err := engine3.DecodeEvents(http.MaxBytesReader(w, r.Body, maxEventBody))
@@ -64,12 +64,12 @@ func (s *server) handleStatus3(w http.ResponseWriter, r *http.Request, sh *shard
 	y, errY := strconv.Atoi(r.URL.Query().Get("y"))
 	z, errZ := strconv.Atoi(r.URL.Query().Get("z"))
 	if errX != nil || errY != nil || errZ != nil {
-		writeError(w, http.StatusBadRequest, "need integer x, y and z query parameters")
+		writeError(w, http.StatusBadRequest, codeBadRequest, "need integer x, y and z query parameters")
 		return
 	}
 	node := grid3.XYZ(x, y, z)
 	if !sh.Mesh().Contains(node) {
-		writeError(w, http.StatusBadRequest, "%v outside %v", node, sh.Mesh())
+		writeError(w, http.StatusBadRequest, codeBadRequest, "%v outside %v", node, sh.Mesh())
 		return
 	}
 	v, err := sh.Read()

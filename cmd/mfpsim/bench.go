@@ -5,6 +5,7 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
@@ -19,7 +20,9 @@ import (
 	"repro/internal/grid"
 	"repro/internal/mfp"
 	"repro/internal/mfp3d"
+	"repro/internal/nodeset"
 	"repro/internal/routing"
+	"repro/internal/wal"
 )
 
 // benchWorkerCounts returns the worker-pool sizes the -bench-json mode
@@ -153,6 +156,19 @@ func runBenchSweep(models []fault.Model, figures []int, cfg experiments.Config, 
 		rep.Add(benchfmt.Record{Name: serveName, Workers: w, Iterations: iters, Seconds: secs})
 	}
 
+	// WAL records. Durable serving pays three distinct costs, each timed in
+	// isolation on seeded fixtures under a throwaway directory: append is
+	// the fsync on the acknowledgement path (one coalesced batch logged
+	// before the reply), compact is the snapshot rewrite that bounds the
+	// log, and recover is the startup path — decode every surviving record
+	// and replay it through engine.Replay with the same version check the
+	// shard's own recovery performs. All three are run-goroutine-serial in
+	// the shard, so they are timed at one worker; the names encode the
+	// fixture scale for -bench-compare.
+	if err := walBenchRecords(rep, m, faults, iterations); err != nil {
+		return nil, err
+	}
+
 	rep.ComputeSpeedups()
 
 	// The churn workload compares replay strategies, not pool sizes, so
@@ -203,6 +219,142 @@ func runBenchSweep(models []fault.Model, figures []int, cfg experiments.Config, 
 		Speedup: rebuild3Secs / inc3Secs,
 	})
 	return rep, nil
+}
+
+// walBenchRecords times the three durable-layer workloads and adds their
+// records to the report. The append log and the compaction log live in
+// separate directories so neither workload's file state leaks into the
+// other; the recovery fixture is written once (256 batches of 8 events,
+// every batch state-changing so the recorded versions strictly increase,
+// as the decoder requires) and re-opened per iteration.
+func walBenchRecords(rep *benchfmt.Report, m grid.Mesh, faults *nodeset.Set, iterations int) error {
+	walDir, err := os.MkdirTemp("", "mfpsim-bench-wal-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(walDir)
+	meta := wal.Meta{Width: m.W, Height: m.H}
+	rng := rand.New(rand.NewSource(1))
+	randBatch := func(n int) []engine.Event {
+		b := make([]engine.Event, n)
+		for i := range b {
+			op := engine.Add
+			if rng.Intn(4) == 0 {
+				op = engine.Clear
+			}
+			b[i] = engine.Event{Op: op, Node: grid.XY(rng.Intn(m.W), rng.Intn(m.H))}
+		}
+		return b
+	}
+
+	// Append: one acknowledged batch logged and fsynced. The version only
+	// has to advance; this log is never recovered, so it does not need the
+	// replay-exact accounting the recovery fixture keeps.
+	appendLog, err := wal.Create[grid.Coord](filepath.Join(walDir, "append"), meta)
+	if err != nil {
+		return err
+	}
+	const appendEvents = 16
+	batch := randBatch(appendEvents)
+	var version uint64
+	var walErr error
+	secs, iters := timeIt(iterations, func() {
+		version++
+		if err := appendLog.Append(version, batch); err != nil {
+			walErr = err
+		}
+	})
+	if walErr != nil {
+		return walErr
+	}
+	if err := appendLog.Close(); err != nil {
+		return err
+	}
+	rep.Add(benchfmt.Record{
+		Name:    fmt.Sprintf("wal/append/mesh%d/events%d/seed1", m.W, appendEvents),
+		Workers: 1, Iterations: iters, Seconds: secs,
+	})
+
+	// Compact: persist the paper-scale fault set (the mfp.Build fixture's
+	// 800 clustered faults) as the snapshot — temp file, fsync, rename —
+	// and truncate the log. After the first iteration the log is already
+	// empty, which is exactly the snapshot-write cost the shard pays at
+	// every compaction after the truncate.
+	compactLog, err := wal.Create[grid.Coord](filepath.Join(walDir, "compact"), meta)
+	if err != nil {
+		return err
+	}
+	snapshot := make([]grid.Coord, 0, faults.Len())
+	faults.Each(func(c grid.Coord) { snapshot = append(snapshot, c) })
+	secs, iters = timeIt(iterations, func() {
+		version++
+		if err := compactLog.Compact(version, snapshot); err != nil {
+			walErr = err
+		}
+	})
+	if walErr != nil {
+		return walErr
+	}
+	if err := compactLog.Close(); err != nil {
+		return err
+	}
+	rep.Add(benchfmt.Record{
+		Name:    fmt.Sprintf("wal/compact/mesh%d/faults%d/seed1", m.W, len(snapshot)),
+		Workers: 1, Iterations: iters, Seconds: secs,
+	})
+
+	// Recover: open the fixture log and replay every record, checking the
+	// recorded versions like shard recovery does — the check is part of
+	// the timed path on purpose, since startup always pays it.
+	recoverDir := filepath.Join(walDir, "recover")
+	recoverLog, err := wal.Create[grid.Coord](recoverDir, meta)
+	if err != nil {
+		return err
+	}
+	const recoverBatches, recoverEvents = 256, 8
+	tracking := nodeset.New(m)
+	var recVersion uint64
+	for i := 0; i < recoverBatches; i++ {
+		var b []engine.Event
+		var inc int
+		for inc == 0 {
+			b = randBatch(recoverEvents)
+			inc = engine.Replay(tracking, b...)
+		}
+		recVersion += uint64(inc)
+		if err := recoverLog.Append(recVersion, b); err != nil {
+			return err
+		}
+	}
+	if err := recoverLog.Close(); err != nil {
+		return err
+	}
+	secs, iters = timeIt(iterations, func() {
+		log, rec, err := wal.Open[grid.Coord](recoverDir)
+		if err != nil {
+			walErr = err
+			return
+		}
+		replayed := nodeset.New(m)
+		v := rec.Version
+		for _, b := range rec.Batches {
+			v += uint64(engine.Replay(replayed, b.Events...))
+			if v != b.Version {
+				walErr = fmt.Errorf("wal recover benchmark: version diverged at record %d", b.Version)
+			}
+		}
+		if err := log.Close(); err != nil {
+			walErr = err
+		}
+	})
+	if walErr != nil {
+		return walErr
+	}
+	rep.Add(benchfmt.Record{
+		Name:    fmt.Sprintf("wal/recover/mesh%d/batches%d/events%d/seed1", m.W, recoverBatches, recoverEvents),
+		Workers: 1, Iterations: iters, Seconds: secs,
+	})
+	return nil
 }
 
 // runChurn3Report is the human-readable -churn3d mode: it times both

@@ -15,6 +15,7 @@
 //	mfpsim -churn3d 200                      # the same scenario on a 3-D mesh
 //	mfpsim -stress                           # multi-shard differential stress run
 //	mfpsim -stress -stress-shards 40 -stress-events 100000 -stress-clients 16
+//	mfpsim -stress -stress-crash             # durable run with kill/recover cycles
 //	mfpsim -route                            # detour overhead vs fault density
 //	mfpsim -route -route-messages 1000 -dist clustered -workers 4
 //
@@ -58,6 +59,16 @@
 // any -stress-clients or -stress-resident value (scheduling-dependent
 // operational counters go to stderr). A verification failure exits 1 —
 // CI runs this as the shard layer's acceptance gate.
+//
+// -stress-crash additionally runs the scenario durably: every shard
+// journals acknowledged batches to a per-mesh WAL in a temp dir, and at
+// seeded-random checkpoints the namespace is torn down, a random mesh's
+// log gets a torn tail (the shape a crash mid-append leaves), and
+// everything is recovered from disk under a zero-loss gate — every
+// recovered shard must hold exactly its acknowledged state. stdout stays
+// byte-identical to a crash-free run at the same seed; crash accounting
+// goes to stderr. CI runs this as the durability acceptance gate (make
+// crash-check).
 package main
 
 import (
@@ -102,6 +113,7 @@ func main() {
 	stressClients := flag.Int("stress-clients", stressDef.Clients, "concurrent client goroutines in -stress mode (0 = GOMAXPROCS; results are identical for every value)")
 	stressMesh := flag.Int("stress-mesh", stressDef.MeshSize, "per-shard mesh side length in -stress mode")
 	stressResident := flag.Int("stress-resident", stressDef.MaxResident, "LRU bound on resident engines in -stress mode (0 = unlimited, no eviction pressure)")
+	stressCrash := flag.Bool("stress-crash", false, "in -stress mode, run durable (per-mesh WALs in a temp dir) with seeded kill/recover cycles and torn-tail injection between checkpoints; zero acknowledged events may be lost")
 	flag.Parse()
 
 	if *workers < 0 {
@@ -144,7 +156,7 @@ func main() {
 		// vacuously.
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "stress-shards", "stress-events", "stress-checkpoints", "stress-clients", "stress-mesh", "stress-resident":
+			case "stress-shards", "stress-events", "stress-checkpoints", "stress-clients", "stress-mesh", "stress-resident", "stress-crash":
 				fatal(fmt.Errorf("-%s requires -stress", f.Name))
 			}
 		})
@@ -171,7 +183,22 @@ func main() {
 			MaxResident: *stressResident,
 			BaseSeed:    *seed,
 		}
-		if err := runStress(os.Stdout, cfg); err != nil {
+		if *stressCrash {
+			// The WAL namespace lives in a run-scoped temp dir: crash mode
+			// proves recovery, it doesn't accumulate state across runs.
+			dataDir, err := os.MkdirTemp("", "mfpsim-stress-wal-")
+			if err != nil {
+				fatal(err)
+			}
+			cfg.DataDir = dataDir
+			cfg.CompactBytes = 64 << 10 // small enough to force compactions mid-run
+			cfg.Crash = true
+		}
+		err := runStress(os.Stdout, cfg)
+		if cfg.DataDir != "" {
+			os.RemoveAll(cfg.DataDir)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "mfpsim: stress:", err)
 			os.Exit(1)
 		}

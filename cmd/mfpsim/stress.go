@@ -109,6 +109,12 @@ func runStress(out io.Writer, cfg experiments.StressConfig) error {
 	fmt.Fprintf(os.Stderr,
 		"stress ops (scheduling-dependent): requests=%d batches=%d evictions=%d rebuilds=%d\n",
 		rep.Ops.Requests, rep.Ops.Batches, rep.Ops.Evictions, rep.Ops.Rebuilds)
+	if cfg.Crash {
+		// Crash accounting stays on stderr: the durability claim is that
+		// stdout is byte-identical to a crash-free run at the same seed.
+		fmt.Fprintf(os.Stderr, "stress crashes: %d kill/recover cycles, %d torn tails injected and truncated, zero acknowledged events lost\n",
+			rep.Crashes, rep.TornTails)
+	}
 	d := readStressMetrics().sub(before)
 	if err := checkStressMetrics(d, rep); err != nil {
 		return err

@@ -3,6 +3,9 @@ package experiments
 import (
 	"fmt"
 	"hash/fnv"
+	"math/rand"
+	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"sync"
@@ -13,6 +16,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/nodeset"
 	"repro/internal/shard"
+	"repro/internal/wal"
 )
 
 // StressConfig describes the multi-shard stress/differential scenario: the
@@ -49,6 +53,20 @@ type StressConfig struct {
 	BatchSize int
 	// BaseSeed makes the whole scenario reproducible.
 	BaseSeed int64
+	// DataDir enables durability: every shard appends acknowledged batches
+	// to a per-mesh WAL under this directory (which must start empty).
+	DataDir string
+	// CompactBytes is the per-mesh log size that triggers snapshot
+	// compaction (0 = the shard layer's default, negative = never).
+	CompactBytes int64
+	// Crash enables the kill/recover schedule (requires DataDir): at
+	// seeded-random checkpoints the manager is torn down without notice,
+	// a torn tail may be injected into a random victim's log, and the
+	// namespace is recovered from disk — after which every shard must hold
+	// exactly its acknowledged state. The schedule consumes randomness only
+	// on the single driver goroutine, so stdout stays byte-identical at any
+	// Clients or MaxResident value, crashes included.
+	Crash bool
 }
 
 // DefaultStress is the acceptance-scale scenario: 24 shards, 24k events,
@@ -73,6 +91,9 @@ func (c StressConfig) validate() error {
 	if warm := stressWarmup(c.MeshSize); perShard <= warm {
 		return fmt.Errorf("experiments: %d events over %d shards is below the %d-fault warm-up per shard",
 			c.Events, c.Shards, warm)
+	}
+	if c.Crash && c.DataDir == "" {
+		return fmt.Errorf("experiments: stress Crash mode requires a DataDir to recover from")
 	}
 	return nil
 }
@@ -119,6 +140,14 @@ type StressReport struct {
 	// (Shards × Checkpoints when the run passes).
 	Verified int
 	Ops      StressOps
+	// Crashes and TornTails count the kill/recover cycles and injected
+	// torn log tails of a Crash-mode run. They are seed-deterministic but
+	// reported outside String(): the deterministic stream must be
+	// byte-identical between a crash run and a plain one at the same seed,
+	// which is itself part of the durability claim — recovery reconstructs
+	// exactly the state a crash-free run would have had.
+	Crashes   int
+	TornTails int
 }
 
 // String renders the deterministic part of the report: byte-identical for
@@ -166,8 +195,14 @@ func Stress(cfg StressConfig) (*StressReport, error) {
 	}
 
 	mesh := grid.New(cfg.MeshSize, cfg.MeshSize)
-	mgr := shard.NewManager(shard.Config{MaxResident: cfg.MaxResident})
-	defer mgr.Close()
+	mgrCfg := shard.Config{MaxResident: cfg.MaxResident, DataDir: cfg.DataDir, CompactBytes: cfg.CompactBytes}
+	mgr := shard.NewManager(mgrCfg)
+	// mgr is reassigned by crash/recover cycles; close whichever is current.
+	defer func() { mgr.Close() }()
+	var crashRng *rand.Rand
+	if cfg.Crash {
+		crashRng = rand.New(rand.NewSource(cfg.BaseSeed ^ 0x57A1))
+	}
 
 	// Precompute every shard's deterministic stream and register the
 	// shards. Streams reuse the churn generator: warm-up arrivals to the
@@ -261,16 +296,100 @@ func Stress(cfg StressConfig) (*StressReport, error) {
 		}
 		rep.Checkpoints = append(rep.Checkpoints, cp)
 		rep.Verified += len(shards)
+
+		// Crash mode: at seeded-random checkpoints (never the last — the
+		// final state must come from the serving path the report renders),
+		// kill the process-equivalent and recover from disk.
+		if crashRng != nil && round < cfg.Checkpoints-1 && crashRng.Intn(3) > 0 {
+			next, err := crashRecover(mgr, mgrCfg, cfg.DataDir, shards, crashRng, rep)
+			if err != nil {
+				return nil, err
+			}
+			mgr = next
+			rep.Crashes++
+		}
 	}
 
+	harvestOps(shards, &rep.Ops)
+	return rep, nil
+}
+
+// harvestOps folds every shard's operational counters into the running
+// totals. Counters are per manager incarnation, so crash mode harvests
+// before each teardown and once at the end; the sum is the run's truth.
+func harvestOps(shards []*stressShard, ops *StressOps) {
 	for _, ss := range shards {
 		st := ss.shard.Stats()
-		rep.Ops.Requests += st.Requests
-		rep.Ops.Batches += st.Batches
-		rep.Ops.Evictions += st.Evictions
-		rep.Ops.Rebuilds += st.Rebuilds
+		ops.Requests += st.Requests
+		ops.Batches += st.Batches
+		ops.Evictions += st.Evictions
+		ops.Rebuilds += st.Rebuilds
 	}
-	return rep, nil
+}
+
+// crashRecover is one kill/recover cycle: tear the manager down, injure a
+// random victim's log with a torn tail (a header promising more bytes
+// than were written — exactly what dying mid-append leaves behind),
+// then recover the namespace from disk and hold it to the zero-loss gate:
+// every shard's recovered version and fault set must equal the
+// acknowledged state the driver tracked independently.
+func crashRecover(old *shard.Manager, mgrCfg shard.Config, dataDir string, shards []*stressShard, rng *rand.Rand, rep *StressReport) (*shard.Manager, error) {
+	harvestOps(shards, &rep.Ops)
+	// Close() drains mailboxes, but at a checkpoint they are already empty
+	// (every Apply was acknowledged), so this is equivalent to a SIGKILL at
+	// a quiescent instant; the torn-tail injection below supplies the
+	// mid-append crash shape on top.
+	old.Close()
+
+	victim := shards[rng.Intn(len(shards))]
+	logPath := wal.LogPath(filepath.Join(dataDir, victim.name))
+	f, err := os.OpenFile(logPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("stress crash: injure %s: %w", victim.name, err)
+	}
+	torn := []byte{0xff, 0x00, 0x00, 0x00, 0xde, 0xad, 0xbe, 0xef, 0x01, 0x02}
+	if _, err := f.Write(torn); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("stress crash: injure %s: %w", victim.name, err)
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	rep.TornTails++
+
+	next := shard.NewManager(mgrCfg)
+	names, err := next.Recover()
+	if err != nil {
+		next.Close()
+		return nil, fmt.Errorf("stress crash: recover: %w", err)
+	}
+	if len(names) != len(shards) {
+		next.Close()
+		return nil, fmt.Errorf("stress crash: recovered %d meshes, expected %d", len(names), len(shards))
+	}
+	for _, ss := range shards {
+		sh, err := next.Get(ss.name)
+		if err != nil {
+			next.Close()
+			return nil, fmt.Errorf("stress crash: %s: %w", ss.name, err)
+		}
+		v, err := sh.Read()
+		if err != nil {
+			next.Close()
+			return nil, fmt.Errorf("stress crash: %s: %w", ss.name, err)
+		}
+		if v.Version != ss.applied {
+			next.Close()
+			return nil, fmt.Errorf("stress crash: %s recovered at version %d, %d events were acknowledged — durability violated",
+				ss.name, v.Version, ss.applied)
+		}
+		if !v.Snapshot.Faults().Equal(ss.faults) {
+			next.Close()
+			return nil, fmt.Errorf("stress crash: %s fault set diverged after recovery", ss.name)
+		}
+		ss.shard = sh
+	}
+	return next, nil
 }
 
 // verifyCheckpoint replays each shard's round chunk into the driver's

@@ -83,10 +83,53 @@ func TestStressConfigValidation(t *testing.T) {
 		// 16x16 warm-up is 2 faults per shard; 4 events over 2 shards
 		// leaves no churn.
 		{Shards: 2, MeshSize: 16, Events: 4, Checkpoints: 1},
+		// Crash mode without a DataDir has nothing to recover from.
+		{Shards: 2, MeshSize: 16, Events: 100, Checkpoints: 2, Crash: true},
 	} {
 		if _, err := Stress(cfg); err == nil {
 			t.Fatalf("config accepted: %+v", cfg)
 		}
+	}
+}
+
+// The durability claim, end to end: a crash-mode run — kill/recover cycles
+// with torn-tail injection between checkpoints — produces exactly the
+// deterministic report a crash-free in-memory run does. Recovery is
+// invisible in results, visible only in the crash counters.
+func TestStressCrashRecoveryMatchesCrashFree(t *testing.T) {
+	ref, err := Stress(smallStress())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallStress()
+	cfg.Clients = 3
+	cfg.DataDir = t.TempDir() + "/wal"
+	cfg.CompactBytes = 2048 // force compactions mid-run
+	cfg.Crash = true
+	rep, err := Stress(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Crashes == 0 || rep.TornTails != rep.Crashes {
+		t.Fatalf("crash schedule broken: crashes=%d torn_tails=%d", rep.Crashes, rep.TornTails)
+	}
+	if got, want := rep.String(), ref.String(); got != want {
+		t.Fatalf("crash-mode report diverged from crash-free run:\n--- want\n%s--- got\n%s", want, got)
+	}
+	t.Logf("crashes=%d torn_tails=%d", rep.Crashes, rep.TornTails)
+}
+
+// Durable stress without the crash schedule is just a durable soak: it
+// must pass verification and leave a recoverable namespace behind.
+func TestStressDurableWithoutCrashes(t *testing.T) {
+	cfg := smallStress()
+	cfg.DataDir = t.TempDir() + "/wal"
+	rep, err := Stress(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Crashes != 0 || rep.TornTails != 0 {
+		t.Fatalf("crashes without Crash mode: %+v", rep)
 	}
 }
 

@@ -35,6 +35,8 @@ package shard
 import (
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"regexp"
 	"sort"
 	"sync"
@@ -44,6 +46,7 @@ import (
 	"repro/internal/grid3"
 	"repro/internal/kernel"
 	"repro/internal/routing"
+	"repro/internal/wal"
 )
 
 // Errors reported by the manager and its shards.
@@ -100,12 +103,25 @@ type Config struct {
 	// Mailbox is the per-shard mailbox capacity in requests; submitters
 	// block (backpressure) once it fills. Zero means DefaultMailbox.
 	Mailbox int
+	// DataDir enables durability: every mesh gets a write-ahead log under
+	// DataDir/<name>, each acknowledged batch is fsynced before its reply,
+	// Delete removes the mesh's directory, and Recover rebuilds the
+	// namespace from disk at startup. Empty means in-memory only — a
+	// restart loses every mesh (the pre-durability behavior).
+	DataDir string
+	// CompactBytes is the log size at which a shard compacts: it persists
+	// the full fault set + version as a snapshot and truncates the log, so
+	// recovery cost is bounded by churn since the last compaction. Zero
+	// means DefaultCompactBytes; negative disables compaction (the log
+	// grows without bound — useful only in tests).
+	CompactBytes int64
 }
 
 // Defaults for the Config knobs.
 const (
-	DefaultMaxBatch = 4096
-	DefaultMailbox  = 64
+	DefaultMaxBatch     = 4096
+	DefaultMailbox      = 64
+	DefaultCompactBytes = 1 << 20
 )
 
 // Tenant is the dimension-erased face of a shard: what the manager's
@@ -150,6 +166,9 @@ func NewManager(cfg Config) *Manager {
 	if cfg.Mailbox <= 0 {
 		cfg.Mailbox = DefaultMailbox
 	}
+	if cfg.CompactBytes == 0 {
+		cfg.CompactBytes = DefaultCompactBytes
+	}
 	return &Manager{
 		cfg:      cfg,
 		shards:   make(map[string]Tenant),
@@ -162,24 +181,67 @@ func NewManager(cfg Config) *Manager {
 // is built eagerly so an unsupported mesh (torus, empty) fails here, not
 // on first use.
 func (m *Manager) Create(name string, mesh grid.Mesh) (*Shard, error) {
-	return create(m, name, mesh, newEngine2, newPlanner2)
+	return create(m, name, mesh, newEngine2, newPlanner2, false)
 }
 
 // Create3 registers a new named 3-D mesh and starts its shard; the mesh is
 // served by the 3-D engine (polytopes, cuboid unsafe set) and has no
 // routing plane.
 func (m *Manager) Create3(name string, mesh grid3.Mesh) (*Shard3, error) {
-	return create[grid3.Coord](m, name, mesh, newEngine3, nil)
+	return create[grid3.Coord](m, name, mesh, newEngine3, nil, false)
 }
+
+// Recover scans Config.DataDir and recreates every persisted mesh,
+// replaying each one's snapshot and write-ahead log through the same
+// kernel.Replay path that eviction-rebuild exercises. It returns the
+// recovered mesh names (sorted) and fails on the first mesh whose history
+// cannot be recovered exactly — a half-recovered namespace silently
+// serving wrong state would be worse than a loud startup failure. With no
+// DataDir (or an empty one) it is a no-op.
+func (m *Manager) Recover() ([]string, error) {
+	if m.cfg.DataDir == "" {
+		return nil, nil
+	}
+	names, err := wal.Meshes(m.cfg.DataDir)
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range names {
+		meta, err := wal.ReadMeta(filepath.Join(m.cfg.DataDir, name))
+		if err != nil {
+			return nil, fmt.Errorf("shard: recover %q: %w", name, err)
+		}
+		if meta.Width <= 0 || meta.Height <= 0 || meta.Depth < 0 {
+			return nil, fmt.Errorf("shard: recover %q: invalid mesh %dx%dx%d",
+				name, meta.Width, meta.Height, meta.Depth)
+		}
+		if meta.Depth > 0 {
+			_, err = create[grid3.Coord](m, name, grid3.New(meta.Width, meta.Height, meta.Depth), newEngine3, nil, true)
+		} else {
+			_, err = create(m, name, grid.New(meta.Width, meta.Height), newEngine2, newPlanner2, true)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("shard: recover %q: %w", name, err)
+		}
+	}
+	return names, nil
+}
+
+// walDir is the named mesh's durable directory under Config.DataDir.
+// ValidName guarantees the name is a single path-safe component.
+func (m *Manager) walDir(name string) string { return filepath.Join(m.cfg.DataDir, name) }
 
 // create is the dimension-generic Create body: it reserves the name and a
 // MaxMeshes slot before building anything, so a rejected request
 // (duplicate name, full namespace) never pays the engine allocation —
 // MaxMeshes is the memory backstop, it must bind before the memory is
-// spent.
+// spent. With a DataDir configured it also attaches the mesh's write-ahead
+// log: a fresh one for Create, or (recovered true) the existing directory
+// replayed through the kernel before the shard starts serving.
 func create[C any, T kernel.Topology[C]](m *Manager, name string, mesh T,
 	newEngine func(T) (*kernel.Engine[C, T], error),
-	newPlanner func(*kernel.Snapshot[C, T]) *routing.Planner) (*shardOf[C, T], error) {
+	newPlanner func(*kernel.Snapshot[C, T]) *routing.Planner,
+	recovered bool) (*shardOf[C, T], error) {
 	if !ValidName(name) {
 		return nil, fmt.Errorf("shard: invalid mesh name %q (want 1-64 chars of [a-zA-Z0-9._-])", name)
 	}
@@ -202,6 +264,9 @@ func create[C any, T kernel.Topology[C]](m *Manager, name string, mesh T,
 	m.mu.Unlock()
 
 	s, err := newShard(m, name, mesh, newEngine, newPlanner)
+	if err == nil && m.cfg.DataDir != "" {
+		err = s.attachWAL(recovered)
+	}
 
 	m.mu.Lock()
 	delete(m.pending, name)
@@ -211,8 +276,14 @@ func create[C any, T kernel.Topology[C]](m *Manager, name string, mesh T,
 	}
 	if m.closed {
 		// Closed while building: the run goroutine never started, so the
-		// shard is just garbage.
+		// shard is just garbage — including its freshly created WAL
+		// directory, which must not resurrect a mesh the client was told
+		// does not exist.
 		m.mu.Unlock()
+		s.closeWAL()
+		if !recovered && m.cfg.DataDir != "" {
+			os.RemoveAll(m.walDir(name))
+		}
 		return nil, ErrClosed
 	}
 	m.shards[name] = s
@@ -272,7 +343,9 @@ func (m *Manager) Get3(name string) (*Shard3, error) {
 // Delete removes the named mesh of either dimensionality. New requests
 // fail with ErrClosed (or ErrUnknownMesh once a lookup no longer finds the
 // name) while requests already accepted drain first; Delete returns after
-// the shard's goroutine has exited.
+// the shard's goroutine has exited. With durability enabled the mesh's
+// write-ahead log directory is removed too — deletion is the one
+// administrative action that forgets history on purpose.
 func (m *Manager) Delete(name string) error {
 	m.mu.Lock()
 	s, ok := m.shards[name]
@@ -293,6 +366,11 @@ func (m *Manager) Delete(name string) error {
 		return fmt.Errorf("%w: %q", ErrUnknownMesh, name)
 	}
 	s.close()
+	if m.cfg.DataDir != "" {
+		if err := os.RemoveAll(m.walDir(name)); err != nil {
+			return fmt.Errorf("shard: delete %q: remove wal: %w", name, err)
+		}
+	}
 	return nil
 }
 

@@ -12,6 +12,7 @@ import (
 	"repro/internal/grid3"
 	"repro/internal/kernel"
 	"repro/internal/routing"
+	"repro/internal/wal"
 )
 
 // Shard is one named 2-D mesh: a persisted fault set, an (evictable)
@@ -76,7 +77,10 @@ type applyResultOf[C any, T kernel.Topology[C]] struct {
 }
 
 // Stats is a point-in-time description of one shard. Counter fields are
-// monotone over the shard's lifetime.
+// monotone over the shard's lifetime within one process: after a durable
+// restart, Version, Faults and Components are recovered from the
+// write-ahead log while the operational counters (Requests, Events,
+// Batches, Evictions, Rebuilds, route counters) restart from zero.
 type Stats struct {
 	Name   string `json:"name"`
 	Width  int    `json:"width"`
@@ -103,11 +107,6 @@ type Stats struct {
 	Components int `json:"components"`
 	// QueueLength is the instantaneous mailbox backlog in requests.
 	QueueLength int `json:"queue_length"`
-	// QueueLen mirrors QueueLength under its pre-v6 wire name.
-	//
-	// Deprecated: read queue_length. The queue_len alias is kept for one
-	// release so existing scrapers keep working, then it goes away.
-	QueueLen int `json:"queue_len"`
 	// RouteQueries counts Planner calls, RouteCacheHits the ones that
 	// reused a planner memoized for the current shard version, and
 	// PlannerBuilds the planner constructions (misses, including the
@@ -172,6 +171,10 @@ type shardOf[C any, T kernel.Topology[C]] struct {
 	// Owned by the run goroutine (after newShard returns):
 	eng    *kernel.Engine[C, T]
 	faults *kernel.Set[C, T] // persisted authoritative fault set
+	// log is the shard's write-ahead log; nil without a DataDir. Every
+	// acknowledged batch is fsynced to it before the engine applies it or
+	// any waiter sees a reply.
+	log *wal.Log[C]
 
 	// rebuildFail injects a rebuild error in tests; never set in production.
 	rebuildFail error
@@ -211,6 +214,90 @@ func newShard[C any, T kernel.Topology[C]](m *Manager, name string, mesh T,
 	s.view.Store(&viewOf[C, T]{Snapshot: eng.Snapshot()})
 	m.touch(s)
 	return s, nil
+}
+
+// attachWAL gives the shard its durable log before the run goroutine
+// starts: a fresh directory on create, or an existing one recovered and
+// replayed into the fault set and engine. Called only from create, with
+// no concurrency yet.
+func (s *shardOf[C, T]) attachWAL(recovered bool) error {
+	dir := s.mgr.walDir(s.name)
+	if !recovered {
+		meta := wal.Meta{Width: s.mesh.AxisLen(0), Height: s.mesh.AxisLen(1)}
+		if s.mesh.Axes() > 2 {
+			meta.Depth = s.mesh.AxisLen(2)
+		}
+		log, err := wal.Create[C](dir, meta)
+		if err != nil {
+			return err
+		}
+		s.log = log
+		return nil
+	}
+	log, rec, err := wal.Open[C](dir)
+	if err != nil {
+		return err
+	}
+	if err := s.restore(rec); err != nil {
+		log.Close()
+		return err
+	}
+	s.log = log
+	return nil
+}
+
+// restore replays a recovered WAL into the shard before it serves: the
+// snapshot's fault set, then every surviving log batch, walked through
+// kernel.Replay — the same differentially-tested path eviction-rebuild
+// uses — with the replayed version checked against each record's recorded
+// one, so a divergence fails recovery instead of silently serving wrong
+// state. The engine then applies the final fault set exactly like rebuild
+// does after an eviction.
+func (s *shardOf[C, T]) restore(rec *wal.Recovery[C]) error {
+	version := rec.Version
+	base := make([]kernel.Event[C], 0, len(rec.Faults))
+	for _, c := range rec.Faults {
+		base = append(base, kernel.Event[C]{Op: kernel.Add, Node: c})
+	}
+	if err := kernel.ValidateEvents(s.mesh, base); err != nil {
+		return fmt.Errorf("wal snapshot: %w", err)
+	}
+	if n := kernel.Replay(s.faults, base...); n != len(rec.Faults) {
+		return fmt.Errorf("wal snapshot: %d duplicate faults", len(rec.Faults)-n)
+	}
+	for _, b := range rec.Batches {
+		if err := kernel.ValidateEvents(s.mesh, b.Events); err != nil {
+			return fmt.Errorf("wal record %d: %w", b.Version, err)
+		}
+		version += uint64(kernel.Replay(s.faults, b.Events...))
+		if version != b.Version {
+			return fmt.Errorf("wal replay diverged: version %d at record %d", version, b.Version)
+		}
+	}
+	if !s.faults.Empty() {
+		events := make([]kernel.Event[C], 0, s.faults.Len())
+		s.faults.Each(func(c C) {
+			events = append(events, kernel.Event[C]{Op: kernel.Add, Node: c})
+		})
+		if _, _, err := s.eng.Apply(events); err != nil {
+			return fmt.Errorf("recovery replay: %v", err)
+		}
+	}
+	snap := s.eng.Snapshot()
+	s.stats.version = version
+	s.stats.faults = s.faults.Len()
+	s.stats.components = len(snap.Polygons())
+	s.view.Store(&viewOf[C, T]{Snapshot: snap, Version: version})
+	return nil
+}
+
+// closeWAL fsyncs and releases the shard's log handle; safe to call with
+// no log attached.
+func (s *shardOf[C, T]) closeWAL() {
+	if s.log != nil {
+		s.log.Close()
+		s.log = nil
+	}
 }
 
 // Name returns the shard's mesh name.
@@ -384,7 +471,6 @@ func (s *shardOf[C, T]) Stats() Stats {
 		Faults:         c.faults,
 		Components:     c.components,
 		QueueLength:    len(s.mailbox),
-		QueueLen:       len(s.mailbox),
 		RouteQueries:   s.routeQueries.Load(),
 		RouteCacheHits: s.routeHits.Load(),
 		PlannerBuilds:  s.plannerBuilds.Load(),
@@ -441,14 +527,18 @@ func (s *shardOf[C, T]) close() {
 }
 
 // run is the shard's mailbox goroutine: it drains everything pending into
-// one coalesced batch, applies it, then handles any pending eviction. It
-// exits when the mailbox is closed and fully drained.
+// one coalesced batch, applies it, then handles any pending eviction and
+// the compaction policy. It exits when the mailbox is closed and fully
+// drained; the WAL handle closes (with a final fsync) before done is
+// signalled, so a drain observed by close() is durable on disk.
 func (s *shardOf[C, T]) run() {
 	defer close(s.done)
+	defer s.closeWAL()
 	for first := range s.mailbox {
 		batch := s.drainInto(first)
 		s.process(batch)
 		s.maybeEvict()
+		s.maybeCompact()
 	}
 }
 
@@ -522,6 +612,31 @@ func (s *shardOf[C, T]) process(batch []*request[C, T]) {
 		counts[i] = kernel.Replay(s.faults, r.events...)
 		total += counts[i]
 		all = append(all, r.events...)
+	}
+
+	// Durability before acknowledgement: the whole coalesced batch is
+	// fsynced to the write-ahead log before the engine applies it and
+	// before any waiter sees a reply, so every acknowledged event is on
+	// disk by definition. Batches that change nothing (total == 0) leave
+	// the version untouched and need no record. An append failure latches
+	// the shard: its durability contract is broken, and serving
+	// acknowledgements it cannot honor would be worse than failing.
+	if s.log != nil && total > 0 {
+		s.statsMu.Lock()
+		version := s.stats.version
+		s.statsMu.Unlock()
+		if err := s.log.Append(version+uint64(total), all); err != nil {
+			s.latchFail(fmt.Sprintf("wal append: %v", err))
+			failErr := s.failedErr()
+			for i, r := range reqs {
+				if errs[i] != nil {
+					r.reply <- result[C, T]{err: errs[i]}
+					continue
+				}
+				r.reply <- result[C, T]{err: failErr}
+			}
+			return
+		}
 	}
 
 	applied, snap, err := s.eng.Apply(all)
@@ -616,6 +731,28 @@ func (s *shardOf[C, T]) rebuild() error {
 	s.view.Store(&viewOf[C, T]{Snapshot: eng.Snapshot(), Version: version})
 	nudge(s.mgr.noteResident(s))
 	return nil
+}
+
+// maybeCompact runs the compaction policy at the batch boundary, where
+// the persisted fault set and the shard version are exactly in step: once
+// the log since the last snapshot outgrows Config.CompactBytes, persist
+// the full fault set + version and truncate the log. Recovery cost is
+// thereby bounded by churn since the last compaction, not by the mesh's
+// lifetime. Compaction does not touch the engine, so it works the same on
+// an evicted shard.
+func (s *shardOf[C, T]) maybeCompact() {
+	if s.log == nil || s.failed.Load() != nil {
+		return
+	}
+	if limit := s.mgr.cfg.CompactBytes; limit <= 0 || s.log.LogBytes() < limit {
+		return
+	}
+	s.statsMu.Lock()
+	version := s.stats.version
+	s.statsMu.Unlock()
+	if err := s.log.Compact(version, s.faults.Coords()); err != nil {
+		s.latchFail(fmt.Sprintf("wal compact: %v", err))
+	}
 }
 
 // maybeEvict performs a manager-requested eviction: the engine and the

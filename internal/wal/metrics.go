@@ -1,0 +1,30 @@
+package wal
+
+// Process-wide WAL metrics, following the shard layer's cardinality
+// discipline: no per-mesh labels, aggregates across every log in the
+// process. Per-mesh durability numbers would belong on the stats endpoint
+// if they are ever needed.
+
+import "repro/internal/obs"
+
+var walMetrics = struct {
+	appends        *obs.Counter
+	bytes          *obs.Counter
+	fsyncs         *obs.Counter
+	tornTails      *obs.Counter
+	compactSeconds *obs.Histogram
+	recoverSeconds *obs.Histogram
+}{
+	appends: obs.Default.Counter("wal_appends_total",
+		"Acknowledged event batches appended to per-mesh write-ahead logs."),
+	bytes: obs.Default.Counter("wal_bytes_total",
+		"Bytes written to write-ahead logs and compaction snapshots, including record framing."),
+	fsyncs: obs.Default.Counter("wal_fsyncs_total",
+		"fsync calls issued by the WAL layer (appends, compactions, truncations, directory syncs)."),
+	tornTails: obs.Default.Counter("wal_torn_tails_total",
+		"Torn log tails detected by CRC at recovery and truncated (each is an unacknowledged partial write, never replayed)."),
+	compactSeconds: obs.Default.Histogram("wal_compact_seconds",
+		"Snapshot compaction latency in seconds (persist fault set + version, truncate log).", obs.LatencyBuckets),
+	recoverSeconds: obs.Default.Histogram("wal_recover_seconds",
+		"Per-mesh WAL recovery latency in seconds (snapshot read + log scan + torn-tail handling).", obs.LatencyBuckets),
+}
