@@ -6,10 +6,13 @@ BENCH_TRIALS ?= 5
 # The committed baseline the bench job gates against; re-record it with
 # `make bench-baseline` when a PR changes performance on purpose.
 BASELINE ?= BENCH_baseline.json
-# Generous on purpose: the baseline is recorded on different hardware than
-# the CI runners, so the gate catches order-of-magnitude regressions
-# (accidental serialization, quadratic blowups), not micro-changes.
-TOLERANCE ?= 2.50
+# Every report stamps a machine-calibration run (benchfmt.CalibrationUnit)
+# and -bench-compare divides the hardware difference out of every ratio,
+# so the tolerance only has to absorb run-to-run noise, not the gap
+# between the baseline recorder and the CI runner. 30% catches real
+# slowdowns while staying above timer jitter on short workloads; see
+# docs/OPERATIONS.md ("The benchmark gate").
+TOLERANCE ?= 1.30
 COVER_OUT ?= coverage.out
 # Per-target budget of the fuzz smoke run (beyond the seeded corpus, which
 # every plain `go test` run already replays).

@@ -44,12 +44,20 @@ func benchWorkerCounts(limit int) []int {
 // made back-to-back identical runs trip the -bench-compare tolerance.
 const minSample = 100 * time.Millisecond
 
+// timeSamples is how many minSample-long measurements timeIt takes; it
+// reports the fastest. Contention — co-tenants, GC, frequency dips —
+// only ever adds time, so the minimum is the stable estimator of the
+// code's cost, and it is what lets -bench-compare gate at a tight
+// tolerance instead of absorbing the noise floor.
+const timeSamples = 3
+
 // timeIt runs fn at least `iterations` times, doubling the count until the
-// whole measurement spans minSample (like testing.B's calibration), and
-// returns the mean wall-clock seconds of one run plus the iteration count
-// actually used.
+// whole measurement spans minSample (like testing.B's calibration), then
+// repeats the measurement timeSamples times in all and returns the fastest
+// mean wall-clock seconds of one run plus the iteration count used.
 func timeIt(iterations int, fn func()) (float64, int) {
 	n := iterations
+	var best float64
 	for {
 		start := time.Now()
 		for i := 0; i < n; i++ {
@@ -57,10 +65,87 @@ func timeIt(iterations int, fn func()) (float64, int) {
 		}
 		elapsed := time.Since(start)
 		if elapsed >= minSample || n >= 1<<20 {
-			return elapsed.Seconds() / float64(n), n
+			best = elapsed.Seconds() / float64(n)
+			break
 		}
 		n *= 2
 	}
+	for s := 1; s < timeSamples; s++ {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			fn()
+		}
+		if secs := time.Since(start).Seconds() / float64(n); secs < best {
+			best = secs
+		}
+	}
+	return best, n
+}
+
+// benchPasses is how many full sweep passes runBenchSweepBest merges.
+// timeIt's min-of-samples absorbs noise spikes shorter than one
+// measurement; a second whole pass, minutes later, absorbs the
+// slow *phases* of a shared machine (co-tenant bursts, thermal dips)
+// that outlast any single workload's samples.
+const benchPasses = 2
+
+// runBenchSweepBest runs the full sweep benchPasses times and keeps each
+// record's fastest measurement (and the fastest calibration), then
+// recomputes every derived speedup from the merged times. Contention only
+// ever slows a measurement down, so per-record minimum over well-spaced
+// passes estimates what the code costs, not what the machine was doing.
+func runBenchSweepBest(models []fault.Model, figures []int, cfg experiments.Config, churn experiments.ChurnConfig, churn3 experiments.Churn3Config, route experiments.RouteConfig, iterations, maxWorkers int) (*benchfmt.Report, error) {
+	var best *benchfmt.Report
+	for p := 0; p < benchPasses; p++ {
+		rep, err := runBenchSweep(models, figures, cfg, churn, churn3, route, iterations, maxWorkers)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil {
+			best = rep
+			continue
+		}
+		if rep.CalibrationSeconds < best.CalibrationSeconds {
+			best.CalibrationSeconds = rep.CalibrationSeconds
+		}
+		type key struct {
+			name    string
+			workers int
+			unit    string
+		}
+		cur := map[key]benchfmt.Record{}
+		for _, rec := range rep.Records {
+			cur[key{rec.Name, rec.Workers, rec.Unit}] = rec
+		}
+		for i := range best.Records {
+			b := &best.Records[i]
+			if rec, ok := cur[key{b.Name, b.Workers, b.Unit}]; ok && rec.Seconds < b.Seconds {
+				b.Seconds = rec.Seconds
+				b.Iterations = rec.Iterations
+			}
+		}
+	}
+	best.ComputeSpeedups()
+	// The churn records' speedups are cross-strategy (rebuild over
+	// incremental), not cross-worker: recompute them from the merged
+	// minima of the two sibling records.
+	byName := map[string]float64{}
+	for _, rec := range best.Records {
+		if rec.Unit == "" && rec.Workers == 1 {
+			byName[rec.Name] = rec.Seconds
+		}
+	}
+	for i := range best.Records {
+		rec := &best.Records[i]
+		if !strings.HasSuffix(rec.Name, "/incremental") {
+			continue
+		}
+		sibling := strings.TrimSuffix(rec.Name, "/incremental") + "/rebuild"
+		if rebuild, ok := byName[sibling]; ok && rec.Seconds > 0 {
+			rec.Speedup = rebuild / rec.Seconds
+		}
+	}
+	return best, nil
 }
 
 // runBenchSweep times every requested figure sweep, plus the paper's
@@ -80,6 +165,16 @@ func runBenchSweep(models []fault.Model, figures []int, cfg experiments.Config, 
 	}
 	rep := benchfmt.New(runtime.Version(), runtime.GOMAXPROCS(0))
 	counts := benchWorkerCounts(limit)
+
+	// Calibrate the machine first, through the same timeIt the workloads
+	// use: the mean seconds of one CalibrationUnit run stamp the report,
+	// and -bench-compare divides them out of every wall-clock ratio so a
+	// baseline recorded on different hardware still gates at a tight
+	// tolerance (see benchfmt.Diff).
+	var calSink uint64
+	calSecs, _ := timeIt(iterations, func() { calSink += benchfmt.CalibrationUnit() })
+	_ = calSink
+	rep.CalibrationSeconds = calSecs
 
 	for _, model := range models {
 		c := cfg
@@ -218,7 +313,71 @@ func runBenchSweep(models []fault.Model, figures []int, cfg experiments.Config, 
 		Iterations: inc3Iters, Seconds: inc3Secs,
 		Speedup: rebuild3Secs / inc3Secs,
 	})
+
+	if err := engineAllocsRecord(rep); err != nil {
+		return nil, err
+	}
 	return rep, nil
+}
+
+// engineAllocsRecord counts the incremental engine's steady-state
+// allocation rate on a coalesced churn batch and records it as a
+// machine-independent counter (unit "allocs/event"). This is the
+// zero-alloc claim of the scratch-set kernel plumbing as a gated number:
+// per-event work must stay allocation-free, leaving only the per-publish
+// snapshot freeze, so the rate sits far below one and -bench-compare
+// fails if a kernel change starts allocating per event again.
+func engineAllocsRecord(rep *benchfmt.Report) error {
+	m := grid.New(100, 100)
+	e, err := engine.New(m)
+	if err != nil {
+		return err
+	}
+	faults := fault.NewInjector(m, fault.Clustered, 1).Inject(100)
+	faults.Each(func(c grid.Coord) { e.AddFault(c) })
+
+	// Add/clear pairs confined to a cluster, avoiding the base faults, so
+	// every run of the batch returns the engine to its starting state —
+	// the same regime internal/engine's TestApplyBatchAllocsPerEvent pins.
+	rng := rand.New(rand.NewSource(7))
+	const pairs = 128
+	events := make([]engine.Event, 0, 2*pairs)
+	for len(events) < 2*pairs {
+		c := grid.XY(40+rng.Intn(16), 40+rng.Intn(16))
+		if faults.Has(c) {
+			continue
+		}
+		events = append(events,
+			engine.Event{Op: engine.Add, Node: c},
+			engine.Event{Op: engine.Clear, Node: c},
+		)
+	}
+	apply := func() error {
+		_, _, err := e.Apply(events)
+		return err
+	}
+	// Warm the scratch pools to their steady-state sizes before counting.
+	for i := 0; i < 4; i++ {
+		if err := apply(); err != nil {
+			return err
+		}
+	}
+	const rounds = 50
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	before := ms.Mallocs
+	for i := 0; i < rounds; i++ {
+		if err := apply(); err != nil {
+			return err
+		}
+	}
+	runtime.ReadMemStats(&ms)
+	perEvent := float64(ms.Mallocs-before) / float64(rounds*len(events))
+	rep.Add(benchfmt.Record{
+		Name:    fmt.Sprintf("engine/apply/mesh%d/faults100/events%d/seed7/allocs", m.W, len(events)),
+		Workers: 1, Iterations: rounds, Seconds: perEvent, Unit: "allocs/event",
+	})
+	return nil
 }
 
 // walBenchRecords times the three durable-layer workloads and adds their

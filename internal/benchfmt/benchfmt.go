@@ -27,6 +27,11 @@ type Record struct {
 	// wall-clock time of one run.
 	Iterations int     `json:"iterations"`
 	Seconds    float64 `json:"seconds"`
+	// Unit is empty for wall-clock records (Seconds is seconds) and names
+	// the measured quantity otherwise — e.g. "allocs/event" for allocation
+	// counters. Non-time records are machine-independent already, so Diff
+	// compares them unnormalized and ComputeSpeedups ignores them.
+	Unit string `json:"unit,omitempty"`
 	// Speedup is Seconds of the same Name at Workers==1 divided by this
 	// record's Seconds; zero when no serial baseline exists. Populated by
 	// ComputeSpeedups.
@@ -35,10 +40,18 @@ type Record struct {
 
 // Report is the top-level BENCH_sweep.json document.
 type Report struct {
-	Schema     string   `json:"schema"`
-	GoVersion  string   `json:"go_version,omitempty"`
-	GOMAXPROCS int      `json:"gomaxprocs"`
-	Records    []Record `json:"records"`
+	Schema     string `json:"schema"`
+	GoVersion  string `json:"go_version,omitempty"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// CalibrationSeconds is the mean wall-clock time of one
+	// CalibrationUnit run on the machine that produced the report. When
+	// both sides of a Diff carry it, every wall-clock ratio is normalized
+	// by the machines' calibration ratio, which is what lets a baseline
+	// recorded on one machine gate runs on another at a tight tolerance.
+	// Zero means the report predates calibration; Diff then compares raw
+	// times, exactly as before the field existed.
+	CalibrationSeconds float64  `json:"calibration_seconds,omitempty"`
+	Records            []Record `json:"records"`
 }
 
 // New returns an empty report carrying the given environment stamp.
@@ -51,15 +64,20 @@ func (r *Report) Add(rec Record) { r.Records = append(r.Records, rec) }
 
 // ComputeSpeedups fills every record's Speedup from the Workers==1 record
 // of the same Name, leaving records without a serial baseline at zero.
+// Non-time records (Unit != "") are counters, not durations — they are
+// left untouched and never used as a baseline.
 func (r *Report) ComputeSpeedups() {
 	serial := map[string]float64{}
 	for _, rec := range r.Records {
-		if rec.Workers == 1 && rec.Seconds > 0 {
+		if rec.Workers == 1 && rec.Seconds > 0 && rec.Unit == "" {
 			serial[rec.Name] = rec.Seconds
 		}
 	}
 	for i := range r.Records {
 		rec := &r.Records[i]
+		if rec.Unit != "" {
+			continue
+		}
 		if base, ok := serial[rec.Name]; ok && rec.Seconds > 0 {
 			rec.Speedup = base / rec.Seconds
 		} else {
@@ -99,14 +117,50 @@ func ReadJSON(rd io.Reader) (*Report, error) {
 type Regression struct {
 	Name    string
 	Workers int
-	// Old and New are the baseline and current mean seconds; Ratio is
-	// New/Old.
+	// Old and New are the baseline and current raw measurements (seconds,
+	// or the record's Unit); Ratio is New/Old after calibration
+	// normalization, so on wall-clock records it can differ from the raw
+	// quotient when the reports came from different machines.
 	Old, New, Ratio float64
+	// Unit is the record's unit; empty means seconds.
+	Unit string
 }
 
 // String renders the regression for CI logs.
 func (g Regression) String() string {
-	return fmt.Sprintf("%s (workers=%d): %.4fs -> %.4fs (%.2fx)", g.Name, g.Workers, g.Old, g.New, g.Ratio)
+	return fmt.Sprintf("%s (workers=%d): %s -> %s (%.2fx)",
+		g.Name, g.Workers, formatMeasure(g.Old, g.Unit), formatMeasure(g.New, g.Unit), g.Ratio)
+}
+
+// Improvement describes one workload that got faster than the tolerance
+// band — the mirror of Regression. Improvements never fail a gate, but a
+// workload persistently below 1/tolerance means the committed baseline
+// understates the code and should be re-recorded, or the next real
+// regression hides inside the slack.
+type Improvement struct {
+	Name    string
+	Workers int
+	// Old and New are the baseline and current raw measurements; Ratio is
+	// New/Old after calibration normalization (< 1/tolerance by
+	// construction).
+	Old, New, Ratio float64
+	// Unit is the record's unit; empty means seconds.
+	Unit string
+}
+
+// String renders the improvement for CI logs.
+func (im Improvement) String() string {
+	return fmt.Sprintf("%s (workers=%d): %s -> %s (%.2fx)",
+		im.Name, im.Workers, formatMeasure(im.Old, im.Unit), formatMeasure(im.New, im.Unit), im.Ratio)
+}
+
+// formatMeasure renders one raw measurement with its unit ("0.0042s",
+// "0.06 allocs/event").
+func formatMeasure(v float64, unit string) string {
+	if unit == "" {
+		return fmt.Sprintf("%.4fs", v)
+	}
+	return fmt.Sprintf("%.2f %s", v, unit)
 }
 
 // Skip reasons a (Name, Workers) pair can be excluded from the regression
@@ -143,31 +197,47 @@ func (s Skip) String() string {
 }
 
 // Comparison is the full verdict of diffing two reports: the workloads
-// that regressed and the ones no ratio could be formed for.
+// that regressed, the ones that improved past the mirror of the
+// tolerance, and the ones no ratio could be formed for.
 type Comparison struct {
-	Regressions []Regression
-	Skipped     []Skip
+	Regressions  []Regression
+	Improvements []Improvement
+	Skipped      []Skip
 }
 
-// Diff compares every (Name, Workers) pair across the two reports. Pairs
-// present in both with positive times are ratio-checked against the
-// tolerated slowdown (e.g. 1.25 for "fail when 25% slower"); every other
-// pair — missing on either side, or carrying a zero/negative time that
-// would make the ratio Inf/NaN — produces an explicit Skip verdict instead
-// of being silently ignored.
+// Diff compares every (Name, Workers, Unit) triple across the two
+// reports. Pairs present in both with positive measurements are
+// ratio-checked against the tolerated slowdown (e.g. 1.25 for "fail when
+// 25% slower"); ratios below the mirror band 1/tolerance are reported as
+// Improvements (a sign the baseline should be re-recorded); every other
+// pair — missing on either side, or carrying a zero/negative measurement
+// that would make the ratio Inf/NaN — produces an explicit Skip verdict
+// instead of being silently ignored.
+//
+// When both reports carry CalibrationSeconds, every wall-clock ratio
+// (Unit == "") is multiplied by baseline.CalibrationSeconds /
+// current.CalibrationSeconds — each side's times expressed in units of
+// its own machine's calibration run — which cancels the machines' speed
+// difference and leaves only the code's. Counter records are
+// machine-independent and are never scaled.
 func Diff(baseline, current *Report, tolerance float64) Comparison {
+	scale := 1.0
+	if baseline.CalibrationSeconds > 0 && current.CalibrationSeconds > 0 {
+		scale = baseline.CalibrationSeconds / current.CalibrationSeconds
+	}
 	type key struct {
 		name    string
 		workers int
+		unit    string
 	}
 	old := map[key]float64{}
 	for _, rec := range baseline.Records {
-		old[key{rec.Name, rec.Workers}] = rec.Seconds
+		old[key{rec.Name, rec.Workers, rec.Unit}] = rec.Seconds
 	}
 	var out Comparison
 	seen := map[key]bool{}
 	for _, rec := range current.Records {
-		k := key{rec.Name, rec.Workers}
+		k := key{rec.Name, rec.Workers, rec.Unit}
 		seen[k] = true
 		base, ok := old[k]
 		switch {
@@ -178,18 +248,52 @@ func Diff(baseline, current *Report, tolerance float64) Comparison {
 		case rec.Seconds <= 0:
 			out.Skipped = append(out.Skipped, Skip{Name: rec.Name, Workers: rec.Workers, Reason: SkipZeroCurrent})
 		default:
-			if ratio := rec.Seconds / base; ratio > tolerance {
+			ratio := rec.Seconds / base
+			if rec.Unit == "" {
+				ratio *= scale
+			}
+			switch {
+			case ratio > tolerance:
 				out.Regressions = append(out.Regressions,
-					Regression{Name: rec.Name, Workers: rec.Workers, Old: base, New: rec.Seconds, Ratio: ratio})
+					Regression{Name: rec.Name, Workers: rec.Workers, Old: base, New: rec.Seconds, Ratio: ratio, Unit: rec.Unit})
+			case ratio < 1/tolerance:
+				out.Improvements = append(out.Improvements,
+					Improvement{Name: rec.Name, Workers: rec.Workers, Old: base, New: rec.Seconds, Ratio: ratio, Unit: rec.Unit})
 			}
 		}
 	}
 	for _, rec := range baseline.Records {
-		if !seen[key{rec.Name, rec.Workers}] {
+		if !seen[key{rec.Name, rec.Workers, rec.Unit}] {
 			out.Skipped = append(out.Skipped, Skip{Name: rec.Name, Workers: rec.Workers, Reason: SkipRetired})
 		}
 	}
 	return out
+}
+
+// CalibrationUnit runs one iteration of the fixed machine-calibration
+// workload and returns a checksum (so the work cannot be optimized away).
+// The workload is a seeded LCG feeding data-dependent loads over an
+// L1-resident table — the integer-and-memory instruction mix of the mesh
+// kernels with none of their code, so optimizing the kernels changes the
+// workload ratios the gate inspects but never the yardstick they are
+// normalized by. It must stay byte-for-byte stable across PRs: changing
+// it silently re-scales every archived CalibrationSeconds.
+func CalibrationUnit() uint64 {
+	const tableSize = 1 << 12 // 32 KiB of uint64s: resident in any L1d
+	var table [tableSize]uint64
+	x := uint64(0x9E3779B97F4A7C15)
+	for i := range table {
+		x = x*6364136223846793005 + 1442695040888963407
+		table[i] = x
+	}
+	var sum uint64
+	idx := uint64(0)
+	for i := 0; i < 1<<16; i++ {
+		v := table[idx]
+		sum += v ^ (v >> 29)
+		idx = v % tableSize
+	}
+	return sum
 }
 
 // Compare returns only the regressions of Diff — the gate half of the

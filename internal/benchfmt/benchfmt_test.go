@@ -160,3 +160,128 @@ func TestDiffZeroBaselineRegressionStillCaught(t *testing.T) {
 		t.Fatalf("skips %+v, want the zero-baseline verdict", got.Skipped)
 	}
 }
+
+// TestDiffCalibrationNormalizes: a current report from a machine twice as
+// fast (calibration takes half as long) has every raw wall-clock time
+// halved by hardware alone; normalization must cancel that so identical
+// code neither regresses nor improves, and a genuine slowdown on the fast
+// machine is still caught.
+func TestDiffCalibrationNormalizes(t *testing.T) {
+	base := New("go1.21", 8)
+	base.CalibrationSeconds = 0.010
+	base.Add(Record{Name: "steady", Workers: 1, Seconds: 1.0})
+	base.Add(Record{Name: "slow", Workers: 1, Seconds: 1.0})
+
+	cur := New("go1.21", 8)
+	cur.CalibrationSeconds = 0.005 // machine is 2x faster
+	cur.Add(Record{Name: "steady", Workers: 1, Seconds: 0.5})
+	cur.Add(Record{Name: "slow", Workers: 1, Seconds: 1.0}) // 2x slower in code terms
+
+	got := Diff(base, cur, 1.3)
+	if len(got.Improvements) != 0 {
+		t.Fatalf("hardware speedup misread as improvement: %+v", got.Improvements)
+	}
+	if len(got.Regressions) != 1 || got.Regressions[0].Name != "slow" {
+		t.Fatalf("regressions %+v, want exactly slow", got.Regressions)
+	}
+	if r := got.Regressions[0].Ratio; math.Abs(r-2.0) > 1e-12 {
+		t.Fatalf("normalized ratio %v, want 2.0", r)
+	}
+
+	// Either side missing a calibration stamp disables normalization: raw
+	// ratios, exactly the pre-calibration behaviour.
+	base.CalibrationSeconds = 0
+	raw := Diff(base, cur, 1.3)
+	if len(raw.Improvements) != 1 || raw.Improvements[0].Name != "steady" {
+		t.Fatalf("uncalibrated diff %+v, want the raw steady improvement", raw.Improvements)
+	}
+}
+
+// TestDiffImprovements: ratios below 1/tolerance are reported as
+// improvements, never failures, and stay inside the band otherwise.
+func TestDiffImprovements(t *testing.T) {
+	base := New("go1.21", 8)
+	base.Add(Record{Name: "faster", Workers: 1, Seconds: 1.0})
+	base.Add(Record{Name: "steady", Workers: 1, Seconds: 1.0})
+	cur := New("go1.21", 8)
+	cur.Add(Record{Name: "faster", Workers: 1, Seconds: 0.25})
+	cur.Add(Record{Name: "steady", Workers: 1, Seconds: 0.9})
+
+	got := Diff(base, cur, 1.3)
+	if len(got.Regressions) != 0 {
+		t.Fatalf("nothing regressed, got %+v", got.Regressions)
+	}
+	if len(got.Improvements) != 1 || got.Improvements[0].Name != "faster" {
+		t.Fatalf("improvements %+v, want exactly faster", got.Improvements)
+	}
+	im := got.Improvements[0]
+	if im.Ratio != 0.25 || im.Old != 1.0 || im.New != 0.25 {
+		t.Fatalf("improvement fields %+v", im)
+	}
+	if s := im.String(); !strings.Contains(s, "faster (workers=1)") || !strings.Contains(s, "0.25x") {
+		t.Fatalf("unhelpful improvement string %q", s)
+	}
+}
+
+// TestUnitRecords: counter records (Unit != "") are machine-independent —
+// Diff compares them raw even under calibration, ComputeSpeedups ignores
+// them, and a counter never matches a wall-clock record of the same name.
+func TestUnitRecords(t *testing.T) {
+	base := New("go1.21", 8)
+	base.CalibrationSeconds = 0.010
+	base.Add(Record{Name: "allocs", Workers: 1, Seconds: 0.05, Unit: "allocs/event"})
+	cur := New("go1.21", 8)
+	cur.CalibrationSeconds = 0.005
+	cur.Add(Record{Name: "allocs", Workers: 1, Seconds: 0.05, Unit: "allocs/event"})
+
+	got := Diff(base, cur, 1.3)
+	if len(got.Regressions) != 0 || len(got.Improvements) != 0 || len(got.Skipped) != 0 {
+		t.Fatalf("identical counter produced verdicts under calibration: %+v", got)
+	}
+
+	cur.Records[0].Seconds = 0.10 // the counter itself doubled
+	got = Diff(base, cur, 1.3)
+	if len(got.Regressions) != 1 || got.Regressions[0].Ratio != 2.0 {
+		t.Fatalf("counter regression missed: %+v", got.Regressions)
+	}
+	if s := got.Regressions[0].String(); !strings.Contains(s, "allocs/event") {
+		t.Fatalf("regression string lost the unit: %q", s)
+	}
+
+	// A unit mismatch is two one-sided records, not a bogus ratio.
+	cur.Records[0].Unit = ""
+	got = Diff(base, cur, 1.3)
+	if len(got.Regressions) != 0 || len(got.Skipped) != 2 {
+		t.Fatalf("unit mismatch not skipped on both sides: %+v", got)
+	}
+
+	// Speedups never divide a counter by a wall-clock baseline.
+	r := New("go1.21", 8)
+	r.Add(Record{Name: "w", Workers: 1, Seconds: 1.0})
+	r.Add(Record{Name: "w", Workers: 1, Seconds: 0.05, Unit: "allocs/event"})
+	r.Add(Record{Name: "w", Workers: 4, Seconds: 0.25})
+	r.ComputeSpeedups()
+	for _, rec := range r.Records {
+		if rec.Unit != "" && rec.Speedup != 0 {
+			t.Fatalf("counter record got a speedup: %+v", rec)
+		}
+		if rec.Unit == "" && rec.Workers == 4 && rec.Speedup != 4.0 {
+			t.Fatalf("wall-clock speedup %v, want 4.0", rec.Speedup)
+		}
+	}
+}
+
+// TestCalibrationUnitDeterministic: the yardstick must return the same
+// checksum every run — any data dependence on time, randomness or kernel
+// code would desynchronize archived calibrations.
+func TestCalibrationUnitDeterministic(t *testing.T) {
+	first := CalibrationUnit()
+	for i := 0; i < 3; i++ {
+		if got := CalibrationUnit(); got != first {
+			t.Fatalf("CalibrationUnit() = %d, then %d", first, got)
+		}
+	}
+	if first == 0 {
+		t.Fatal("checksum is zero; the workload may be optimized away")
+	}
+}

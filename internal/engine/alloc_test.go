@@ -1,0 +1,89 @@
+package engine_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/grid"
+)
+
+// churnBatch builds a batch of add/clear pairs confined to a cluster of
+// the mesh, avoiding the base faults so every run of the batch returns
+// the engine to its starting state. Clustered churn is the coalescing
+// regime the shard layer produces: many events per publish, few distinct
+// components at batch end.
+func churnBatch(m grid.Mesh, base func(grid.Coord) bool, pairs int, seed int64) []engine.Event {
+	rng := rand.New(rand.NewSource(seed))
+	events := make([]engine.Event, 0, 2*pairs)
+	for len(events) < 2*pairs {
+		c := grid.XY(40+rng.Intn(16), 40+rng.Intn(16))
+		if base(c) {
+			continue
+		}
+		events = append(events,
+			engine.Event{Op: engine.Add, Node: c},
+			engine.Event{Op: engine.Clear, Node: c},
+		)
+	}
+	return events
+}
+
+// TestApplyBatchAllocsPerEvent gates the steady-state apply path's
+// allocation behaviour: with scratch sets threaded through the kernel, a
+// coalesced batch must amortize to (well under) one allocation per event —
+// the only remaining allocations are the per-publish snapshot freeze
+// (fault-set clone, disabled union, unsafe set, component slices), which
+// is independent of the batch size.
+func TestApplyBatchAllocsPerEvent(t *testing.T) {
+	m := grid.New(100, 100)
+	e, err := engine.New(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := fault.NewInjector(m, fault.Clustered, 1).Inject(100)
+	faults.Each(func(c grid.Coord) { e.AddFault(c) })
+
+	events := churnBatch(m, faults.Has, 128, 7)
+
+	apply := func() {
+		if _, _, err := e.Apply(events); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm the scratch pools: the first batches grow the set free list,
+	// the entry free list and the span tables to their steady-state sizes.
+	for i := 0; i < 4; i++ {
+		apply()
+	}
+
+	perRun := testing.AllocsPerRun(10, apply)
+	perEvent := perRun / float64(len(events))
+	t.Logf("allocs: %.1f per batch, %.3f per event (%d events)", perRun, perEvent, len(events))
+	if perEvent >= 0.5 {
+		t.Fatalf("steady-state apply allocates %.3f allocations/event (%.1f per %d-event batch), want amortized < 0.5",
+			perEvent, perRun, len(events))
+	}
+}
+
+// BenchmarkEngineApplyBatch is the coalesced-batch counterpart of
+// BenchmarkEngineAddClearPair: one Apply (and one snapshot publish) per
+// 256 events, the regime the shard mailbox produces under load.
+func BenchmarkEngineApplyBatch(b *testing.B) {
+	m := grid.New(100, 100)
+	e, err := engine.New(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	faults := fault.NewInjector(m, fault.Clustered, 1).Inject(100)
+	faults.Each(func(c grid.Coord) { e.AddFault(c) })
+	events := churnBatch(m, faults.Has, 128, 7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := e.Apply(events); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

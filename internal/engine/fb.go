@@ -40,10 +40,18 @@ type scheme1 struct {
 	mesh   grid.Mesh
 	faults *nodeset.Set
 	unsafe *nodeset.Set
+
+	// Reusable working memory of Grow/Shrink (the engine serializes block-
+	// model calls under its lock): the visited copy and the coordinate
+	// buffers of Shrink's block collection, and propagate's worklist.
+	seen     *nodeset.Set
+	region   []grid.Coord
+	frontier []grid.Coord
+	queue    []grid.Coord
 }
 
 func newScheme1(m grid.Mesh, faults *nodeset.Set) kernel.BlockModel[grid.Coord, grid.Mesh] {
-	return &scheme1{mesh: m, faults: faults, unsafe: nodeset.New(m)}
+	return &scheme1{mesh: m, faults: faults, unsafe: nodeset.New(m), seen: nodeset.New(m)}
 }
 
 // Unsafe returns a snapshot copy of the maintained fixpoint; the component
@@ -75,6 +83,7 @@ func (s *scheme1) propagate(queue []grid.Coord) {
 		s.unsafe.Add(c)
 		queue = s.mesh.Neighbors4(c, queue)
 	}
+	s.queue = queue[:0] // keep the grown capacity for the next event
 }
 
 // Grow incorporates a new fault into the scheme-1 fixpoint. When the
@@ -84,7 +93,7 @@ func (s *scheme1) Grow(c grid.Coord) {
 	if !s.unsafe.Add(c) {
 		return
 	}
-	s.propagate(s.mesh.Neighbors4(c, nil))
+	s.propagate(s.mesh.Neighbors4(c, s.queue[:0]))
 }
 
 // Shrink removes a repaired fault from the scheme-1 fixpoint. The fault's
@@ -95,19 +104,22 @@ func (s *scheme1) Grow(c grid.Coord) {
 func (s *scheme1) Shrink(c grid.Coord) {
 	// Collect the block containing c. c itself is still unsafe: it was a
 	// fault a moment ago and faults are always unsafe.
-	region := []grid.Coord{c}
-	seen := s.unsafe.Clone()
-	seen.Remove(c)
-	for frontier := []grid.Coord{c}; len(frontier) > 0; {
+	region := append(s.region[:0], c)
+	s.seen.CopyFrom(s.unsafe)
+	s.seen.Remove(c)
+	frontier := append(s.frontier[:0], c)
+	var neigh [4]grid.Coord
+	for len(frontier) > 0 {
 		cur := frontier[len(frontier)-1]
 		frontier = frontier[:len(frontier)-1]
-		for _, n := range s.mesh.Neighbors4(cur, nil) {
-			if seen.Remove(n) { // unsafe and not yet visited
+		for _, n := range s.mesh.Neighbors4(cur, neigh[:0]) {
+			if s.seen.Remove(n) { // unsafe and not yet visited
 				region = append(region, n)
 				frontier = append(frontier, n)
 			}
 		}
 	}
+	s.frontier = frontier[:0]
 
 	// Reset the block, re-seed it with its remaining faults, and regrow.
 	// The whole old region goes on the worklist: a node can be due for
@@ -116,7 +128,7 @@ func (s *scheme1) Shrink(c grid.Coord) {
 	for _, n := range region {
 		s.unsafe.Remove(n)
 	}
-	queue := make([]grid.Coord, 0, len(region))
+	queue := s.queue[:0]
 	for _, n := range region {
 		if s.faults.Has(n) {
 			s.unsafe.Add(n)
@@ -124,5 +136,6 @@ func (s *scheme1) Shrink(c grid.Coord) {
 			queue = append(queue, n)
 		}
 	}
+	s.region = region[:0]
 	s.propagate(queue)
 }

@@ -117,11 +117,24 @@ func newCuboids(m grid3.Mesh, _ *nodeset3.Set) kernel.BlockModel[grid3.Coord, gr
 func (cuboids) Grow(grid3.Coord)   {}
 func (cuboids) Shrink(grid3.Coord) {}
 
-// Unsafe builds the union of the components' bounding cuboids.
+// Unsafe builds the union of the components' bounding cuboids. Each
+// cuboid is a stack of contiguous X runs in the row-major index space, so
+// it is filled with whole-word ORs (Set.FillRange) instead of per-node
+// adds.
 func (u cuboids) Unsafe(comps []*nodeset3.Set) *nodeset3.Set {
 	out := nodeset3.New(u.mesh)
 	for _, c := range comps {
-		nodeset3.Bounds(c).Each(func(cc grid3.Coord) { out.Add(cc) })
+		b := nodeset3.Bounds(c)
+		if b.Empty() {
+			continue
+		}
+		w := b.Max.X - b.Min.X + 1
+		for z := b.Min.Z; z <= b.Max.Z; z++ {
+			for y := b.Min.Y; y <= b.Max.Y; y++ {
+				base := u.mesh.Index(grid3.XYZ(b.Min.X, y, z))
+				out.FillRange(base, base+w)
+			}
+		}
 	}
 	return out
 }

@@ -55,6 +55,18 @@ func (c *Coord) UnmarshalJSON(data []byte) error {
 	return nil
 }
 
+// SetWire assembles the coordinate from already-scanned wire fields — the
+// hook kernel.DecodeEvents' canonical fast path uses in place of
+// UnmarshalJSON. The dimensionality check matches the JSON codec: a 2-D
+// coordinate rejects a z field.
+func (c *Coord) SetWire(x, y, z int, hasZ bool) error {
+	if hasZ {
+		return fmt.Errorf("grid: 2-D coordinate carries z")
+	}
+	*c = Coord{X: x, Y: y}
+	return nil
+}
+
 // Add returns c translated by d.
 func (c Coord) Add(d Coord) Coord { return Coord{c.X + d.X, c.Y + d.Y} }
 
@@ -257,6 +269,18 @@ func (m Mesh) AxisPos(axis int, c Coord) int {
 
 // AtAxes builds the coordinate with the given per-axis positions.
 func (m Mesh) AtAxes(vals []int) Coord { return Coord{X: vals[0], Y: vals[1]} }
+
+// AxisStride returns the dense-index stride of the given axis: Index is
+// y*W + x, so X is contiguous and Y strides by a full row.
+func (m Mesh) AxisStride(axis int) int {
+	if axis == 0 {
+		return 1
+	}
+	return m.W
+}
+
+// Wraps reports whether the mesh has wraparound links.
+func (m Mesh) Wraps() bool { return m.Torus }
 
 // Dist returns the routing (Manhattan) distance between a and b, accounting
 // for wraparound links on a torus. Both coordinates must lie in the mesh.

@@ -46,6 +46,18 @@ func (c *Coord) UnmarshalJSON(data []byte) error {
 	return nil
 }
 
+// SetWire assembles the coordinate from already-scanned wire fields — the
+// hook kernel.DecodeEvents' canonical fast path uses in place of
+// UnmarshalJSON. The dimensionality check matches the JSON codec: a 3-D
+// coordinate requires a z field.
+func (c *Coord) SetWire(x, y, z int, hasZ bool) error {
+	if !hasZ {
+		return fmt.Errorf("grid3: coordinate misses z")
+	}
+	*c = Coord{X: x, Y: y, Z: z}
+	return nil
+}
+
 // Add returns c translated by d.
 func (c Coord) Add(d Coord) Coord { return Coord{c.X + d.X, c.Y + d.Y, c.Z + d.Z} }
 
@@ -186,6 +198,22 @@ func (m Mesh) AxisPos(axis int, c Coord) int {
 
 // AtAxes builds the coordinate with the given per-axis positions.
 func (m Mesh) AtAxes(vals []int) Coord { return Coord{X: vals[0], Y: vals[1], Z: vals[2]} }
+
+// AxisStride returns the dense-index stride of the given axis: Index is
+// (z*H + y)*W + x, so X is contiguous, Y strides by a row and Z by a
+// full plane.
+func (m Mesh) AxisStride(axis int) int {
+	switch axis {
+	case 0:
+		return 1
+	case 1:
+		return m.W
+	}
+	return m.W * m.H
+}
+
+// Wraps reports whether the mesh has wraparound links.
+func (m Mesh) Wraps() bool { return m.Torus }
 
 // Dist returns the routing (Manhattan) distance between two nodes.
 func (m Mesh) Dist(a, b Coord) int {

@@ -81,7 +81,8 @@ type BlockModel[C any, T Topology[C]] interface {
 // entry is the engine's cache line: one faulty component and its minimum
 // faulty polygon (polytope). Both sets are immutable once the entry is
 // built — churn replaces entries, it never mutates them — which is what
-// lets snapshots share them.
+// lets snapshots share them. poly may be the same set as nodes when the
+// component is already convex.
 type entry[C any, T Topology[C]] struct {
 	nodes *Set[C, T]
 	poly  *Set[C, T]
@@ -90,6 +91,11 @@ type entry[C any, T Topology[C]] struct {
 	// component search would produce, so snapshots are byte-identical to a
 	// full rebuild.
 	seed int
+	// published marks entries a snapshot has shared. Only unpublished
+	// entries — created and replaced within one batch — may recycle their
+	// sets into the scratch free list; published sets belong to snapshots
+	// forever.
+	published bool
 }
 
 // Engine maintains the fault-region constructions under a stream of fault
@@ -105,6 +111,17 @@ type Engine[C any, T Topology[C]] struct {
 	entries []*entry[C, T] // sorted by seed
 	version uint64         // counts applied (state-changing) events
 
+	// Reusable working memory of the apply path, all guarded by mu: the
+	// geometry scratch (flood bookkeeping, span tables, set free list) and
+	// the small per-event buffers. Steady-state batches apply without
+	// allocating; see BenchmarkEngineApplyAllocs.
+	scr         *Scratch[C, T]
+	neigh       []C
+	neighIdx    []int
+	merged      []*entry[C, T]
+	deadOne     [1]*entry[C, T]
+	freeEntries []*entry[C, T]
+
 	snap atomic.Pointer[Snapshot[C, T]]
 }
 
@@ -117,9 +134,14 @@ func NewEngine[C any, T Topology[C]](mesh T, blocks func(T, *Set[C, T]) BlockMod
 	if mesh.Size() == 0 {
 		return nil, fmt.Errorf("engine: empty mesh")
 	}
-	e := &Engine[C, T]{mesh: mesh, metrics: newEngineMetrics(mesh.Axes()), faults: NewSet[C](mesh)}
+	e := &Engine[C, T]{
+		mesh:    mesh,
+		metrics: newEngineMetrics(mesh.Axes()),
+		faults:  NewSet[C](mesh),
+		scr:     NewScratch[C](mesh),
+	}
 	e.blocks = blocks(mesh, e.faults)
-	e.publish()
+	e.publish(true)
 	return e, nil
 }
 
@@ -205,12 +227,14 @@ func (e *Engine[C, T]) Apply(events []Event[C]) (applied int, snap *Snapshot[C, 
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	hadClear := false
 	for _, ev := range events {
 		changed := false
 		if ev.Op == Add {
 			changed = e.addLocked(ev.Node)
 		} else {
 			changed = e.clearLocked(ev.Node)
+			hadClear = hadClear || changed
 		}
 		if changed {
 			e.version++
@@ -219,7 +243,7 @@ func (e *Engine[C, T]) Apply(events []Event[C]) (applied int, snap *Snapshot[C, 
 	}
 	if applied > 0 {
 		e.metrics.eventsApplied.Add(uint64(applied))
-		e.publish()
+		e.publish(hadClear)
 	}
 	return applied, e.snap.Load(), nil
 }
@@ -237,15 +261,14 @@ func (e *Engine[C, T]) addLocked(c C) bool {
 	// owners over the few neighbours finds each at most once per
 	// neighbour. Neighbour indices are resolved once up front: the
 	// entries×neighbours probe loop is the arrival hot path.
-	var neigh []C
-	neigh = e.mesh.Adjacent(c, neigh)
-	neighIdx := make([]int, len(neigh))
-	for i, n := range neigh {
-		neighIdx[i] = e.mesh.Index(n)
+	e.neigh = e.mesh.Adjacent(c, e.neigh[:0])
+	e.neighIdx = e.neighIdx[:0]
+	for _, n := range e.neigh {
+		e.neighIdx = append(e.neighIdx, e.mesh.Index(n))
 	}
-	merged := e.entries[:0:0]
+	merged := e.merged[:0]
 	for _, en := range e.entries {
-		for _, i := range neighIdx {
+		for _, i := range e.neighIdx {
 			if en.nodes.HasIndex(i) {
 				merged = append(merged, en)
 				break
@@ -253,13 +276,15 @@ func (e *Engine[C, T]) addLocked(c C) bool {
 		}
 	}
 
-	nodes := SetOf(e.mesh, c)
+	nodes := e.scr.take(e.mesh)
+	nodes.AddIndex(e.mesh.Index(c))
 	for _, en := range merged {
 		nodes.UnionWith(en.nodes)
 	}
 	e.removeEntries(merged)
-	poly, passes := Closure(nodes)
-	e.insertEntry(&entry[C, T]{nodes: nodes, poly: poly, seed: nodes.FirstIndex()})
+	e.merged = merged[:0]
+	poly, passes := e.scr.Closure(nodes)
+	e.insertEntry(e.newEntry(nodes, poly))
 	e.metrics.componentsTouched.Add(uint64(len(merged)) + 1)
 	e.metrics.closures.Inc()
 	e.metrics.closurePasses.Add(uint64(passes))
@@ -276,9 +301,10 @@ func (e *Engine[C, T]) clearLocked(c C) bool {
 		return false
 	}
 
+	ci := e.mesh.Index(c)
 	var owner *entry[C, T]
 	for _, en := range e.entries {
-		if en.nodes.Has(c) {
+		if en.nodes.HasIndex(ci) {
 			owner = en
 			break
 		}
@@ -287,19 +313,37 @@ func (e *Engine[C, T]) clearLocked(c C) bool {
 		// Unreachable: every fault is in exactly one component.
 		panic(fmt.Sprintf("engine: fault %v has no component", c))
 	}
-	e.removeEntries([]*entry[C, T]{owner})
-	remaining := owner.nodes.Clone()
-	remaining.Remove(c)
+	// Copy the component before removeEntries may recycle its sets.
+	remaining := e.scr.take(e.mesh)
+	remaining.CopyFrom(owner.nodes)
+	remaining.RemoveIndex(ci)
+	e.deadOne[0] = owner
+	e.removeEntries(e.deadOne[:])
+	e.deadOne[0] = nil
 	e.metrics.componentsTouched.Inc()
-	for _, region := range Regions(remaining) {
-		poly, passes := Closure(region)
-		e.insertEntry(&entry[C, T]{nodes: region, poly: poly, seed: region.FirstIndex()})
+	for _, region := range e.scr.Regions(remaining) {
+		poly, passes := e.scr.Closure(region)
+		e.insertEntry(e.newEntry(region, poly))
 		e.metrics.closures.Inc()
 		e.metrics.closurePasses.Add(uint64(passes))
 	}
+	e.scr.put(remaining)
 
 	e.blocks.Shrink(c)
 	return true
+}
+
+// newEntry builds an entry around a component and its polygon, recycling
+// entry structs replaced earlier in the same batch.
+func (e *Engine[C, T]) newEntry(nodes, poly *Set[C, T]) *entry[C, T] {
+	if n := len(e.freeEntries); n > 0 {
+		en := e.freeEntries[n-1]
+		e.freeEntries[n-1] = nil
+		e.freeEntries = e.freeEntries[:n-1]
+		*en = entry[C, T]{nodes: nodes, poly: poly, seed: nodes.FirstIndex()}
+		return en
+	}
+	return &entry[C, T]{nodes: nodes, poly: poly, seed: nodes.FirstIndex()}
 }
 
 // removeEntries deletes the given entries from the sorted slice,
@@ -326,6 +370,21 @@ func (e *Engine[C, T]) removeEntries(dead []*entry[C, T]) {
 		e.entries[i] = nil
 	}
 	e.entries = kept
+	// Entries replaced within the batch that created them were never
+	// shared with a snapshot: their sets go back to the scratch free list
+	// and the structs to the entry free list. Published entries stay
+	// referenced by snapshots and are simply dropped.
+	for _, en := range dead {
+		if en.published {
+			continue
+		}
+		if en.poly != en.nodes {
+			e.scr.put(en.poly)
+		}
+		e.scr.put(en.nodes)
+		*en = entry[C, T]{}
+		e.freeEntries = append(e.freeEntries, en)
+	}
 }
 
 // insertEntry places en at its seed-sorted position, keeping the entry
@@ -341,20 +400,45 @@ func (e *Engine[C, T]) insertEntry(en *entry[C, T]) {
 // publish builds the immutable snapshot for the current state and makes it
 // the one Snapshot returns. Polygons and components are shared with the
 // cache (and with every previous snapshot that saw the same component);
-// only the fault set and the block model's unsafe set are fresh.
-func (e *Engine[C, T]) publish() {
+// only the fault set, the disabled union and the block model's unsafe set
+// are fresh.
+//
+// The disabled union was the profiled hot spot of the whole apply path
+// (the per-entry OR with per-word popcounts dominated event application on
+// meshes with many components), so it is built with count-free ORs and a
+// single recount — and for batches that only added faults it starts from
+// the previous snapshot's union instead of from scratch: the closure is
+// monotone, so the polygon of every component replaced by a merge is
+// contained in the merged polygon, and only unpublished (new) polygons
+// need ORing on top. Any applied clear can shrink the union and forces the
+// full rebuild.
+func (e *Engine[C, T]) publish(hadClear bool) {
 	s := &Snapshot[C, T]{
 		mesh:     e.mesh,
 		version:  e.version,
 		faults:   e.faults.Clone(),
 		comps:    make([]*Set[C, T], len(e.entries)),
 		polygons: make([]*Set[C, T], len(e.entries)),
-		disabled: NewSet[C](e.mesh),
 	}
+	prev := e.snap.Load()
+	if prev != nil && !hadClear {
+		s.disabled = prev.disabled.Clone()
+		for _, en := range e.entries {
+			if !en.published {
+				s.disabled.orWithNoCount(en.poly)
+			}
+		}
+	} else {
+		s.disabled = NewSet[C](e.mesh)
+		for _, en := range e.entries {
+			s.disabled.orWithNoCount(en.poly)
+		}
+	}
+	s.disabled.recount()
 	for i, en := range e.entries {
 		s.comps[i] = en.nodes
 		s.polygons[i] = en.poly
-		s.disabled.UnionWith(en.poly)
+		en.published = true
 	}
 	s.unsafe = e.blocks.Unsafe(s.comps)
 	e.snap.Store(s)

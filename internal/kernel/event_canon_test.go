@@ -1,0 +1,194 @@
+package kernel
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/grid3"
+)
+
+// This file pins the canonical-JSON fast path of DecodeEvents to the
+// reflective encoding/json path it shortcuts: on canonical input both
+// must produce identical events (and the fast path must actually fire);
+// on anything non-canonical — whitespace, reordered keys, floats,
+// leading zeros, huge integers, trailing data — the fast path must bow
+// out and the observable behaviour (result and error text) must be
+// byte-identical to the reflective path alone.
+
+// slowDecodeEvents is the pre-fast-path DecodeEvents, kept verbatim as
+// the behavioural reference.
+func slowDecodeEvents[C any](data []byte) ([]Event[C], error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	var events []Event[C]
+	if err := dec.Decode(&events); err != nil {
+		return nil, fmt.Errorf("engine: bad event batch: %w", err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return nil, fmt.Errorf("engine: trailing data after event batch")
+	}
+	return events, nil
+}
+
+// checkDecodeAgrees decodes data through DecodeEvents and the reference
+// and requires identical events and identical error text.
+func checkDecodeAgrees[C comparable](t *testing.T, data []byte) {
+	t.Helper()
+	got, gotErr := DecodeEvents[C](bytes.NewReader(data))
+	want, wantErr := slowDecodeEvents[C](data)
+	if (gotErr == nil) != (wantErr == nil) ||
+		(gotErr != nil && gotErr.Error() != wantErr.Error()) {
+		t.Fatalf("decode %q: error %v, reference %v", data, gotErr, wantErr)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decode %q: %d events, reference %d", data, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("decode %q: event %d = %+v, reference %+v", data, i, got[i], want[i])
+		}
+	}
+}
+
+func randomEvents2D(rng *rand.Rand, n int) []Event[grid.Coord] {
+	events := make([]Event[grid.Coord], n)
+	for i := range events {
+		op := Add
+		if rng.Intn(2) == 0 {
+			op = Clear
+		}
+		events[i] = Event[grid.Coord]{Op: op, Node: grid.XY(rng.Intn(2000)-500, rng.Intn(2000)-500)}
+	}
+	return events
+}
+
+func randomEvents3D(rng *rand.Rand, n int) []Event[grid3.Coord] {
+	events := make([]Event[grid3.Coord], n)
+	for i := range events {
+		op := Add
+		if rng.Intn(2) == 0 {
+			op = Clear
+		}
+		events[i] = Event[grid3.Coord]{
+			Op:   op,
+			Node: grid3.XYZ(rng.Intn(2000)-500, rng.Intn(2000)-500, rng.Intn(2000)-500),
+		}
+	}
+	return events
+}
+
+// TestCanonicalDecodeRoundTrip checks that batches marshalled by this
+// process take the fast path and decode identically to the reference.
+func TestCanonicalDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		events2 := randomEvents2D(rng, rng.Intn(20))
+		data, err := json.Marshal(events2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := parseCanonicalEvents[grid.Coord](data); !ok {
+			t.Fatalf("own encoding not canonical: %s", data)
+		}
+		checkDecodeAgrees[grid.Coord](t, data)
+
+		events3 := randomEvents3D(rng, rng.Intn(20))
+		data, err = json.Marshal(events3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := parseCanonicalEvents[grid3.Coord](data); !ok {
+			t.Fatalf("own encoding not canonical: %s", data)
+		}
+		checkDecodeAgrees[grid3.Coord](t, data)
+	}
+}
+
+// TestCanonicalDecodeFallback feeds adversarial non-canonical inputs —
+// every deviation the scanner is supposed to reject — and requires
+// byte-identical behaviour to the reflective path, with the fast path
+// declining each one.
+func TestCanonicalDecodeFallback(t *testing.T) {
+	cases := []string{
+		// Valid JSON the slow path accepts; the scanner must merely agree.
+		` [{"op":"add","x":3,"y":4}]`,                     // leading whitespace
+		`[{"op":"add","x":3,"y":4}] `,                     // trailing whitespace
+		`[ {"op":"add","x":3,"y":4} ]`,                    // inner whitespace
+		`[{"x":3,"y":4,"op":"add"}]`,                      // reordered keys
+		`[{"op":"add","y":4,"x":3}]`,                      // reordered coordinate
+		`[{"op":"add","x":03,"y":4}]`,                     // leading zero (slow path rejects too)
+		`[{"op":"add","x":3.0,"y":4}]`,                    // float coordinate
+		`[{"op":"add","x":3,"y":4,"extra":true}]`,         // unknown field
+		`[{"op":"add","x":-0,"y":4}]`,                     // negative zero
+		`[{"op":"add","x":9999999999999999999999,"y":4}]`, // >18 digits
+		`[]x`,                                  // trailing data
+		`[{"op":"add","x":3,"y":4}][]`,         // concatenated batches
+		`[{"op":"flip","x":3,"y":4}]`,          // unknown op
+		`[{"op":"add","x":3}]`,                 // missing y
+		`[{"op":"add","x":3,"y":4,"z":5}]`,     // z on a 2-D mesh
+		`[{"op":"add","x":null,"y":4}]`,        // null coordinate
+		`[{"op":"add","x":3,"y":4},]`,          // trailing comma
+		`[{"op":"add","x":3,"y":4}`,            // truncated
+		`{"op":"add","x":3,"y":4}`,             // object, not array
+		`[{"op":"add","x":"3","y":4}]`,         // string coordinate
+		"[{\"op\":\"add\",\"x\":3,\"y\":4}\n]", // newline
+		``,
+	}
+	for _, c := range cases {
+		data := []byte(c)
+		if _, ok := parseCanonicalEvents[grid.Coord](data); ok {
+			t.Errorf("fast path accepted non-canonical %q", c)
+		}
+		checkDecodeAgrees[grid.Coord](t, data)
+	}
+
+	// `null` and `[]` ARE canonical — json.Marshal of a nil and an empty
+	// slice respectively — so the fast path takes them; it just has to
+	// agree with the reference (nil slice both times for null).
+	for _, c := range []string{`null`, `[]`} {
+		data := []byte(c)
+		if _, ok := parseCanonicalEvents[grid.Coord](data); !ok {
+			t.Errorf("fast path declined canonical %q", c)
+		}
+		checkDecodeAgrees[grid.Coord](t, data)
+	}
+
+	// 3-D-specific deviations.
+	cases3 := []string{
+		`[{"op":"add","x":3,"y":4}]`,           // missing z on a 3-D mesh
+		`[{"op":"add","x":3,"z":5,"y":4}]`,     // z before y
+		`[{"op":"add","x":3,"y":4,"z":5} ]`,    // whitespace
+		`[{"op":"clear","x":1,"y":2,"z":5.5}]`, // float z
+	}
+	for _, c := range cases3 {
+		data := []byte(c)
+		if _, ok := parseCanonicalEvents[grid3.Coord](data); ok {
+			t.Errorf("fast path accepted non-canonical %q", c)
+		}
+		checkDecodeAgrees[grid3.Coord](t, data)
+	}
+}
+
+// TestCanonicalDecodeFuzzDifferential mutates canonical encodings at
+// random byte positions and requires fast-with-fallback and reference to
+// stay indistinguishable, whatever the mutation produced.
+func TestCanonicalDecodeFuzzDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	mutants := []byte(` ,:[]{}"0123456789-xyz.eE`)
+	for trial := 0; trial < 300; trial++ {
+		events := randomEvents2D(rng, 1+rng.Intn(6))
+		data, err := json.Marshal(events)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mutated := append([]byte(nil), data...)
+		for k := 0; k <= rng.Intn(3); k++ {
+			mutated[rng.Intn(len(mutated))] = mutants[rng.Intn(len(mutants))]
+		}
+		checkDecodeAgrees[grid.Coord](t, mutated)
+	}
+}

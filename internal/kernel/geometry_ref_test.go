@@ -1,0 +1,304 @@
+package kernel
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/grid3"
+)
+
+// This file pins the word-parallel geometry kernels byte-identical to
+// naive per-node reference implementations. The references walk
+// coordinates one at a time through the Topology interface — the shape of
+// the code the word-level rewrite replaced — so any disagreement in
+// content, region order, or closure pass count is a kernel bug, not a
+// modelling question.
+
+// refFillOnce is a per-node reimplementation of one scan-and-fill pass:
+// group the region by line (the off-axis positions), then add every
+// position strictly between the line's extremes.
+func refFillOnce[C comparable, T Topology[C]](s *Set[C, T]) *Set[C, T] {
+	t := s.Mesh()
+	out := s.Clone()
+	axes := t.Axes()
+	for a := 0; a < axes; a++ {
+		type span struct{ lo, hi int }
+		lines := make(map[[3]int]span)
+		s.Each(func(c C) {
+			var k [3]int
+			for b := 0; b < axes; b++ {
+				if b != a {
+					k[b] = t.AxisPos(b, c)
+				}
+			}
+			p := t.AxisPos(a, c)
+			sp, ok := lines[k]
+			if !ok {
+				lines[k] = span{p, p}
+				return
+			}
+			if p < sp.lo {
+				sp.lo = p
+			}
+			if p > sp.hi {
+				sp.hi = p
+			}
+			lines[k] = sp
+		})
+		vals := make([]int, axes)
+		for k, sp := range lines {
+			for b := 0; b < axes; b++ {
+				vals[b] = k[b]
+			}
+			for v := sp.lo + 1; v < sp.hi; v++ {
+				vals[a] = v
+				out.Add(t.AtAxes(vals))
+			}
+		}
+	}
+	return out
+}
+
+// refClosure iterates refFillOnce to the fixpoint with the pass-count
+// semantics of Closure: passes counts only the passes that grew the set.
+func refClosure[C comparable, T Topology[C]](s *Set[C, T]) (*Set[C, T], int) {
+	cur := s
+	passes := 0
+	for {
+		next := refFillOnce(cur)
+		if next.Len() == cur.Len() {
+			return next, passes
+		}
+		cur = next
+		passes++
+	}
+}
+
+// refRegions is a per-node flood using the Topology neighbour lists, with
+// seeds taken in dense index order.
+func refRegions[C comparable, T Topology[C]](s *Set[C, T], neighbors func(T, C, []C) []C) []*Set[C, T] {
+	t := s.Mesh()
+	var out []*Set[C, T]
+	seen := make(map[C]bool)
+	var stack, buf []C
+	s.Each(func(c C) {
+		if seen[c] {
+			return
+		}
+		region := NewSet[C](t)
+		seen[c] = true
+		region.Add(c)
+		stack = append(stack[:0], c)
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			buf = neighbors(t, cur, buf[:0])
+			for _, n := range buf {
+				if s.Has(n) && !seen[n] {
+					seen[n] = true
+					region.Add(n)
+					stack = append(stack, n)
+				}
+			}
+		}
+		out = append(out, region)
+	})
+	return out
+}
+
+// randomSet fills a set with the given approximate density, plus a border
+// bias so mesh-edge behaviour (partial last word, first/last line) is hit
+// constantly rather than occasionally.
+func randomSet[C comparable, T Topology[C]](rng *rand.Rand, t T, density float64) *Set[C, T] {
+	s := NewSet[C](t)
+	size := t.Size()
+	for i := 0; i < size; i++ {
+		if rng.Float64() < density {
+			s.AddIndex(i)
+		}
+	}
+	// A few extra nodes clamped to the faces of the mesh.
+	for k := 0; k < 4 && size > 0; k++ {
+		s.AddIndex(rng.Intn(size))
+		s.AddIndex(size - 1 - rng.Intn(min(size, 3)))
+	}
+	return s
+}
+
+func checkRegionsMatch[C comparable, T Topology[C]](t *testing.T, label string, got, want []*Set[C, T]) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d regions, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("%s: region %d = %v, want %v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// checkKernel runs every rewritten kernel (plain and scratch-reusing
+// forms) against the references on one set.
+func checkKernel[C comparable, T Topology[C]](t *testing.T, label string, s *Set[C, T], scr *Scratch[C, T]) {
+	t.Helper()
+
+	wantFill := refFillOnce(s)
+	if got := FillOnce(s); !got.Equal(wantFill) {
+		t.Fatalf("%s: FillOnce mismatch:\n got %v\nwant %v\n  on %v", label, got, wantFill, s)
+	}
+	if got := scr.FillOnce(s); !got.Equal(wantFill) {
+		t.Fatalf("%s: Scratch.FillOnce mismatch", label)
+	}
+
+	wantClo, wantPasses := refClosure(s)
+	gotClo, gotPasses := Closure(s)
+	if !gotClo.Equal(wantClo) || gotPasses != wantPasses {
+		t.Fatalf("%s: Closure = %v (%d passes), want %v (%d passes)", label, gotClo, gotPasses, wantClo, wantPasses)
+	}
+	if gotClo == s {
+		t.Fatalf("%s: Closure returned the input set, want a fresh copy", label)
+	}
+	scrClo, scrPasses := scr.Closure(s)
+	if !scrClo.Equal(wantClo) || scrPasses != wantPasses {
+		t.Fatalf("%s: Scratch.Closure = %v (%d passes), want %v (%d passes)", label, scrClo, scrPasses, wantClo, wantPasses)
+	}
+	if wantPasses == 0 && scrClo != s {
+		t.Fatalf("%s: Scratch.Closure of a convex region must return the input set", label)
+	}
+
+	if got, want := IsOrthoConvex(s), s.Equal(wantClo); got != want {
+		t.Fatalf("%s: IsOrthoConvex = %v, want %v", label, got, want)
+	}
+
+	topo := s.Mesh()
+	adj := func(tp T, c C, buf []C) []C { return tp.Adjacent(c, buf) }
+	lnk := func(tp T, c C, buf []C) []C { return tp.Links(c, buf) }
+	checkRegionsMatch(t, label+"/Regions", Regions(s), refRegions(s, adj))
+	checkRegionsMatch(t, label+"/LinkRegions", LinkRegions(s), refRegions(s, lnk))
+	// The scratch flood recycles its seen bitmap and region sets; clone
+	// the result before the next scratch call invalidates the slice.
+	scrRegions := append([]*Set[C, T](nil), scr.Regions(s)...)
+	checkRegionsMatch(t, label+"/Scratch.Regions", scrRegions, refRegions(s, adj))
+	scrLinks := append([]*Set[C, T](nil), scr.LinkRegions(s)...)
+	checkRegionsMatch(t, label+"/Scratch.LinkRegions", scrLinks, refRegions(s, lnk))
+	_ = topo
+}
+
+// TestWordKernelsMatchNaive2D pins the word-parallel kernels to the
+// references on randomized 2-D meshes, including widths that are not a
+// multiple of 64 (partial trailing words), a width above 64 (lines
+// spanning word boundaries), single-row and single-column degenerate
+// meshes, and the sparse-lines map path (a tiny region on a large mesh).
+func TestWordKernelsMatchNaive2D(t *testing.T) {
+	meshes := []grid.Mesh{
+		grid.New(9, 7),
+		grid.New(64, 4),
+		grid.New(67, 5),
+		grid.New(130, 3),
+		grid.New(100, 100),
+		grid.New(1, 17),
+		grid.New(17, 1),
+		grid.New(3, 90),
+	}
+	for _, m := range meshes {
+		m := m
+		t.Run(m.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(m.W)*1000 + int64(m.H)))
+			scr := NewScratch[grid.Coord](m)
+			densities := []float64{0.02, 0.15, 0.45, 0.85}
+			trials := 30
+			if m.Size() >= 5000 {
+				trials = 6
+			}
+			for trial := 0; trial < trials; trial++ {
+				d := densities[trial%len(densities)]
+				s := randomSet(rng, m, d)
+				checkKernel(t, fmt.Sprintf("trial %d d=%.2f", trial, d), s, scr)
+			}
+		})
+	}
+}
+
+// TestWordKernelsMatchNaive3D is the 3-D counterpart: cascading closures,
+// plane strides, and meshes whose X extent crosses the 64-bit word size.
+func TestWordKernelsMatchNaive3D(t *testing.T) {
+	meshes := []grid3.Mesh{
+		grid3.New(4, 4, 4),
+		grid3.New(65, 3, 2),
+		grid3.New(13, 7, 5),
+		grid3.New(12, 12, 12),
+		grid3.New(1, 5, 9),
+	}
+	for _, m := range meshes {
+		m := m
+		t.Run(m.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(m.W)*10000 + int64(m.H)*100 + int64(m.D)))
+			scr := NewScratch[grid3.Coord](m)
+			densities := []float64{0.03, 0.2, 0.55}
+			trials := 18
+			if m.Size() >= 1500 {
+				trials = 6
+			}
+			for trial := 0; trial < trials; trial++ {
+				d := densities[trial%len(densities)]
+				s := randomSet(rng, m, d)
+				checkKernel(t, fmt.Sprintf("trial %d d=%.2f", trial, d), s, scr)
+			}
+		})
+	}
+}
+
+// TestWordKernelsSparseLinesPath forces the sparse-lines bookkeeping (a
+// handful of nodes on a mesh whose cross-section dwarfs the region) and
+// the huge-cross-section map fallback even under scratch.
+func TestWordKernelsSparseLinesPath(t *testing.T) {
+	m := grid.New(300, 300)
+	rng := rand.New(rand.NewSource(42))
+	scr := NewScratch[grid.Coord](m)
+	for trial := 0; trial < 40; trial++ {
+		s := NewSet[grid.Coord](m)
+		for k := 0; k < 2+rng.Intn(6); k++ {
+			s.AddIndex(rng.Intn(m.Size()))
+		}
+		if !sparseLines(m.H, s.Len()) {
+			t.Fatalf("test no longer exercises the sparse path: %d lines, %d nodes", m.H, s.Len())
+		}
+		checkKernel(t, fmt.Sprintf("trial %d", trial), s, scr)
+	}
+
+	// Above maxDenseLines even a scratch must fall back to the map.
+	big := grid3.New(300, 300, 2)
+	if lines := big.W * big.H; lines <= maxDenseLines {
+		t.Fatalf("mesh too small to exercise the map fallback: %d lines", lines)
+	}
+	bigScr := NewScratch[grid3.Coord](big)
+	for trial := 0; trial < 10; trial++ {
+		s := NewSet[grid3.Coord](big)
+		for k := 0; k < 2+rng.Intn(5); k++ {
+			s.AddIndex(rng.Intn(big.Size()))
+		}
+		checkKernel(t, fmt.Sprintf("big trial %d", trial), s, bigScr)
+	}
+}
+
+// TestWordKernelsTorusFallback pins the wrapping-topology fallback: on a
+// torus the merge adjacency crosses the seam, which the reference handles
+// through Topology.Adjacent.
+func TestWordKernelsTorusFallback(t *testing.T) {
+	m := grid.NewTorus(10, 6)
+	rng := rand.New(rand.NewSource(7))
+	adj := func(tp grid.Mesh, c grid.Coord, buf []grid.Coord) []grid.Coord { return tp.Adjacent(c, buf) }
+	lnk := func(tp grid.Mesh, c grid.Coord, buf []grid.Coord) []grid.Coord { return tp.Links(c, buf) }
+	for trial := 0; trial < 40; trial++ {
+		s := randomSet(rng, m, 0.25)
+		checkRegionsMatch(t, "torus/Regions", Regions(s), refRegions(s, adj))
+		checkRegionsMatch(t, "torus/LinkRegions", LinkRegions(s), refRegions(s, lnk))
+	}
+	// A seam-crossing pair must be one region under wraparound adjacency.
+	s := SetOf(m, grid.XY(0, 2), grid.XY(9, 2))
+	if got := len(Regions(s)); got != 1 {
+		t.Fatalf("seam-crossing pair split into %d regions, want 1", got)
+	}
+}

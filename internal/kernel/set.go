@@ -88,6 +88,18 @@ func (s *Set[C, T]) Remove(c C) bool {
 	return true
 }
 
+// RemoveIndex deletes the node with dense index i and reports whether the
+// set changed.
+func (s *Set[C, T]) RemoveIndex(i int) bool {
+	w, b := i>>6, uint64(1)<<(i&63)
+	if s.words[w]&b == 0 {
+		return false
+	}
+	s.words[w] &^= b
+	s.n--
+	return true
+}
+
 // Clear removes all nodes.
 func (s *Set[C, T]) Clear() {
 	for i := range s.words {
@@ -103,6 +115,77 @@ func (s *Set[C, T]) Clone() *Set[C, T] {
 	return out
 }
 
+// CopyFrom makes s an exact copy of t (same topology) without allocating,
+// the scratch-reuse counterpart of Clone.
+func (s *Set[C, T]) CopyFrom(t *Set[C, T]) {
+	s.sameMesh(t)
+	copy(s.words, t.words)
+	s.n = t.n
+}
+
+// FillRange inserts every node with a dense index in the half-open range
+// [lo, hi) and returns how many were newly added. It ORs whole masked
+// words, which is what makes axis-line gap filling word-parallel on the
+// contiguous axis (see FillOnce). The range must lie within [0, Size).
+func (s *Set[C, T]) FillRange(lo, hi int) int {
+	if lo >= hi {
+		return 0
+	}
+	loW, hiW := lo>>6, (hi-1)>>6
+	loMask := ^uint64(0) << (lo & 63)
+	hiMask := ^uint64(0) >> (63 - (hi-1)&63)
+	added := 0
+	if loW == hiW {
+		m := loMask & hiMask
+		added = bits.OnesCount64(m &^ s.words[loW])
+		s.words[loW] |= m
+	} else {
+		added = bits.OnesCount64(loMask &^ s.words[loW])
+		s.words[loW] |= loMask
+		for w := loW + 1; w < hiW; w++ {
+			added += bits.OnesCount64(^s.words[w])
+			s.words[w] = ^uint64(0)
+		}
+		added += bits.OnesCount64(hiMask &^ s.words[hiW])
+		s.words[hiW] |= hiMask
+	}
+	s.n += added
+	return added
+}
+
+// SpanOfRange scans the half-open dense-index range [lo, hi) word-wise and
+// returns the first and last set indices inside it plus the number of set
+// nodes. first and last are -1 when the range holds no node. For a
+// contiguous axis line ([base, base+len) in row-major layout) this is the
+// whole-word replacement for walking the line bit by bit.
+func (s *Set[C, T]) SpanOfRange(lo, hi int) (first, last, count int) {
+	first, last = -1, -1
+	if lo >= hi {
+		return first, last, 0
+	}
+	loW, hiW := lo>>6, (hi-1)>>6
+	loMask := ^uint64(0) << (lo & 63)
+	hiMask := ^uint64(0) >> (63 - (hi-1)&63)
+	for w := loW; w <= hiW; w++ {
+		word := s.words[w]
+		if w == loW {
+			word &= loMask
+		}
+		if w == hiW {
+			word &= hiMask
+		}
+		if word == 0 {
+			continue
+		}
+		if first < 0 {
+			first = w<<6 | bits.TrailingZeros64(word)
+		}
+		last = w<<6 | (63 - bits.LeadingZeros64(word))
+		count += bits.OnesCount64(word)
+	}
+	return first, last, count
+}
+
 func (s *Set[C, T]) sameMesh(t *Set[C, T]) {
 	if s.topo != t.topo {
 		panic("kernel: sets over different meshes")
@@ -116,6 +199,25 @@ func (s *Set[C, T]) UnionWith(t *Set[C, T]) {
 	for i := range s.words {
 		s.words[i] |= t.words[i]
 		n += bits.OnesCount64(s.words[i])
+	}
+	s.n = n
+}
+
+// orWithNoCount ORs t into s without maintaining the cardinality cache;
+// callers accumulate several unions and then pay one recount, which keeps
+// the per-word popcount out of the snapshot-publish hot loop.
+func (s *Set[C, T]) orWithNoCount(t *Set[C, T]) {
+	s.sameMesh(t)
+	for i := range s.words {
+		s.words[i] |= t.words[i]
+	}
+}
+
+// recount recomputes the cached cardinality after orWithNoCount calls.
+func (s *Set[C, T]) recount() {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
 	}
 	s.n = n
 }
@@ -206,6 +308,20 @@ func (s *Set[C, T]) Each(fn func(C)) {
 			b := bits.TrailingZeros64(word)
 			word &^= 1 << b
 			fn(s.topo.CoordAt(w<<6 | b))
+		}
+	}
+}
+
+// EachIndex calls fn for every node in the set in dense index order. It is
+// Each without the CoordAt round trip — on the hot paths CoordAt is a
+// dictionary call under Go generics, and most consumers only need the
+// index anyway.
+func (s *Set[C, T]) EachIndex(fn func(int)) {
+	for w, word := range s.words {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << b
+			fn(w<<6 | b)
 		}
 	}
 }

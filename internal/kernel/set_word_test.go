@@ -1,0 +1,161 @@
+package kernel
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+// Word-level Set primitive tests: every boundary the masked-word
+// arithmetic has to get right — ranges inside one word, spanning two,
+// spanning full middle words, and butting against the end of a mesh whose
+// size is not a multiple of 64.
+
+func TestFillRange(t *testing.T) {
+	m := grid.New(67, 3) // 201 nodes: partial trailing word
+	size := m.Size()
+	ranges := [][2]int{
+		{0, 0}, {5, 5}, {3, 9}, {0, 64}, {0, 65}, {63, 65},
+		{60, 130}, {1, 200}, {0, size}, {128, size}, {size - 1, size},
+	}
+	for _, r := range ranges {
+		lo, hi := r[0], r[1]
+		s := NewSet[grid.Coord](m)
+		added := s.FillRange(lo, hi)
+		if want := hi - lo; added != want {
+			t.Fatalf("FillRange(%d,%d) on empty set added %d, want %d", lo, hi, added, want)
+		}
+		if s.Len() != hi-lo {
+			t.Fatalf("FillRange(%d,%d): Len = %d, want %d", lo, hi, s.Len(), hi-lo)
+		}
+		for i := 0; i < size; i++ {
+			if got, want := s.HasIndex(i), i >= lo && i < hi; got != want {
+				t.Fatalf("FillRange(%d,%d): HasIndex(%d) = %v, want %v", lo, hi, i, got, want)
+			}
+		}
+		// Idempotent: a second fill adds nothing.
+		if again := s.FillRange(lo, hi); again != 0 {
+			t.Fatalf("FillRange(%d,%d) twice added %d more", lo, hi, again)
+		}
+	}
+
+	// Partial overlap returns only the newly added count.
+	s := NewSet[grid.Coord](m)
+	s.FillRange(10, 20)
+	if added := s.FillRange(15, 80); added != 60 {
+		t.Fatalf("overlapping FillRange added %d, want 60", added)
+	}
+	if s.Len() != 70 {
+		t.Fatalf("Len after overlapping fills = %d, want 70", s.Len())
+	}
+}
+
+func TestSpanOfRange(t *testing.T) {
+	m := grid.New(130, 2) // X lines span three words
+	s := SetOf(m, grid.XY(3, 0), grid.XY(70, 0), grid.XY(129, 0), grid.XY(0, 1), grid.XY(129, 1))
+
+	cases := []struct {
+		lo, hi             int
+		first, last, count int
+	}{
+		{0, 130, 3, 129, 3},     // row 0
+		{130, 260, 130, 259, 2}, // row 1
+		{4, 129, 70, 70, 1},     // interior window
+		{4, 70, -1, -1, 0},      // empty window
+		{3, 4, 3, 3, 1},         // single-index window
+		{0, 0, -1, -1, 0},       // empty range
+		{64, 128, 70, 70, 1},    // aligned word window
+	}
+	for _, c := range cases {
+		first, last, count := s.SpanOfRange(c.lo, c.hi)
+		if first != c.first || last != c.last || count != c.count {
+			t.Fatalf("SpanOfRange(%d,%d) = (%d,%d,%d), want (%d,%d,%d)",
+				c.lo, c.hi, first, last, count, c.first, c.last, c.count)
+		}
+	}
+}
+
+func TestSpanOfRangeRandomMatchesScan(t *testing.T) {
+	m := grid.New(100, 3)
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		s := NewSet[grid.Coord](m)
+		for k := 0; k < rng.Intn(20); k++ {
+			s.AddIndex(rng.Intn(m.Size()))
+		}
+		lo := rng.Intn(m.Size())
+		hi := lo + rng.Intn(m.Size()-lo+1)
+		wantFirst, wantLast, wantCount := -1, -1, 0
+		for i := lo; i < hi; i++ {
+			if s.HasIndex(i) {
+				if wantFirst < 0 {
+					wantFirst = i
+				}
+				wantLast = i
+				wantCount++
+			}
+		}
+		first, last, count := s.SpanOfRange(lo, hi)
+		if first != wantFirst || last != wantLast || count != wantCount {
+			t.Fatalf("SpanOfRange(%d,%d) = (%d,%d,%d), want (%d,%d,%d) on %v",
+				lo, hi, first, last, count, wantFirst, wantLast, wantCount, s)
+		}
+	}
+}
+
+func TestCopyFromRemoveIndexEachIndex(t *testing.T) {
+	m := grid.New(9, 7)
+	s := SetOf(m, grid.XY(1, 1), grid.XY(8, 6), grid.XY(0, 0))
+	dst := NewSet[grid.Coord](m)
+	dst.Add(grid.XY(4, 4)) // overwritten by CopyFrom
+	dst.CopyFrom(s)
+	if !dst.Equal(s) {
+		t.Fatalf("CopyFrom: %v, want %v", dst, s)
+	}
+	dst.Add(grid.XY(5, 5))
+	if s.Has(grid.XY(5, 5)) {
+		t.Fatal("CopyFrom aliases the source words")
+	}
+
+	if !dst.RemoveIndex(m.Index(grid.XY(5, 5))) {
+		t.Fatal("RemoveIndex of a present node reported no change")
+	}
+	if dst.RemoveIndex(m.Index(grid.XY(5, 5))) {
+		t.Fatal("RemoveIndex of an absent node reported a change")
+	}
+	if !dst.Equal(s) {
+		t.Fatalf("after RemoveIndex: %v, want %v", dst, s)
+	}
+
+	var idx []int
+	s.EachIndex(func(i int) { idx = append(idx, i) })
+	want := []int{m.Index(grid.XY(0, 0)), m.Index(grid.XY(1, 1)), m.Index(grid.XY(8, 6))}
+	if len(idx) != len(want) {
+		t.Fatalf("EachIndex visited %v, want %v", idx, want)
+	}
+	for i := range idx {
+		if idx[i] != want[i] {
+			t.Fatalf("EachIndex visited %v, want %v", idx, want)
+		}
+	}
+}
+
+func TestOrWithNoCountRecount(t *testing.T) {
+	m := grid.New(67, 2)
+	rng := rand.New(rand.NewSource(3))
+	acc := NewSet[grid.Coord](m)
+	want := NewSet[grid.Coord](m)
+	for k := 0; k < 10; k++ {
+		s := NewSet[grid.Coord](m)
+		for j := 0; j < 10; j++ {
+			s.AddIndex(rng.Intn(m.Size()))
+		}
+		acc.orWithNoCount(s)
+		want.UnionWith(s)
+	}
+	acc.recount()
+	if !acc.Equal(want) {
+		t.Fatalf("orWithNoCount+recount = %v, want %v", acc, want)
+	}
+}

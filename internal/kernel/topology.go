@@ -66,4 +66,19 @@ type Topology[C any] interface {
 	// AtAxes builds the coordinate with the given per-axis positions
 	// (vals[axis] for each axis in [0, Axes)). vals is not retained.
 	AtAxes(vals []int) C
+
+	// AxisStride returns the dense-index distance between two nodes that
+	// are axis-neighbours. Indexing must be linear in the axis positions:
+	//
+	//	Index(c) = Σ_axis AxisPos(axis, c) * AxisStride(axis)
+	//
+	// with axis 0 contiguous (stride 1) and stride(a+1) =
+	// stride(a)*AxisLen(a) — i.e. row-major layout. The word-parallel
+	// geometry kernels rely on this contract to turn coordinate walks into
+	// index arithmetic and whole-word bitset operations.
+	AxisStride(axis int) int
+	// Wraps reports whether the topology has wraparound links (a torus).
+	// The word-level flood in Regions assumes non-wrapping axis lines and
+	// falls back to the per-neighbour walk when Wraps is true.
+	Wraps() bool
 }

@@ -381,12 +381,58 @@ func scanFrames(data []byte) (payloads [][]byte, good int64) {
 // data or undecodable events are ErrCorrupt, not a torn tail — the CRC
 // matched, so the bytes are what was written, and what was written is
 // wrong. Recovery must fail loudly rather than guess.
+//
+// Payloads in the exact canonical form Append writes — json.Marshal of
+// batchPayload, whose event array is kernel.Event's own canonical
+// encoding — are decoded by a hand scanner; anything else falls back to
+// encoding/json, so recovery accepts the same language and reports the
+// same errors either way. The fast path is what keeps recovery time
+// dominated by replay instead of reflective JSON decoding.
 func decodeBatch[C any](payload []byte) (Batch[C], error) {
+	if b, ok := parseCanonicalBatch[C](payload); ok {
+		return b, nil
+	}
 	var p batchPayload[C]
 	if err := json.Unmarshal(payload, &p); err != nil {
 		return Batch[C]{}, fmt.Errorf("%w: bad batch record: %v", ErrCorrupt, err)
 	}
 	return Batch[C]{Version: p.Version, Events: p.Events}, nil
+}
+
+// parseCanonicalBatch scans `{"version":N,"events":[...]}` with no
+// whitespace and a canonical event array. ok=false means "not canonical"
+// (reordered keys, whitespace, a hand-edited log …), never "corrupt" —
+// the caller re-decodes through encoding/json for the verdict.
+func parseCanonicalBatch[C any](payload []byte) (Batch[C], bool) {
+	const prefix = `{"version":`
+	if len(payload) < len(prefix) || string(payload[:len(prefix)]) != prefix {
+		return Batch[C]{}, false
+	}
+	pos := len(prefix)
+	// Canonical uint64: digits only, no leading zero (except "0" itself),
+	// overflow-checked so a 20-digit value falls back rather than wraps.
+	start := pos
+	var version uint64
+	for pos < len(payload) && payload[pos] >= '0' && payload[pos] <= '9' {
+		d := uint64(payload[pos] - '0')
+		if version > (^uint64(0)-d)/10 {
+			return Batch[C]{}, false
+		}
+		version = version*10 + d
+		pos++
+	}
+	if pos == start || (payload[start] == '0' && pos-start > 1) {
+		return Batch[C]{}, false
+	}
+	const sep = `,"events":`
+	if len(payload)-pos < len(sep) || string(payload[pos:pos+len(sep)]) != sep {
+		return Batch[C]{}, false
+	}
+	events, end, ok := kernel.ParseCanonicalEventArray[C](payload, pos+len(sep))
+	if !ok || end != len(payload)-1 || payload[end] != '}' {
+		return Batch[C]{}, false
+	}
+	return Batch[C]{Version: version, Events: events}, true
 }
 
 // readSnapshot loads the compaction snapshot into rec; a missing snapshot

@@ -1,0 +1,107 @@
+package wal
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/kernel"
+)
+
+// slowDecodeBatch is decodeBatch without the fast path — the behavioural
+// reference the canonical scanner must be indistinguishable from.
+func slowDecodeBatch[C any](payload []byte) (Batch[C], error) {
+	var p batchPayload[C]
+	if err := json.Unmarshal(payload, &p); err != nil {
+		return Batch[C]{}, fmt.Errorf("%w: bad batch record: %v", ErrCorrupt, err)
+	}
+	return Batch[C]{Version: p.Version, Events: p.Events}, nil
+}
+
+func checkBatchAgrees(t *testing.T, payload []byte) {
+	t.Helper()
+	got, gotErr := decodeBatch[grid.Coord](payload)
+	want, wantErr := slowDecodeBatch[grid.Coord](payload)
+	if (gotErr == nil) != (wantErr == nil) ||
+		(gotErr != nil && gotErr.Error() != wantErr.Error()) {
+		t.Fatalf("decode %q: error %v, reference %v", payload, gotErr, wantErr)
+	}
+	if got.Version != want.Version || !reflect.DeepEqual(got.Events, want.Events) {
+		t.Fatalf("decode %q: %+v, reference %+v", payload, got, want)
+	}
+}
+
+// TestDecodeBatchCanonicalRoundTrip checks that every payload Append
+// would write — json.Marshal of batchPayload — takes the fast path and
+// decodes identically to the reflective reference, across versions that
+// stress the uint64 scanner (0, boundaries, max).
+func TestDecodeBatchCanonicalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	versions := []uint64{0, 1, 9, 10, 255, 1 << 32, ^uint64(0)}
+	for trial := 0; trial < 40; trial++ {
+		n := rng.Intn(8)
+		events := make([]kernel.Event[grid.Coord], n)
+		for i := range events {
+			op := kernel.Add
+			if rng.Intn(2) == 0 {
+				op = kernel.Clear
+			}
+			events[i] = kernel.Event[grid.Coord]{Op: op, Node: grid.XY(rng.Intn(300), rng.Intn(300))}
+		}
+		version := versions[trial%len(versions)]
+		payload, err := json.Marshal(batchPayload[grid.Coord]{Version: version, Events: events})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := parseCanonicalBatch[grid.Coord](payload); !ok {
+			t.Fatalf("own encoding not canonical: %s", payload)
+		}
+		checkBatchAgrees(t, payload)
+	}
+	// A batch with a nil event slice marshals its events as null; still
+	// canonical, still identical to the reference.
+	payload, err := json.Marshal(batchPayload[grid.Coord]{Version: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := parseCanonicalBatch[grid.Coord](payload); !ok {
+		t.Fatalf("own encoding not canonical: %s", payload)
+	}
+	checkBatchAgrees(t, payload)
+}
+
+// TestDecodeBatchCanonicalFallback feeds hand-edited and adversarial
+// payloads: the fast path must decline every one and the outcome must be
+// byte-identical to the reflective path (which still accepts the valid
+// JSON among them — a hand-edited but legal log keeps recovering).
+func TestDecodeBatchCanonicalFallback(t *testing.T) {
+	cases := []string{
+		`{"version": 3,"events":[]}`,                              // whitespace
+		`{"events":[],"version":3}`,                               // reordered envelope
+		`{"version":3,"events":[{"x":1,"y":2,"op":"add"}]}`,       // reordered event
+		`{"version":03,"events":[]}`,                              // leading zero
+		`{"version":3.0,"events":[]}`,                             // float version
+		`{"version":-3,"events":[]}`,                              // negative version
+		`{"version":18446744073709551616,"events":[]}`,            // uint64 overflow
+		`{"version":3,"events":[]} `,                              // trailing space
+		`{"version":3,"events":[]}x`,                              // trailing data
+		`{"version":3,"events":null,"extra":1}`,                   // extra field
+		`{"version":3,"events":[{"op":"add","x":1,"y":2},]}`,      // trailing comma
+		`{"version":3,"events":[{"op":"add","x":1,"y":2}]`,        // truncated
+		`{"version":3,"events":[{"op":"add","x":1,"y":2,"z":3}]}`, // z on 2-D
+		`{"version":3}`,                                           // missing events
+		`{"events":[]}`,                                           // missing version
+		`[]`,                                                      // wrong shape
+		``,                                                        // empty
+	}
+	for _, c := range cases {
+		payload := []byte(c)
+		if _, ok := parseCanonicalBatch[grid.Coord](payload); ok {
+			t.Errorf("fast path accepted non-canonical %q", c)
+		}
+		checkBatchAgrees(t, payload)
+	}
+}
