@@ -27,7 +27,7 @@ CRASH_FLAGS ?=
 # worker counts) and byte-compares.
 ROUTE_FLAGS ?= -mesh 50 -faults 25,50,100 -trials 3 -route-messages 200
 
-.PHONY: all build test race cover fuzz stress-check crash-check route-check bench bench-json bench-check bench-baseline docs-check lint staticcheck tidy-check fmt clean
+.PHONY: all build test race cover fuzz stress-check crash-check route-check bench bench-json bench-check bench-baseline docs-check lint staticcheck mfplint govulncheck tidy-check fmt clean
 
 all: lint build test
 
@@ -119,15 +119,34 @@ docs-check:
 	$(GO) test -run '^TestMetricsDocumented$$' ./cmd/mfpd
 
 # gofmt gate + go vet always; staticcheck when installed (the dedicated CI
-# job installs it and runs `make staticcheck`, which does not skip).
+# job installs it and runs `make staticcheck`, which does not skip); mfplint
+# (the repo's own analyzers, see internal/lint) when its build succeeds —
+# the same skip-with-notice shape, so a toolchain too old to build it does
+# not wedge local `make lint` while the dedicated CI job stays strict.
 lint:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt -w needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
 	else echo "staticcheck not installed; skipped (CI enforces it via make staticcheck)"; fi
+	@if $(GO) build -o /dev/null ./cmd/mfplint 2>/dev/null; then echo "$(GO) run ./cmd/mfplint ./..."; $(GO) run ./cmd/mfplint ./...; \
+	else echo "mfplint build unavailable; skipped (CI enforces it via make mfplint)"; fi
 
 staticcheck:
 	staticcheck ./...
+
+# The repo's custom analyzers (snapshot immutability, scratch-pool escape,
+# bounded metric labels, error envelope, goroutine ownership), run strictly.
+# mfplint is a standalone driver rather than a `go vet -vettool` plugin
+# because the module is dependency-free: the vettool protocol needs
+# golang.org/x/tools' unitchecker, while internal/lint runs on the standard
+# library alone.
+mfplint:
+	$(GO) run ./cmd/mfplint ./...
+
+# Known-vulnerability scan of the module and its (std-only) dependency
+# graph; the CI job installs a pinned govulncheck and runs this strictly.
+govulncheck:
+	govulncheck ./...
 
 # Module-hygiene gate: `go mod tidy` must be a no-op (a drifted go.mod or
 # go.sum means a dependency was added or dropped without tidying). CI's

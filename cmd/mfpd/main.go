@@ -168,9 +168,9 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
+	go func() { errc <- srv.ListenAndServe() }() //mfplint:managed listener goroutine exits into errc when Shutdown below closes the listener
 	if debugSrv != nil {
-		go func() { errc <- debugSrv.ListenAndServe() }()
+		go func() { errc <- debugSrv.ListenAndServe() }() //mfplint:managed debug listener exits into errc when its Shutdown below closes the listener
 		logger.Info("debug listener up", "addr", *debugAddr)
 	}
 	logger.Info("serving", "meshes", mgr.Len(), "addr", *addr)

@@ -1,0 +1,90 @@
+// Command mfplint runs the repository's custom static-analysis suite
+// (internal/lint) over the module: snapshotmut, scratchescape, obslabels,
+// errenvelope, nakedgo, plus validation of the //mfplint: directives
+// themselves. It exits non-zero when any diagnostic is reported, printing
+// findings in the familiar path:line:col format.
+//
+// Usage:
+//
+//	mfplint [-list] [-only name[,name]] [packages]
+//
+// Packages default to ./... relative to the current directory. The
+// module's own go tool resolves and type-checks everything offline — the
+// suite has no third-party dependencies, mirroring the shape of
+// golang.org/x/tools/go/analysis so it could migrate onto the real
+// framework if the module ever takes on external deps.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	listFlag := flag.Bool("list", false, "list the analyzers and exit")
+	onlyFlag := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: mfplint [-list] [-only name[,name]] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *listFlag {
+		for _, a := range analyzers {
+			fmt.Printf("%s: %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *onlyFlag != "" {
+		want := make(map[string]bool)
+		for _, name := range strings.Split(*onlyFlag, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		var picked []*lint.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name] {
+				picked = append(picked, a)
+				delete(want, a.Name)
+			}
+		}
+		for name := range want {
+			fmt.Fprintf(os.Stderr, "mfplint: unknown analyzer %q\n", name)
+			os.Exit(2)
+		}
+		analyzers = picked
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mfplint: %v\n", err)
+		os.Exit(2)
+	}
+	loader, err := lint.NewLoader(wd, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mfplint: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.Packages()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mfplint: %v\n", err)
+		os.Exit(2)
+	}
+
+	diags := lint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Printf("%s: %s (%s)\n", loader.Fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "mfplint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -412,6 +412,8 @@ func (e *Engine[C, T]) insertEntry(en *entry[C, T]) {
 // contained in the merged polygon, and only unpublished (new) polygons
 // need ORing on top. Any applied clear can shrink the union and forces the
 // full rebuild.
+//
+//mfplint:owned publish is the one legitimate snapshot writer: it mutates s (and clones prev) strictly before e.snap.Store makes s visible, so no reader can observe the writes.
 func (e *Engine[C, T]) publish(hadClear bool) {
 	s := &Snapshot[C, T]{
 		mesh:     e.mesh,

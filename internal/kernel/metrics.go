@@ -6,8 +6,6 @@ package kernel
 // the event hot path pays plain atomic adds, never a map lookup.
 
 import (
-	"strconv"
-
 	"repro/internal/obs"
 )
 
@@ -34,7 +32,19 @@ type engineMetrics struct {
 }
 
 func newEngineMetrics(axes int) engineMetrics {
-	dim := strconv.Itoa(axes)
+	// The dim label draws from a fixed vocabulary, not from formatting the
+	// axis count: a formatted integer is an unbounded label value as far as
+	// the metric surface is concerned (obslabels), and the registry keeps
+	// every distinct value alive forever.
+	var dim string
+	switch axes {
+	case 2:
+		dim = "2"
+	case 3:
+		dim = "3"
+	default:
+		dim = "other"
+	}
 	return engineMetrics{
 		eventsApplied:     metricEventsApplied.With(dim),
 		componentsTouched: metricComponentsTouched.With(dim),

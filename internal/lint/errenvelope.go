@@ -1,0 +1,98 @@
+package lint
+
+// errenvelope: HTTP error responses go through the /v1 envelope.
+//
+// docs/API.md promises every non-2xx body is the versioned JSON envelope
+// {"error":{"code":...,"message":...}}, and the crash-recovery and
+// route-sweep clients parse it. A bare http.Error or a naked
+// WriteHeader(http.StatusBadRequest) emits text/plain with no machine
+// code, silently breaking every consumer. Inside serving code the only
+// sanctioned paths are the writeError/writeDecodeError/writeShardError
+// helpers (which pass a variable status to WriteHeader and are therefore
+// invisible to this check by construction).
+//
+// Flagged: calls to net/http.Error, and WriteHeader calls whose argument
+// is a constant >= 400. WriteHeader with a computed status is the
+// envelope helper itself and stays legal.
+//
+// Scope: only the daemon's serving plane (packages under cmd/mfpd). The
+// obs package's /metrics handler serves the Prometheus text format — the
+// JSON envelope contract is a property of the /v1 API, not of every HTTP
+// handler in the module.
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// ErrEnvelope is the error-envelope analyzer.
+var ErrEnvelope = &Analyzer{
+	Name: "errenvelope",
+	Doc: "flags HTTP error responses that bypass the /v1 JSON error envelope: " +
+		"http.Error calls and WriteHeader with a constant 4xx/5xx status. Use the " +
+		"writeError helper so clients always get {\"error\":{code,message}}. " +
+		"Annotate deliberate exceptions //mfplint:owned with the reason.",
+	Run: runErrEnvelope,
+}
+
+func runErrEnvelope(p *Pass) error {
+	if !strings.Contains(p.Pkg.Path(), "mfpd") {
+		return nil // envelope contract is the daemon's, not the libraries'
+	}
+	for _, f := range p.Files {
+		if p.isTestFile(f) {
+			continue
+		}
+		eachFunc(f, func(fs funcScope) {
+			if p.funcAllowed(fs.decl, "owned") {
+				return
+			}
+			ast.Inspect(fs.body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				switch {
+				case p.isHTTPError(sel):
+					if !p.allowedAt(call.Pos(), "owned") {
+						p.Report(call.Pos(), "http.Error writes text/plain, not the /v1 JSON error envelope; use the writeError helper")
+					}
+				case sel.Sel.Name == "WriteHeader" && len(call.Args) == 1:
+					if status, ok := p.constInt(call.Args[0]); ok && status >= 400 && !p.allowedAt(call.Pos(), "owned") {
+						p.Report(call.Pos(), "bare WriteHeader(%d) skips the /v1 JSON error envelope; use the writeError helper", status)
+					}
+				}
+				return true
+			})
+		})
+	}
+	return nil
+}
+
+// isHTTPError reports whether sel resolves to net/http.Error.
+func (p *Pass) isHTTPError(sel *ast.SelectorExpr) bool {
+	fn, ok := p.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != "Error" {
+		return false
+	}
+	return fn.Pkg() != nil && fn.Pkg().Path() == "net/http"
+}
+
+// constInt evaluates e as a compile-time integer constant.
+func (p *Pass) constInt(e ast.Expr) (int64, bool) {
+	tv, ok := p.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v := constant.ToInt(tv.Value)
+	if v.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(v)
+}

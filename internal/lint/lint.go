@@ -1,0 +1,252 @@
+// Package lint is the repository's static-analysis suite: a small,
+// dependency-free analysis driver (the module deliberately has no
+// third-party imports, so golang.org/x/tools/go/analysis is mirrored here
+// rather than vendored) plus the analyzers that mechanically enforce the
+// invariants the rest of the system only verifies at runtime:
+//
+//   - snapshotmut: published kernel.Snapshot state is immutable — no
+//     mutating Set calls or element writes on anything reachable from a
+//     snapshot (the engine's publish path opts out with //mfplint:owned).
+//   - scratchescape: kernel.Scratch pool memory must not escape into
+//     long-lived structures — no storing or returning pooled sets outside
+//     the clone/publish helpers (PR 8's stale-span bug was this class).
+//   - obslabels: obs metric label values must be compile-time constants or
+//     provably bounded — never mesh names, request ids, or fmt.Sprintf.
+//   - errenvelope: HTTP error responses must flow through the /v1 error
+//     envelope helper, never raw http.Error/WriteHeader(4xx|5xx).
+//   - nakedgo: every goroutine must be joinable (WaitGroup in the same
+//     function) or carry a //mfplint:managed justification, because
+//     drain-on-SIGTERM correctness depends on no goroutine being orphaned.
+//
+// Deliberate exceptions are written as directives in the source:
+//
+//	//mfplint:owned <why>     (snapshotmut, scratchescape)
+//	//mfplint:bounded <why>   (obslabels)
+//	//mfplint:managed <why>   (nakedgo)
+//
+// A directive always requires the <why> text — an unexplained suppression
+// is itself a diagnostic — and applies to the statement on its own line,
+// the line below it, or (when written in a function's doc comment) to the
+// whole function. cmd/mfplint is the command-line driver; Run in this
+// package is its engine, and linttest replays the testdata corpora.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named static check, mirroring the shape of
+// golang.org/x/tools/go/analysis.Analyzer so the suite can migrate onto
+// the real framework if the module ever takes on third-party deps.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and directives.
+	Name string
+	// Doc is the one-paragraph description `mfplint -help` prints.
+	Doc string
+	// Run inspects one package and reports findings via pass.Report.
+	Run func(*Pass) error
+}
+
+// A Pass is one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	directives directiveIndex
+	report     func(Diagnostic)
+}
+
+// A Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Report records a finding.
+func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}
+
+// directive is one //mfplint:<verb> comment, parsed once per package.
+type directive struct {
+	verb   string // "owned", "bounded", "managed"
+	reason string // justification text after the verb
+}
+
+// directiveIndex maps file -> line -> directives written on that line.
+type directiveIndex map[*token.File]map[int][]directive
+
+const directivePrefix = "//mfplint:"
+
+// parseDirectives collects every //mfplint: comment, validating as it
+// goes: an unknown verb or a directive without a justification is itself
+// a diagnostic (attributed to the pseudo-analyzer "directives"), because
+// the escape hatches only exist with a written explanation.
+func parseDirectives(fset *token.FileSet, files []*ast.File, report func(Diagnostic)) directiveIndex {
+	idx := make(directiveIndex)
+	for _, f := range files {
+		tf := fset.File(f.Pos())
+		if tf == nil {
+			continue
+		}
+		lines := make(map[int][]directive)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				verb, reason, _ := strings.Cut(rest, " ")
+				d := directive{verb: verb, reason: strings.TrimSpace(reason)}
+				bad := ""
+				switch verb {
+				case "owned", "bounded", "managed":
+					if d.reason == "" {
+						bad = fmt.Sprintf("//mfplint:%s directive without a justification — explain the invariant it waives", verb)
+					}
+				default:
+					bad = fmt.Sprintf("unknown directive %q (want owned, bounded or managed, with a justification)", directivePrefix+verb)
+				}
+				if bad != "" {
+					report(Diagnostic{Pos: c.Pos(), Message: bad, Analyzer: "directives"})
+					continue
+				}
+				line := tf.Line(c.Pos())
+				lines[line] = append(lines[line], d)
+			}
+		}
+		if len(lines) > 0 {
+			idx[tf] = lines
+		}
+	}
+	return idx
+}
+
+// allowedAt reports whether a directive with the given verb covers pos: on
+// the same line as pos or on the line directly above it (the conventional
+// spot for an explanatory comment).
+func (p *Pass) allowedAt(pos token.Pos, verb string) bool {
+	tf := p.Fset.File(pos)
+	if tf == nil {
+		return false
+	}
+	lines := p.directives[tf]
+	if lines == nil {
+		return false
+	}
+	line := tf.Line(pos)
+	for _, d := range append(append([]directive(nil), lines[line]...), lines[line-1]...) {
+		if d.verb == verb {
+			return true
+		}
+	}
+	return false
+}
+
+// funcAllowed reports whether the function declaration's doc comment
+// carries the directive — the function-level escape hatch (the engine's
+// publish path uses it).
+func (p *Pass) funcAllowed(fd *ast.FuncDecl, verb string) bool {
+	if fd == nil || fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, directivePrefix+verb) {
+			rest := strings.TrimPrefix(c.Text, directivePrefix+verb)
+			if strings.TrimSpace(rest) != "" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isTestFile reports whether the file is a _test.go file. The analyzers
+// police production invariants; tests routinely spawn raw goroutines,
+// fabricate labels, and poke sets.
+func (p *Pass) isTestFile(f *ast.File) bool {
+	name := p.Fset.Position(f.Pos()).Filename
+	return strings.HasSuffix(name, "_test.go")
+}
+
+// namedType unwraps pointers and returns the *types.Named beneath t, or
+// nil. (Alias types are already resolved by the go/types checker at the
+// go.mod language version this module targets.)
+func namedType(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Named:
+			return u
+		default:
+			return nil
+		}
+	}
+}
+
+// isNamed reports whether t (possibly behind pointers) is the named type
+// pkgPath.name, including any generic instantiation of it.
+func isNamed(t types.Type, pkgPath, name string) bool {
+	n := namedType(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Origin().Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// KernelPath is the import path whose Snapshot/Set/Scratch types the
+// snapshotmut and scratchescape analyzers key on; ObsPath carries the
+// metric vec types obslabels keys on. The linttest corpora import the real
+// packages, so the analyzers behave identically on testdata and the tree.
+const (
+	KernelPath = "repro/internal/kernel"
+	ObsPath    = "repro/internal/obs"
+)
+
+// Run executes every analyzer over every package and returns the combined
+// findings in a deterministic order.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		report := func(d Diagnostic) { diags = append(diags, d) }
+		idx := parseDirectives(pkg.Fset, pkg.Files, report)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:   a,
+				Fset:       pkg.Fset,
+				Files:      pkg.Files,
+				Pkg:        pkg.Types,
+				TypesInfo:  pkg.TypesInfo,
+				directives: idx,
+				report:     report,
+			}
+			if err := a.Run(pass); err != nil {
+				diags = append(diags, Diagnostic{
+					Pos:      token.NoPos,
+					Message:  fmt.Sprintf("internal error: %v", err),
+					Analyzer: a.Name,
+				})
+			}
+		}
+	}
+	// One deterministic order: packages arrive sorted from the loader, and
+	// within a package positions order findings.
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags
+}
+
+// Analyzers is the full suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{SnapshotMut, ScratchEscape, ObsLabels, ErrEnvelope, NakedGo}
+}

@@ -1,0 +1,347 @@
+package lint
+
+// The corpus harness: each analyzer replays its testdata package and must
+// produce exactly the findings the corpus's `// want "regex"` comments
+// declare — no more, no fewer. Because the corpora import the module's
+// real kernel, grid and obs packages (resolved through the same export
+// data mfplint uses), an analyzer that silently stops matching the real
+// types fails its corpus here before it silently stops protecting the
+// tree.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	loaderOnce sync.Once
+	loaderVal  *Loader
+	loaderErr  error
+)
+
+// corpusLoader builds one shared Loader rooted at the module (the `go
+// list -export` walk is the expensive part; every corpus reuses it).
+func corpusLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		root, err := filepath.Abs(filepath.Join("..", ".."))
+		if err != nil {
+			loaderErr = err
+			return
+		}
+		loaderVal, loaderErr = NewLoader(root, "./...")
+	})
+	if loaderErr != nil {
+		t.Fatalf("building corpus loader: %v", loaderErr)
+	}
+	return loaderVal
+}
+
+// checkCorpus type-checks testdata/src/<dir> under the given import path
+// and runs one analyzer over it.
+func checkCorpus(t *testing.T, a *Analyzer, dir, importPath string) (*Package, []Diagnostic) {
+	t.Helper()
+	l := corpusLoader(t)
+	pkg, err := l.CheckDir(filepath.Join("testdata", "src", dir), importPath)
+	if err != nil {
+		t.Fatalf("type-checking corpus %s: %v", dir, err)
+	}
+	return pkg, Run([]*Package{pkg}, []*Analyzer{a})
+}
+
+// want is one expected-diagnostic declaration from a corpus comment.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// parseWants collects the `// want "regex" ...` comments of a package.
+func parseWants(t *testing.T, pkg *Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllStringSubmatch(c.Text[idx:], -1) {
+					pat, err := strconv.Unquote(`"` + m[1] + `"`)
+					if err != nil {
+						t.Fatalf("%s: bad want string %s: %v", pos, m[0], err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &want{file: filepath.Base(pos.Filename), line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// runCorpus is the analysistest-style assertion: every diagnostic must
+// match a want on its line, and every want must be matched.
+func runCorpus(t *testing.T, a *Analyzer, dir, importPath string) {
+	t.Helper()
+	pkg, diags := checkCorpus(t, a, dir, importPath)
+	wants := parseWants(t, pkg)
+	if len(wants) == 0 {
+		t.Fatalf("corpus %s declares no wants; a silent corpus cannot catch a disabled analyzer", dir)
+	}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		file, line := filepath.Base(pos.Filename), pos.Line
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == file && w.line == line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s (%s)", pos, d.Message, d.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: want %q: no matching diagnostic", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestSnapshotMutCorpus(t *testing.T) {
+	runCorpus(t, SnapshotMut, "snapshotmut", "lintcorpus/snapshotmut")
+}
+func TestScratchEscapeCorpus(t *testing.T) {
+	runCorpus(t, ScratchEscape, "scratchescape", "lintcorpus/scratchescape")
+}
+func TestObsLabelsCorpus(t *testing.T) { runCorpus(t, ObsLabels, "obslabels", "lintcorpus/obslabels") }
+func TestNakedGoCorpus(t *testing.T)   { runCorpus(t, NakedGo, "nakedgo", "lintcorpus/nakedgo") }
+
+// TestErrEnvelopeCorpus checks the serving-plane corpus under a
+// cmd/mfpd-like import path, where the wants apply.
+func TestErrEnvelopeCorpus(t *testing.T) {
+	runCorpus(t, ErrEnvelope, "errenvelope", "repro/cmd/mfpd/lintcorpus")
+}
+
+// TestErrEnvelopeScopedToServingPlane re-checks the same corpus under a
+// library import path: the envelope contract is the daemon's, so the
+// analyzer must report nothing at all.
+func TestErrEnvelopeScopedToServingPlane(t *testing.T) {
+	_, diags := checkCorpus(t, ErrEnvelope, "errenvelope", "lintcorpus/librarypath")
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic outside the serving plane: %s (%s)", d.Message, d.Analyzer)
+	}
+}
+
+// TestDirectiveValidation asserts the directive diagnostics explicitly: a
+// want comment cannot share a line with the directive comment under test,
+// so the corpus is matched by hand here.
+func TestDirectiveValidation(t *testing.T) {
+	pkg, diags := checkCorpus(t, SnapshotMut, "directives", "lintcorpus/directives")
+	type expected struct {
+		line    int
+		message string
+	}
+	wants := []expected{
+		{9, "directive without a justification"},
+		{14, "unknown directive"},
+	}
+	if len(diags) != len(wants) {
+		for _, d := range diags {
+			t.Logf("got: %s: %s (%s)", pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
+		}
+		t.Fatalf("got %d diagnostics, want %d", len(diags), len(wants))
+	}
+	for i, w := range wants {
+		d := diags[i]
+		if d.Analyzer != "directives" {
+			t.Errorf("diagnostic %d attributed to %q, want %q", i, d.Analyzer, "directives")
+		}
+		if pos := pkg.Fset.Position(d.Pos); pos.Line != w.line {
+			t.Errorf("diagnostic %d at line %d, want line %d", i, pos.Line, w.line)
+		}
+		if !strings.Contains(d.Message, w.message) {
+			t.Errorf("diagnostic %d message %q, want substring %q", i, d.Message, w.message)
+		}
+	}
+}
+
+// TestAnalyzersComplete pins the suite: every analyzer registered, named,
+// documented, and runnable.
+func TestAnalyzersComplete(t *testing.T) {
+	as := Analyzers()
+	wantNames := []string{"snapshotmut", "scratchescape", "obslabels", "errenvelope", "nakedgo"}
+	if len(as) != len(wantNames) {
+		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(as), len(wantNames))
+	}
+	for i, a := range as {
+		if a.Name != wantNames[i] {
+			t.Errorf("analyzer %d is %q, want %q", i, a.Name, wantNames[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q lacks doc or run function", a.Name)
+		}
+	}
+}
+
+// TestSetMutatorsCurrent keeps snapshotmut's setMutators table in sync
+// with internal/kernel/set.go: the mutating methods are recomputed from
+// the source (receiver-rooted writes, closed under receiver-method
+// delegation) and must equal the table exactly, so adding a Set mutator
+// without teaching the analyzer fails here.
+func TestSetMutatorsCurrent(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filepath.Join("..", "kernel", "set.go"), nil, 0)
+	if err != nil {
+		t.Fatalf("parsing kernel set.go: %v", err)
+	}
+	type method struct {
+		recv string
+		body *ast.BlockStmt
+	}
+	methods := make(map[string]method)
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 || fd.Body == nil {
+			continue
+		}
+		if baseTypeName(fd.Recv.List[0].Type) != "Set" || len(fd.Recv.List[0].Names) == 0 {
+			continue
+		}
+		methods[fd.Name.Name] = method{recv: fd.Recv.List[0].Names[0].Name, body: fd.Body}
+	}
+	got := make(map[string]bool)
+	for name, m := range methods {
+		if writesReceiver(m.body, m.recv) {
+			got[name] = true
+		}
+	}
+	// Close under delegation: Add mutates via AddIndex.
+	for {
+		grew := false
+		for name, m := range methods {
+			if got[name] {
+				continue
+			}
+			ast.Inspect(m.body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok && got[sel.Sel.Name] {
+					if id, ok := sel.X.(*ast.Ident); ok && id.Name == m.recv {
+						got[name] = true
+						grew = true
+					}
+				}
+				return true
+			})
+		}
+		if !grew {
+			break
+		}
+	}
+	for name := range got {
+		if !setMutators[name] {
+			t.Errorf("kernel.Set method %s mutates its receiver but is missing from setMutators", name)
+		}
+	}
+	for name := range setMutators {
+		if !got[name] {
+			t.Errorf("setMutators lists %s, which no longer mutates a kernel.Set receiver", name)
+		}
+	}
+}
+
+// baseTypeName unwraps *Set[C, T] to "Set".
+func baseTypeName(e ast.Expr) string {
+	for {
+		switch v := e.(type) {
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.IndexListExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.Ident:
+			return v.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// writesReceiver reports whether body assigns through the named receiver
+// (s.n = ..., s.words[i] |= ..., s.n++).
+func writesReceiver(body *ast.BlockStmt, recv string) bool {
+	rooted := func(e ast.Expr) bool {
+		for {
+			switch v := e.(type) {
+			case *ast.SelectorExpr:
+				e = v.X
+			case *ast.IndexExpr:
+				e = v.X
+			case *ast.StarExpr:
+				e = v.X
+			case *ast.ParenExpr:
+				e = v.X
+			case *ast.Ident:
+				return v.Name == recv
+			default:
+				return false
+			}
+		}
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range v.Lhs {
+				if _, isIdent := lhs.(*ast.Ident); !isIdent && rooted(lhs) {
+					found = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if rooted(v.X) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// TestLoaderRejectsMissingExport pins the loader's error shape so a
+// corpus importing a package outside the listed closure fails with the
+// actionable message, not a nil-importer panic.
+func TestLoaderRejectsMissingExport(t *testing.T) {
+	l := corpusLoader(t)
+	if _, ok := l.exports["repro/internal/kernel"]; !ok {
+		t.Fatalf("loader is missing export data for repro/internal/kernel")
+	}
+	imp := l.importerFor()
+	_, err := imp.Import("example.com/not/listed")
+	if err == nil || !strings.Contains(err.Error(), "no export data") {
+		t.Fatalf("importing an unlisted package: err = %v, want no-export-data error", err)
+	}
+}

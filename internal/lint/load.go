@@ -1,0 +1,186 @@
+package lint
+
+// The package loader: a minimal, dependency-free stand-in for
+// golang.org/x/tools/go/packages. `go list -export -deps -json` yields
+// every package's source files plus the compiler's export data for its
+// dependencies; the module's own packages are then parsed and type-checked
+// from source, with every import (std or module) resolved through the
+// export data the build cache already holds. Everything runs offline — the
+// one subprocess is the go tool itself.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	Path      string
+	Dir       string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Loader resolves and type-checks packages of one module. Create it once
+// (the `go list` walk and the export-data index are the expensive part)
+// and check any number of package dirs against it.
+type Loader struct {
+	ModuleDir string
+	Fset      *token.FileSet
+
+	exports map[string]string // import path -> export data file
+	targets []*listedPackage  // the non-DepOnly packages the patterns named
+}
+
+// NewLoader lists patterns (plus their full dependency closure) in
+// moduleDir and indexes the compiler's export data for every dependency.
+// Patterns are anything `go list` accepts: "./...", a package path, or a
+// std package a testdata corpus needs that the module itself does not
+// import.
+func NewLoader(moduleDir string, patterns ...string) (*Loader, error) {
+	args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Dir,Name,GoFiles,Export,Standard,DepOnly,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = moduleDir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	l := &Loader{
+		ModuleDir: moduleDir,
+		Fset:      token.NewFileSet(),
+		exports:   make(map[string]string),
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			cp := p
+			l.targets = append(l.targets, &cp)
+		}
+	}
+	sort.Slice(l.targets, func(i, j int) bool { return l.targets[i].ImportPath < l.targets[j].ImportPath })
+	return l, nil
+}
+
+// importerFor returns a types.Importer that resolves every import through
+// the loader's export-data index.
+func (l *Loader) importerFor() types.Importer {
+	return importer.ForCompiler(l.Fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := l.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q (add it to the loader patterns)", path)
+		}
+		return os.Open(file)
+	})
+}
+
+// Packages parses and type-checks every package the loader's patterns
+// named, in import-path order.
+func (l *Loader) Packages() ([]*Package, error) {
+	imp := l.importerFor()
+	pkgs := make([]*Package, 0, len(l.targets))
+	for _, t := range l.targets {
+		files := make([]string, len(t.GoFiles))
+		for i, f := range t.GoFiles {
+			files[i] = filepath.Join(t.Dir, f)
+		}
+		pkg, err := l.check(imp, t.ImportPath, t.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// CheckDir parses and type-checks every .go file directly under dir as one
+// package with the given import path — the entry point the linttest
+// corpora use, so testdata packages can import the module's real kernel,
+// grid and obs packages and exercise the analyzers against the true types.
+func (l *Loader) CheckDir(dir, path string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no .go files in %s", dir)
+	}
+	sort.Strings(files)
+	return l.check(l.importerFor(), path, dir, files)
+}
+
+// check parses the named files and runs the type checker over them.
+func (l *Loader) check(imp types.Importer, path, dir string, files []string) (*Package, error) {
+	asts := make([]*ast.File, 0, len(files))
+	for _, name := range files {
+		f, err := parser.ParseFile(l.Fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %v", err)
+		}
+		asts = append(asts, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, l.Fset, asts, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", path, err)
+	}
+	return &Package{
+		Path:      path,
+		Dir:       dir,
+		Fset:      l.Fset,
+		Files:     asts,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}

@@ -1,0 +1,98 @@
+package lint
+
+// nakedgo: every goroutine must be joinable or justified.
+//
+// mfpd's drain-on-SIGTERM guarantee (finish in-flight applies, fsync the
+// WAL, then exit) only holds if every goroutine has an owner that waits
+// for it. An unmanaged `go` statement is work the shutdown path cannot
+// see: at best a leak, at worst a WAL write racing the final fsync. The
+// shard mailboxes and the HTTP listeners are the sanctioned long-lived
+// goroutines — each is joined through its own channel protocol and
+// carries an //mfplint:managed directive saying so.
+//
+// The analyzer accepts a `go` statement when the enclosing function
+// demonstrably joins it — it calls both Add and Wait on a sync.WaitGroup
+// — or when an //mfplint:managed directive covers it. Everything else is
+// flagged.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NakedGo is the goroutine-ownership analyzer.
+var NakedGo = &Analyzer{
+	Name: "nakedgo",
+	Doc: "flags unmanaged `go` statements: goroutines outside test code must be " +
+		"joined in the same function via sync.WaitGroup (Add+Wait) or annotated " +
+		"//mfplint:managed with the protocol that owns them (shard mailboxes join " +
+		"through their stop channel; listeners through the error channel). " +
+		"Unowned goroutines break drain-on-SIGTERM.",
+	Run: runNakedGo,
+}
+
+func runNakedGo(p *Pass) error {
+	for _, f := range p.Files {
+		if p.isTestFile(f) {
+			continue
+		}
+		eachFunc(f, func(fs funcScope) {
+			if p.funcAllowed(fs.decl, "managed") {
+				return
+			}
+			joined := p.waitGroupJoined(fs.body)
+			ast.Inspect(fs.body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if joined || p.allowedAt(g.Pos(), "managed") {
+					return true
+				}
+				p.Report(g.Pos(), "unmanaged goroutine: join it with a sync.WaitGroup in this function, or annotate //mfplint:managed with the protocol that owns it")
+				return true
+			})
+		})
+	}
+	return nil
+}
+
+// waitGroupJoined reports whether body calls both Add and Wait on a
+// sync.WaitGroup — the in-function ownership pattern. It is a heuristic
+// (the Add might not cover every spawn), but it matches how the pool,
+// stress and shutdown paths actually manage their workers, and the
+// stricter cases are exactly what //mfplint:managed documents.
+func (p *Pass) waitGroupJoined(body *ast.BlockStmt) bool {
+	sawAdd, sawWait := false, false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name != "Add" && sel.Sel.Name != "Wait" {
+			return true
+		}
+		tv, ok := p.TypesInfo.Types[sel.X]
+		if !ok || !isWaitGroup(tv.Type) {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Add":
+			sawAdd = true
+		case "Wait":
+			sawWait = true
+		}
+		return true
+	})
+	return sawAdd && sawWait
+}
+
+// isWaitGroup reports whether t (possibly behind pointers) is
+// sync.WaitGroup.
+func isWaitGroup(t types.Type) bool {
+	return isNamed(t, "sync", "WaitGroup")
+}

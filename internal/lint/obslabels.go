@@ -1,0 +1,247 @@
+package lint
+
+// obslabels: metric label values must be bounded.
+//
+// Every distinct label-value tuple mints a live child series in the obs
+// registry and a line on /metrics forever; a label fed from a mesh name, a
+// request id or an fmt.Sprintf grows without bound until scraping (and the
+// process) falls over. docs/METRICS.md promises a bounded surface, so
+// label values passed to CounterVec/GaugeVec/HistogramVec.With must be
+// provably bounded at compile time:
+//
+//   - a constant expression (string literal, named const, concatenation);
+//   - a call to a function whose every return is a constant (codeClass);
+//   - a local variable all of whose assignments are constants (a
+//     switch-shaped mapping);
+//   - a range variable over a composite literal of constants;
+//   - or a value annotated //mfplint:bounded with a justification (the
+//     HTTP middleware's route patterns, bounded by the server's route
+//     table rather than by anything a single function shows).
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ObsLabels is the bounded-metric-labels analyzer.
+var ObsLabels = &Analyzer{
+	Name: "obslabels",
+	Doc: "flags unbounded metric label values: arguments to obs " +
+		"CounterVec/GaugeVec/HistogramVec.With must be compile-time constants or " +
+		"provably bounded (constant-returning function, constant-only local, range " +
+		"over a constant literal), never mesh names, ids, or fmt.Sprintf output. " +
+		"Annotate deliberate exceptions //mfplint:bounded with the reason.",
+	Run: runObsLabels,
+}
+
+func runObsLabels(p *Pass) error {
+	for _, f := range p.Files {
+		if p.isTestFile(f) {
+			continue
+		}
+		eachFunc(f, func(fs funcScope) {
+			ast.Inspect(fs.body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "With" {
+					return true
+				}
+				tv, ok := p.TypesInfo.Types[sel.X]
+				if !ok || !isObsVec(tv.Type) {
+					return true
+				}
+				for _, arg := range call.Args {
+					if p.boundedLabel(fs.body, arg) {
+						continue
+					}
+					if p.allowedAt(arg.Pos(), "bounded") || p.allowedAt(call.Pos(), "bounded") {
+						continue
+					}
+					p.Report(arg.Pos(), "metric label value is not provably bounded; every distinct value becomes a live series — use constants (or annotate //mfplint:bounded with why the set is finite)")
+				}
+				return true
+			})
+		})
+	}
+	return nil
+}
+
+// isObsVec reports whether t is one of the obs labeled-family types.
+func isObsVec(t types.Type) bool {
+	return isNamed(t, ObsPath, "CounterVec") ||
+		isNamed(t, ObsPath, "GaugeVec") ||
+		isNamed(t, ObsPath, "HistogramVec")
+}
+
+// boundedLabel reports whether the expression provably draws from a finite
+// value set.
+func (p *Pass) boundedLabel(scope *ast.BlockStmt, e ast.Expr) bool {
+	if tv, ok := p.TypesInfo.Types[e]; ok && tv.Value != nil {
+		return true // constant
+	}
+	switch v := e.(type) {
+	case *ast.ParenExpr:
+		return p.boundedLabel(scope, v.X)
+	case *ast.CallExpr:
+		return p.constReturning(v)
+	case *ast.Ident:
+		return p.boundedLocal(scope, v)
+	}
+	return false
+}
+
+// constReturning reports whether the call resolves to a same-package
+// function whose every return statement returns only constants — the
+// codeClass pattern: a switch over an unbounded input mapped onto a fixed
+// label vocabulary.
+func (p *Pass) constReturning(call *ast.CallExpr) bool {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj = p.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = p.TypesInfo.Uses[fun.Sel]
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	decl := p.funcDeclOf(fn)
+	if decl == nil || decl.Body == nil {
+		return false // other package, or no body to inspect
+	}
+	sawReturn := false
+	allConst := true
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch r := n.(type) {
+		case *ast.FuncLit:
+			return false // nested function's returns are not ours
+		case *ast.ReturnStmt:
+			sawReturn = true
+			if len(r.Results) == 0 {
+				allConst = false // naked return: result vars not tracked
+				return true
+			}
+			for _, res := range r.Results {
+				if tv, ok := p.TypesInfo.Types[res]; !ok || tv.Value == nil {
+					allConst = false
+				}
+			}
+		}
+		return true
+	})
+	return sawReturn && allConst
+}
+
+// funcDeclOf finds the declaration of fn within the pass's files.
+func (p *Pass) funcDeclOf(fn *types.Func) *ast.FuncDecl {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if p.TypesInfo.Defs[fd.Name] == fn {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// boundedLocal reports whether the identifier is a local variable whose
+// every binding inside scope is bounded: constant assignments (the
+// switch-mapping pattern) or ranging over a composite literal of
+// constants.
+func (p *Pass) boundedLocal(scope *ast.BlockStmt, id *ast.Ident) bool {
+	obj := p.TypesInfo.Uses[id]
+	if obj == nil {
+		return false
+	}
+	if _, ok := obj.(*types.Var); !ok {
+		return false
+	}
+	bindings := 0
+	bounded := true
+	ast.Inspect(scope, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range s.Lhs {
+				lid, ok := lhs.(*ast.Ident)
+				if !ok || p.objectOf(lid) != obj {
+					continue
+				}
+				bindings++
+				if len(s.Rhs) != len(s.Lhs) {
+					bounded = false // multi-value assignment: opaque
+					continue
+				}
+				if tv, ok := p.TypesInfo.Types[s.Rhs[i]]; !ok || tv.Value == nil {
+					bounded = false
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range s.Names {
+				if p.objectOf(name) != obj {
+					continue
+				}
+				bindings++
+				if i >= len(s.Values) {
+					continue // var dim string — the zero value is constant
+				}
+				if tv, ok := p.TypesInfo.Types[s.Values[i]]; !ok || tv.Value == nil {
+					bounded = false
+				}
+			}
+		case *ast.RangeStmt:
+			boundTo := false
+			for _, v := range []ast.Expr{s.Key, s.Value} {
+				if vid, ok := v.(*ast.Ident); ok && p.objectOf(vid) == obj {
+					boundTo = true
+				}
+			}
+			if boundTo {
+				bindings++
+				if !p.constCompositeRange(s) {
+					bounded = false
+				}
+			}
+		}
+		return true
+	})
+	return bindings > 0 && bounded
+}
+
+// objectOf resolves an identifier through either Defs or Uses.
+func (p *Pass) objectOf(id *ast.Ident) types.Object {
+	if obj := p.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return p.TypesInfo.Uses[id]
+}
+
+// constCompositeRange reports whether the range statement iterates a
+// composite literal whose elements are all constants.
+func (p *Pass) constCompositeRange(s *ast.RangeStmt) bool {
+	x := s.X
+	if par, ok := x.(*ast.ParenExpr); ok {
+		x = par.X
+	}
+	lit, ok := x.(*ast.CompositeLit)
+	if !ok {
+		return false
+	}
+	for _, elt := range lit.Elts {
+		val := elt
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			val = kv.Value
+		}
+		if tv, ok := p.TypesInfo.Types[val]; !ok || tv.Value == nil {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,134 @@
+package lint
+
+// scratchescape: kernel.Scratch pool memory must not escape.
+//
+// Scratch-pooled sets and the slices Scratch methods return are recycled
+// on the next call: a pooled set stored into a long-lived struct or
+// returned across the apply/publish boundary will be Cleared and reused
+// under the holder's feet (PR 8's stale-span bug was exactly this class —
+// reused scratch state observed after the call that owned it). The blessed
+// boundary is the clone/publish helpers: Clone() the set, or hand it to
+// the engine's published-entry accounting, which is annotated
+// //mfplint:owned.
+//
+// Scope: functions that receive a *kernel.Scratch (its methods and the
+// kernel's geometry plumbing) are the pool implementation and are skipped;
+// everywhere else, a value derived from a Scratch method call must not be
+// stored into a struct field, placed in a composite literal, or returned.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ScratchEscape is the scratch-pool-discipline analyzer.
+var ScratchEscape = &Analyzer{
+	Name: "scratchescape",
+	Doc: "flags kernel.Scratch-pooled sets/slices escaping their call window: " +
+		"stored into struct fields, placed in composite literals, or returned, " +
+		"without going through Clone() or an //mfplint:owned publish path. Pooled " +
+		"memory is recycled on the next Scratch call; an escaped reference is a " +
+		"use-after-reuse bug.",
+	Run: runScratchEscape,
+}
+
+func runScratchEscape(p *Pass) error {
+	isScratch := func(t types.Type) bool { return isNamed(t, KernelPath, "Scratch") }
+	// Taint seed: results of method calls on a *kernel.Scratch receiver.
+	source := func(e ast.Expr) bool {
+		call, ok := e.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		tv, ok := p.TypesInfo.Types[sel.X]
+		return ok && isScratch(tv.Type)
+	}
+	for _, f := range p.Files {
+		if p.isTestFile(f) {
+			continue
+		}
+		eachFunc(f, func(fs funcScope) {
+			if p.funcAllowed(fs.decl, "owned") || p.scratchPlumbing(fs.decl, isScratch) {
+				return
+			}
+			tt := newTaint(p.TypesInfo, fs.body, source, launderedCopies)
+			ast.Inspect(fs.body, func(n ast.Node) bool {
+				switch v := n.(type) {
+				case *ast.ReturnStmt:
+					for _, r := range v.Results {
+						if tt.expr(r) && !p.allowedAt(v.Pos(), "owned") {
+							p.Report(v.Pos(), "returning a Scratch-pooled value across the call boundary; it is recycled on the next Scratch call — Clone() it or mark the publish path //mfplint:owned")
+						}
+					}
+				case *ast.AssignStmt:
+					for i, lhs := range v.Lhs {
+						sel, ok := lhs.(*ast.SelectorExpr)
+						if !ok {
+							continue
+						}
+						var rhs ast.Expr
+						switch {
+						case len(v.Rhs) == len(v.Lhs):
+							rhs = v.Rhs[i]
+						case len(v.Rhs) == 1:
+							rhs = v.Rhs[0]
+						default:
+							continue
+						}
+						// Only field writes count: x.f = pooled parks the
+						// pooled set beyond the statement's lifetime.
+						if selIsField(p.TypesInfo, sel) && tt.expr(rhs) && !p.allowedAt(v.Pos(), "owned") {
+							p.Report(v.Pos(), "storing a Scratch-pooled value into a struct field; it is recycled on the next Scratch call — Clone() it first")
+						}
+					}
+				case *ast.CompositeLit:
+					for _, elt := range v.Elts {
+						val := elt
+						if kv, ok := elt.(*ast.KeyValueExpr); ok {
+							val = kv.Value
+						}
+						if tt.expr(val) && !p.allowedAt(v.Pos(), "owned") {
+							p.Report(val.Pos(), "embedding a Scratch-pooled value in a composite literal; it is recycled on the next Scratch call — Clone() it first")
+						}
+					}
+				}
+				return true
+			})
+		})
+	}
+	return nil
+}
+
+// scratchPlumbing reports whether the function is part of the pool
+// implementation itself: a *kernel.Scratch method or a helper threading a
+// *kernel.Scratch parameter (the kernel's geometry internals). Returning
+// pooled memory is these functions' contract — their callers are the ones
+// this analyzer polices.
+func (p *Pass) scratchPlumbing(fd *ast.FuncDecl, isScratch func(types.Type) bool) bool {
+	if fd == nil {
+		return false
+	}
+	check := func(fl *ast.FieldList) bool {
+		if fl == nil {
+			return false
+		}
+		for _, field := range fl.List {
+			if tv, ok := p.TypesInfo.Types[field.Type]; ok && isScratch(tv.Type) {
+				return true
+			}
+		}
+		return false
+	}
+	return check(fd.Recv) || check(fd.Type.Params)
+}
+
+// selIsField reports whether the selector resolves to a struct field (not
+// a method or package member).
+func selIsField(info *types.Info, sel *ast.SelectorExpr) bool {
+	s, ok := info.Selections[sel]
+	return ok && s.Kind() == types.FieldVal
+}

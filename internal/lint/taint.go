@@ -1,0 +1,163 @@
+package lint
+
+// Intra-function taint propagation shared by snapshotmut and
+// scratchescape. Both invariants have the same shape — "values reachable
+// from X must not flow into Y" — differing only in what seeds the taint
+// (snapshot-typed expressions; scratch method results) and what the sinks
+// are (mutation; escape). The analysis is deliberately intra-procedural:
+// cross-function flows go through the kernel's clone/publish helpers,
+// which are exactly the blessed boundary, and keeping the reasoning local
+// is what makes a finding actionable at the line it is reported on.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// taint tracks which objects and expressions of one function body are
+// reachable from a source.
+type taint struct {
+	info *types.Info
+	// source marks the type-based roots (e.g. any *kernel.Snapshot).
+	source func(ast.Expr) bool
+	// launder marks calls whose result is fresh memory even on a tainted
+	// receiver (Clone, Coords, String — anything that copies out).
+	launder func(*ast.SelectorExpr) bool
+
+	objs map[types.Object]bool
+}
+
+// newTaint seeds the object set from body's assignments, iterating to a
+// fixpoint so chains (x := snap.Faults(); y := x) are tracked.
+func newTaint(info *types.Info, body *ast.BlockStmt, source func(ast.Expr) bool, launder func(*ast.SelectorExpr) bool) *taint {
+	t := &taint{info: info, source: source, launder: launder, objs: make(map[types.Object]bool)}
+	for {
+		grew := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				// Multi-value RHS (x, y := call()) taints every LHS; the
+				// over-approximation is harmless because sinks re-check types.
+				if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+					if t.expr(s.Rhs[0]) {
+						for _, lhs := range s.Lhs {
+							grew = t.markIdent(lhs) || grew
+						}
+					}
+					return true
+				}
+				for i, lhs := range s.Lhs {
+					if i < len(s.Rhs) && t.expr(s.Rhs[i]) {
+						grew = t.markIdent(lhs) || grew
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range s.Names {
+					if i < len(s.Values) && t.expr(s.Values[i]) {
+						grew = t.markObj(t.info.Defs[name]) || grew
+					}
+				}
+			case *ast.RangeStmt:
+				if t.expr(s.X) {
+					grew = t.markIdent(s.Key) || grew
+					grew = t.markIdent(s.Value) || grew
+				}
+			}
+			return true
+		})
+		if !grew {
+			return t
+		}
+	}
+}
+
+func (t *taint) markIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if obj := t.info.Defs[id]; obj != nil {
+		return t.markObj(obj)
+	}
+	return t.markObj(t.info.Uses[id])
+}
+
+func (t *taint) markObj(obj types.Object) bool {
+	if obj == nil || t.objs[obj] {
+		return false
+	}
+	t.objs[obj] = true
+	return true
+}
+
+// expr reports whether e is reachable from a source: a source itself, a
+// tainted identifier, or a selector/index/call chain rooted in one.
+func (t *taint) expr(e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	if t.source != nil && t.source(e) {
+		return true
+	}
+	switch v := e.(type) {
+	case *ast.Ident:
+		if obj := t.info.Uses[v]; obj != nil && t.objs[obj] {
+			return true
+		}
+		if obj := t.info.Defs[v]; obj != nil && t.objs[obj] {
+			return true
+		}
+	case *ast.ParenExpr:
+		return t.expr(v.X)
+	case *ast.StarExpr:
+		return t.expr(v.X)
+	case *ast.UnaryExpr:
+		return t.expr(v.X)
+	case *ast.SelectorExpr:
+		return t.expr(v.X)
+	case *ast.IndexExpr:
+		return t.expr(v.X)
+	case *ast.TypeAssertExpr:
+		return t.expr(v.X)
+	case *ast.CallExpr:
+		// A method call on a tainted receiver yields tainted results
+		// (snap.Polygons(), scr.take(...)) unless the method copies out.
+		if sel, ok := v.Fun.(*ast.SelectorExpr); ok && t.expr(sel.X) {
+			if t.launder != nil && t.launder(sel) {
+				return false
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// launderedCopies is the shared launder predicate: methods that return
+// fresh memory, safe to own regardless of the receiver.
+func launderedCopies(sel *ast.SelectorExpr) bool {
+	switch sel.Sel.Name {
+	case "Clone", "Coords", "String":
+		return true
+	}
+	return false
+}
+
+// funcScope pairs a function-like node with its body and, when it is a
+// declaration, the decl itself (for doc-comment directives).
+type funcScope struct {
+	decl *ast.FuncDecl // nil for function literals
+	body *ast.BlockStmt
+}
+
+// eachFunc invokes fn for every function declaration and literal in f that
+// has a body. Literals are visited as part of their enclosing declaration
+// too (ast.Inspect descends into them), so analyzers that walk decl bodies
+// see nested goroutine closures without extra plumbing; eachFunc exists
+// for analyzers that need per-function taint scopes.
+func eachFunc(f *ast.File, fn func(funcScope)) {
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			fn(funcScope{decl: fd, body: fd.Body})
+		}
+	}
+}

@@ -1,0 +1,21 @@
+// Package directives is the corpus for //mfplint: directive validation:
+// an escape hatch without a justification and an unknown verb are
+// themselves diagnostics. The harness asserts the exact findings rather
+// than using want comments, because a want comment cannot share a line
+// with the directive comment under test.
+package directives
+
+func noJustification() {
+	//mfplint:owned
+	_ = 0
+}
+
+func unknownVerb() {
+	//mfplint:ignore because reasons
+	_ = 0
+}
+
+func valid() {
+	//mfplint:managed corpus: a well-formed directive reports nothing
+	_ = 0
+}

@@ -1,0 +1,39 @@
+// Package errenvelope is the analyzer corpus: serving-plane error writes
+// that bypass the /v1 JSON envelope (http.Error, constant 4xx/5xx
+// WriteHeader) plus the legal patterns (2xx statuses, the variable-status
+// envelope helper itself, //mfplint:owned).
+//
+// The harness checks this directory twice: once under a cmd/mfpd-like
+// import path (wants below apply) and once under a library path, where
+// the analyzer must report nothing at all.
+package errenvelope
+
+import "net/http"
+
+func handler(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "bad", http.StatusBadRequest)   // want "http.Error writes text/plain, not the /v1 JSON error envelope"
+	w.WriteHeader(http.StatusInternalServerError) // want "bare WriteHeader\\(500\\) skips the /v1 JSON error envelope"
+	w.WriteHeader(499)                            // want "bare WriteHeader\\(499\\) skips the /v1 JSON error envelope"
+}
+
+func success(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusOK)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// envelopeHelper is the writeError shape: a computed status is the helper
+// itself and stays legal.
+func envelopeHelper(w http.ResponseWriter, status int) {
+	w.WriteHeader(status)
+}
+
+func allowedLine(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusTeapot) //mfplint:owned corpus: deliberate non-envelope probe response
+}
+
+// ownedFunc stands in for the envelope writer itself.
+//
+//mfplint:owned corpus: this function is the envelope writer
+func ownedFunc(w http.ResponseWriter) {
+	http.Error(w, "x", http.StatusBadGateway)
+}

@@ -1,0 +1,40 @@
+// Package nakedgo is the analyzer corpus: unmanaged `go` statements plus
+// the legal patterns (WaitGroup join in the same function,
+// //mfplint:managed on the line or the function doc).
+package nakedgo
+
+import "sync"
+
+func unmanaged(work func()) {
+	go work() // want "unmanaged goroutine"
+}
+
+func unmanagedClosure(c chan int) {
+	go func() { c <- 1 }() // want "unmanaged goroutine"
+}
+
+func waitgrouped(work func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); work() }()
+	wg.Wait()
+}
+
+func pointerWaitgrouped(wg *sync.WaitGroup, work func()) {
+	wg.Add(1)
+	go func() { defer wg.Done(); work() }()
+	wg.Wait()
+}
+
+func managedLine(stop chan struct{}) {
+	go func() { <-stop }() //mfplint:managed corpus: the caller joins through stop
+}
+
+// managedFunc stands in for a mailbox owner: every goroutine it spawns is
+// joined through the done channel its Close waits on.
+//
+//mfplint:managed corpus: goroutines join through the done channel in Close
+func managedFunc(work func()) {
+	go work()
+	go work()
+}

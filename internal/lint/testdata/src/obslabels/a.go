@@ -1,0 +1,85 @@
+// Package obslabels is the analyzer corpus: unbounded metric label values
+// (formatted ids, mesh names, unbounded locals) plus every bounded pattern
+// that must stay quiet (constants, constant-returning functions,
+// switch-shaped locals, ranges over constant literals, //mfplint:bounded).
+package obslabels
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+var (
+	reg    = obs.NewRegistry()
+	events = reg.CounterVec("corpus_events_total", "corpus", "dim", "class")
+	depth  = reg.GaugeVec("corpus_depth", "corpus", "mesh")
+	delay  = reg.HistogramVec("corpus_delay_seconds", "corpus", nil, "route")
+)
+
+func constants() {
+	const dim = "3"
+	events.With("2", "2xx").Inc()
+	events.With(dim, "5"+"xx").Inc()
+}
+
+func formatted(n int) {
+	events.With(fmt.Sprintf("%d", n), "2xx").Inc() // want "metric label value is not provably bounded"
+}
+
+func meshName(name string) {
+	depth.With(name).Set(1) // want "metric label value is not provably bounded"
+}
+
+func unboundedLocal(name string) {
+	label := name
+	delay.With(label).Observe(0.1) // want "metric label value is not provably bounded"
+}
+
+// classOf is the constant-returning-function pattern: unbounded input
+// mapped onto a fixed vocabulary.
+func classOf(n int) string {
+	switch {
+	case n < 10:
+		return "small"
+	case n < 100:
+		return "medium"
+	default:
+		return "large"
+	}
+}
+
+func viaFunction(n int) {
+	events.With(classOf(n), "2xx").Inc()
+}
+
+func switchLocal(axes int) {
+	var dim string
+	switch axes {
+	case 2:
+		dim = "2"
+	default:
+		dim = "other"
+	}
+	events.With(dim, "2xx").Inc()
+}
+
+func rangeConst() {
+	for _, dim := range []string{"2", "3"} {
+		events.With(dim, "2xx").Inc()
+	}
+}
+
+func annotated(route string) {
+	delay.With(route).Observe(0.1) //mfplint:bounded corpus: route comes from a fixed table upstream
+}
+
+// notAVec proves the analyzer keys on the obs vec types, not on any method
+// named With.
+type notAVec struct{}
+
+func (notAVec) With(values ...string) notAVec { return notAVec{} }
+
+func otherWith(name string) {
+	notAVec{}.With(name)
+}

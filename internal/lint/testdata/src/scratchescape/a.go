@@ -1,0 +1,62 @@
+// Package scratchescape is the analyzer corpus: Scratch-pooled memory
+// escaping through struct fields, returns and composite literals, plus the
+// legal patterns (Clone, Scratch plumbing, //mfplint:owned) that must stay
+// quiet.
+package scratchescape
+
+import (
+	"repro/internal/grid"
+	"repro/internal/kernel"
+)
+
+type set = kernel.Set[grid.Coord, grid.Mesh]
+type scratch = kernel.Scratch[grid.Coord, grid.Mesh]
+
+type holder struct {
+	first *set
+	all   []*set
+}
+
+type engineLike struct {
+	scr  *scratch
+	keep *set
+}
+
+func (e *engineLike) fieldStore(s *set) {
+	regions := e.scr.Regions(s)
+	e.keep = regions[0] // want "storing a Scratch-pooled value into a struct field"
+}
+
+func (e *engineLike) returned(s *set) *set {
+	closed, _ := e.scr.Closure(s)
+	return closed // want "returning a Scratch-pooled value across the call boundary"
+}
+
+func (e *engineLike) literal(s *set) holder {
+	return holder{first: e.scr.FillOnce(s)} // want "embedding a Scratch-pooled value in a composite literal"
+}
+
+func (e *engineLike) cloned(s *set) {
+	e.keep = e.scr.FillOnce(s).Clone() // Clone launders: the copy is owned.
+}
+
+// plumb threads a *kernel.Scratch parameter, so it is pool plumbing:
+// returning pooled memory is its contract and its callers are policed
+// instead.
+func plumb(scr *scratch, s *set) *set {
+	out, _ := scr.Closure(s)
+	return out
+}
+
+func (e *engineLike) allowedLine(s *set) {
+	//mfplint:owned corpus stand-in: the published-entry accounting owns this set
+	e.keep = e.scr.FillOnce(s)
+}
+
+// publish stands in for the engine's publish path.
+//
+//mfplint:owned corpus stand-in: publish hands the pooled set to published-entry accounting
+func (e *engineLike) publish(s *set) *set {
+	e.keep = e.scr.FillOnce(s)
+	return e.keep
+}

@@ -1,0 +1,56 @@
+// Package snapshotmut is the analyzer corpus: every way of mutating state
+// reachable from a published kernel.Snapshot, plus the legal patterns
+// (Clone, fresh sets, //mfplint:owned) that must stay quiet.
+package snapshotmut
+
+import (
+	"repro/internal/grid"
+	"repro/internal/kernel"
+)
+
+type eng = kernel.Engine[grid.Coord, grid.Mesh]
+type set = kernel.Set[grid.Coord, grid.Mesh]
+
+func direct(e *eng, c grid.Coord) {
+	snap := e.Snapshot()
+	snap.Faults().Add(c)       // want "Add mutates a set reachable from a published Snapshot"
+	snap.Disabled().Remove(c)  // want "Remove mutates a set reachable from a published Snapshot"
+	snap.Polygons()[0].Clear() // want "Clear mutates a set reachable from a published Snapshot"
+}
+
+func chained(e *eng, other *set) {
+	s := e.Snapshot()
+	d := s.Disabled()
+	d.UnionWith(other) // want "UnionWith mutates a set reachable from a published Snapshot"
+	for _, comp := range s.Components() {
+		comp.IntersectWith(other) // want "IntersectWith mutates a set reachable from a published Snapshot"
+	}
+}
+
+func elementWrite(e *eng, other *set) {
+	snap := e.Snapshot()
+	snap.Components()[0] = other // want "write into state reachable from a published Snapshot"
+}
+
+func cloned(e *eng, c grid.Coord) {
+	own := e.Snapshot().Disabled().Clone()
+	own.Add(c) // Clone launders: fresh memory, free to mutate.
+}
+
+func freshSet(m grid.Mesh, c grid.Coord) {
+	s := kernel.NewSet[grid.Coord](m)
+	s.Add(c) // not reachable from any snapshot
+}
+
+func allowedLine(e *eng, c grid.Coord) {
+	//mfplint:owned corpus stand-in for a pre-publication write
+	e.Snapshot().Faults().Add(c)
+}
+
+// ownedFunc stands in for the engine's publish path.
+//
+//mfplint:owned corpus stand-in: writes happen before the snapshot is visible
+func ownedFunc(e *eng, c grid.Coord) {
+	e.Snapshot().Faults().Add(c)
+	e.Snapshot().Disabled().Remove(c)
+}

@@ -291,7 +291,7 @@ func create[C any, T kernel.Topology[C]](m *Manager, name string, mesh T,
 	victims := m.admitLocked(s)
 	m.mu.Unlock()
 
-	go s.run()
+	go s.run() //mfplint:managed the mailbox goroutine is owned by its shard: Close/evict close s.stop and block on s.done until run returns
 	nudge(victims)
 	return s, nil
 }
