@@ -18,6 +18,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fault"
 	"repro/internal/grid"
+	"repro/internal/grid3"
 	"repro/internal/mfp"
 	"repro/internal/mfp3d"
 	"repro/internal/nodeset"
@@ -94,10 +95,10 @@ const benchPasses = 2
 // recomputes every derived speedup from the merged times. Contention only
 // ever slows a measurement down, so per-record minimum over well-spaced
 // passes estimates what the code costs, not what the machine was doing.
-func runBenchSweepBest(models []fault.Model, figures []int, cfg experiments.Config, churn experiments.ChurnConfig, churn3 experiments.Churn3Config, route experiments.RouteConfig, iterations, maxWorkers int) (*benchfmt.Report, error) {
+func runBenchSweepBest(models []fault.Model, figures []int, cfg experiments.Config, churn experiments.ChurnConfig, churn3s []experiments.Churn3Config, route experiments.RouteConfig, iterations, maxWorkers int) (*benchfmt.Report, error) {
 	var best *benchfmt.Report
 	for p := 0; p < benchPasses; p++ {
-		rep, err := runBenchSweep(models, figures, cfg, churn, churn3, route, iterations, maxWorkers)
+		rep, err := runBenchSweep(models, figures, cfg, churn, churn3s, route, iterations, maxWorkers)
 		if err != nil {
 			return nil, err
 		}
@@ -126,26 +127,36 @@ func runBenchSweepBest(models []fault.Model, figures []int, cfg experiments.Conf
 		}
 	}
 	best.ComputeSpeedups()
-	// The churn records' speedups are cross-strategy (rebuild over
-	// incremental), not cross-worker: recompute them from the merged
-	// minima of the two sibling records.
+	recomputeStrategySpeedups(best)
+	return best, nil
+}
+
+// recomputeStrategySpeedups refills the churn records' speedups after a
+// ComputeSpeedups pass. Their speedups are cross-strategy (rebuild over
+// incremental), not cross-worker, so they must be recomputed from the
+// merged minima of the two sibling records — and an incremental-only
+// record (rebuild infeasible at that scale) has no pair to form a ratio
+// from, so the 1.0 ComputeSpeedups stamped on it (every Workers==1
+// record is its own worker baseline) is cleared back to "no speedup".
+func recomputeStrategySpeedups(rep *benchfmt.Report) {
 	byName := map[string]float64{}
-	for _, rec := range best.Records {
+	for _, rec := range rep.Records {
 		if rec.Unit == "" && rec.Workers == 1 {
 			byName[rec.Name] = rec.Seconds
 		}
 	}
-	for i := range best.Records {
-		rec := &best.Records[i]
+	for i := range rep.Records {
+		rec := &rep.Records[i]
 		if !strings.HasSuffix(rec.Name, "/incremental") {
 			continue
 		}
 		sibling := strings.TrimSuffix(rec.Name, "/incremental") + "/rebuild"
 		if rebuild, ok := byName[sibling]; ok && rec.Seconds > 0 {
 			rec.Speedup = rebuild / rec.Seconds
+		} else if !ok {
+			rec.Speedup = 0
 		}
 	}
-	return best, nil
 }
 
 // runBenchSweep times every requested figure sweep, plus the paper's
@@ -155,7 +166,7 @@ func runBenchSweepBest(models []fault.Model, figures []int, cfg experiments.Conf
 // route config, and returns the report with speedups filled in.
 // maxWorkers caps the timed pool sizes (the -workers flag); zero means up
 // to one worker per CPU.
-func runBenchSweep(models []fault.Model, figures []int, cfg experiments.Config, churn experiments.ChurnConfig, churn3 experiments.Churn3Config, route experiments.RouteConfig, iterations, maxWorkers int) (*benchfmt.Report, error) {
+func runBenchSweep(models []fault.Model, figures []int, cfg experiments.Config, churn experiments.ChurnConfig, churn3s []experiments.Churn3Config, route experiments.RouteConfig, iterations, maxWorkers int) (*benchfmt.Report, error) {
 	if iterations < 1 {
 		iterations = 1
 	}
@@ -291,33 +302,104 @@ func runBenchSweep(models []fault.Model, figures []int, cfg experiments.Config, 
 		Speedup: rebuildSecs / incSecs,
 	})
 
-	// The 3-D churn workload (the kernel-refactor workload): the same
-	// rebuild-vs-incremental pair on a 12×12×12 mesh, timing the generic
-	// engine's polytope maintenance against a batch mfp3d.Build per event.
-	rebuild3Secs, rebuild3Iters := timeIt(iterations, func() { experiments.Churn3Rebuild(churn3) })
-	var churn3Err error
-	inc3Secs, inc3Iters := timeIt(iterations, func() {
-		if _, err := experiments.Churn3Incremental(churn3); err != nil {
-			churn3Err = err
+	// The 3-D churn workloads: the same rebuild-vs-incremental pair at each
+	// benchmarked scale, timing the incremental cuboid block model's
+	// polytope and unsafe-set maintenance against a batch mfp3d.Build per
+	// event. Past 64³ the rebuild arm is infeasible (minutes per replay —
+	// the regime the incremental engine exists for), so those scales record
+	// the incremental time alone, with no speedup.
+	for _, churn3 := range churn3s {
+		if churn3.RebuildFeasible() {
+			rebuild3Secs, rebuild3Iters := timeIt(iterations, func() { experiments.Churn3Rebuild(churn3) })
+			rep.Add(benchfmt.Record{
+				Name: churn3.Name() + "/rebuild", Workers: 1,
+				Iterations: rebuild3Iters, Seconds: rebuild3Secs,
+			})
 		}
-	})
-	if churn3Err != nil {
-		return nil, churn3Err
+		var churn3Err error
+		inc3Secs, inc3Iters := timeIt(iterations, func() {
+			if _, err := experiments.Churn3Incremental(churn3); err != nil {
+				churn3Err = err
+			}
+		})
+		if churn3Err != nil {
+			return nil, churn3Err
+		}
+		inc := benchfmt.Record{
+			Name: churn3.Name() + "/incremental", Workers: 1,
+			Iterations: inc3Iters, Seconds: inc3Secs,
+		}
+		for _, rec := range rep.Records {
+			if rec.Name == churn3.Name()+"/rebuild" {
+				inc.Speedup = rec.Seconds / inc3Secs
+			}
+		}
+		rep.Add(inc)
 	}
-	rep.Add(benchfmt.Record{
-		Name: churn3.Name() + "/rebuild", Workers: 1,
-		Iterations: rebuild3Iters, Seconds: rebuild3Secs,
-	})
-	rep.Add(benchfmt.Record{
-		Name: churn3.Name() + "/incremental", Workers: 1,
-		Iterations: inc3Iters, Seconds: inc3Secs,
-		Speedup: rebuild3Secs / inc3Secs,
-	})
 
 	if err := engineAllocsRecord(rep); err != nil {
 		return nil, err
 	}
+	if err := engine3AllocsRecord(rep); err != nil {
+		return nil, err
+	}
 	return rep, nil
+}
+
+// engine3AllocsRecord is the 3-D twin of engineAllocsRecord: the
+// incremental cuboid block model must patch its persistent unsafe set
+// without per-event allocations, so the steady-state rate of the 3-D apply
+// path is recorded (and gated by -bench-compare) as the same
+// machine-independent "allocs/event" counter.
+func engine3AllocsRecord(rep *benchfmt.Report) error {
+	m := grid3.New(20, 20, 20)
+	e, err := engine3.New(m)
+	if err != nil {
+		return err
+	}
+	faults := mfp3d.ClusteredFaults(m, 100, 1)
+	faults.Each(func(c grid3.Coord) { e.AddFault(c) })
+
+	// Add/clear pairs confined to a cluster, avoiding the base faults, the
+	// same regime internal/engine3's TestApplyBatchAllocsPerEvent pins.
+	rng := rand.New(rand.NewSource(7))
+	const pairs = 128
+	events := make([]engine3.Event, 0, 2*pairs)
+	for len(events) < 2*pairs {
+		c := grid3.XYZ(8+rng.Intn(6), 8+rng.Intn(6), 8+rng.Intn(6))
+		if faults.Has(c) {
+			continue
+		}
+		events = append(events,
+			engine3.Event{Op: engine3.Add, Node: c},
+			engine3.Event{Op: engine3.Clear, Node: c},
+		)
+	}
+	apply := func() error {
+		_, _, err := e.Apply(events)
+		return err
+	}
+	for i := 0; i < 4; i++ {
+		if err := apply(); err != nil {
+			return err
+		}
+	}
+	const rounds = 50
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	before := ms.Mallocs
+	for i := 0; i < rounds; i++ {
+		if err := apply(); err != nil {
+			return err
+		}
+	}
+	runtime.ReadMemStats(&ms)
+	perEvent := float64(ms.Mallocs-before) / float64(rounds*len(events))
+	rep.Add(benchfmt.Record{
+		Name:    fmt.Sprintf("engine3/apply/mesh%d/faults100/events%d/seed7/allocs", m.W, len(events)),
+		Workers: 1, Iterations: rounds, Seconds: perEvent, Unit: "allocs/event",
+	})
+	return nil
 }
 
 // engineAllocsRecord counts the incremental engine's steady-state
@@ -518,16 +600,24 @@ func walBenchRecords(rep *benchfmt.Report, m grid.Mesh, faults *nodeset.Set, ite
 
 // runChurn3Report is the human-readable -churn3d mode: it times both
 // replay strategies of the 3-D scenario once, differentially checks that
-// they land on the same state, and prints the speedup.
+// they land on the same state, and prints the speedup. At scales where a
+// per-event rebuild is infeasible (past 64³) the rebuild arm is skipped
+// and the incremental result is checked against one final batch build.
 func runChurn3Report(w io.Writer, cfg experiments.Churn3Config) error {
 	seq := cfg.Sequence()
 	var full *mfp3d.Result
-	rebuildSecs, _ := timeIt(1, func() { full = experiments.Churn3Rebuild(cfg) })
+	rebuildSecs := 0.0
+	if cfg.RebuildFeasible() {
+		rebuildSecs, _ = timeIt(1, func() { full = experiments.Churn3Rebuild(cfg) })
+	}
 	var snap *engine3.Snapshot
 	var incErr error
 	incSecs, _ := timeIt(1, func() { snap, incErr = experiments.Churn3Incremental(cfg) })
 	if incErr != nil {
 		return incErr
+	}
+	if full == nil {
+		full = experiments.Churn3BatchBuild(cfg)
 	}
 
 	if err := experiments.Churn3Diff(snap, full); err != nil {
@@ -536,9 +626,15 @@ func runChurn3Report(w io.Writer, cfg experiments.Churn3Config) error {
 
 	perEvent := incSecs / float64(len(seq))
 	fmt.Fprintf(w, "churn3d scenario %s (%d events incl. warm-up)\n", cfg.Name(), len(seq))
-	fmt.Fprintf(w, "  full rebuild per event: %10.4fs total\n", rebuildSecs)
+	if cfg.RebuildFeasible() {
+		fmt.Fprintf(w, "  full rebuild per event: %10.4fs total\n", rebuildSecs)
+	} else {
+		fmt.Fprintf(w, "  full rebuild per event: skipped (infeasible at %d³; verified against one batch build)\n", cfg.MeshSize)
+	}
 	fmt.Fprintf(w, "  incremental engine:     %10.4fs total  (%.1fµs/event)\n", incSecs, perEvent*1e6)
-	fmt.Fprintf(w, "  speedup:                %9.1fx\n", rebuildSecs/incSecs)
+	if cfg.RebuildFeasible() {
+		fmt.Fprintf(w, "  speedup:                %9.1fx\n", rebuildSecs/incSecs)
+	}
 	fmt.Fprintf(w, "  differential check:     OK (final states identical)\n")
 	return nil
 }

@@ -46,13 +46,16 @@ func TestRunBenchSweepAndReport(t *testing.T) {
 	}
 	churn := experiments.ChurnConfig{MeshSize: 20, Faults: 6, Events: 20, BaseSeed: 5}
 	churn3 := testChurn3Config()
+	churn3Big := testChurn3InfeasibleConfig()
 	route := testRouteConfig()
-	rep, err := runBenchSweep([]fault.Model{fault.Random}, []int{9}, cfg, churn, churn3, route, 1, 0)
+	rep, err := runBenchSweep([]fault.Model{fault.Random}, []int{9}, cfg, churn,
+		[]experiments.Churn3Config{churn3, churn3Big}, route, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	var sawSweepSerial, sawBuild, sawChurnRebuild, sawChurnIncremental bool
-	var sawChurn3Rebuild, sawChurn3Incremental bool
+	var sawChurn3Rebuild, sawChurn3Incremental, sawChurn3BigIncremental bool
+	var sawEngine3Allocs bool
 	var sawRouteSweep, sawRoutePlanner, sawRouteServe bool
 	for _, rec := range rep.Records {
 		if strings.HasPrefix(rec.Name, "figure9/random/") && rec.Workers == 1 {
@@ -74,6 +77,25 @@ func TestRunBenchSweepAndReport(t *testing.T) {
 			sawChurn3Incremental = true
 			if rec.Speedup <= 0 {
 				t.Fatalf("churn3d incremental record lost its speedup: %+v", rec)
+			}
+		}
+		if rec.Name == churn3Big.Name()+"/rebuild" {
+			t.Fatalf("rebuild record timed at an infeasible scale: %+v", rec)
+		}
+		if rec.Name == churn3Big.Name()+"/incremental" {
+			sawChurn3BigIncremental = true
+			// No rebuild sibling exists, so no speedup can be formed.
+			if rec.Speedup != 0 {
+				t.Fatalf("incremental-only churn3d record has a speedup: %+v", rec)
+			}
+		}
+		if strings.HasPrefix(rec.Name, "engine3/apply/") {
+			sawEngine3Allocs = true
+			if rec.Unit != "allocs/event" {
+				t.Fatalf("engine3 allocs record unit %q, want allocs/event", rec.Unit)
+			}
+			if rec.Seconds >= 0.5 {
+				t.Fatalf("engine3 steady-state apply allocates %.3f/event, want < 0.5", rec.Seconds)
 			}
 		}
 		if rec.Name == churn.Name()+"/incremental" {
@@ -101,8 +123,11 @@ func TestRunBenchSweepAndReport(t *testing.T) {
 	if !sawSweepSerial || !sawBuild || !sawChurnRebuild || !sawChurnIncremental {
 		t.Fatalf("report misses expected workloads: %+v", rep.Records)
 	}
-	if !sawChurn3Rebuild || !sawChurn3Incremental {
+	if !sawChurn3Rebuild || !sawChurn3Incremental || !sawChurn3BigIncremental {
 		t.Fatalf("report misses churn3d workloads: %+v", rep.Records)
+	}
+	if !sawEngine3Allocs {
+		t.Fatalf("report misses the engine3 allocs counter: %+v", rep.Records)
 	}
 	if !sawRouteSweep || !sawRoutePlanner || !sawRouteServe {
 		t.Fatalf("report misses route workloads: %+v", rep.Records)
@@ -139,9 +164,38 @@ func TestRunBenchSweepAndReport(t *testing.T) {
 	}
 }
 
+// After the best-of-passes merge, ComputeSpeedups stamps every Workers==1
+// record with 1.0; the strategy-pair recompute must restore the
+// rebuild/incremental ratio from the merged minima and clear the stamp off
+// incremental-only records, which have no rebuild sibling to pair with.
+func TestRecomputeStrategySpeedups(t *testing.T) {
+	rep := benchfmt.New("go", 1)
+	rep.Add(benchfmt.Record{Name: "churn3d/small/rebuild", Workers: 1, Seconds: 0.8})
+	rep.Add(benchfmt.Record{Name: "churn3d/small/incremental", Workers: 1, Seconds: 0.2})
+	rep.Add(benchfmt.Record{Name: "churn3d/huge/incremental", Workers: 1, Seconds: 0.5})
+	rep.ComputeSpeedups()
+	recomputeStrategySpeedups(rep)
+	want := map[string]float64{
+		"churn3d/small/rebuild":     1.0,
+		"churn3d/small/incremental": 4.0,
+		"churn3d/huge/incremental":  0,
+	}
+	for _, rec := range rep.Records {
+		if rec.Speedup != want[rec.Name] {
+			t.Fatalf("%s speedup %v, want %v", rec.Name, rec.Speedup, want[rec.Name])
+		}
+	}
+}
+
 // testChurn3Config is a tiny, fast 3-D churn scale for bench tests.
 func testChurn3Config() experiments.Churn3Config {
 	return experiments.Churn3Config{MeshSize: 8, Faults: 6, Events: 16, BaseSeed: 5}
+}
+
+// testChurn3InfeasibleConfig is the smallest scale past the rebuild
+// feasibility bound: the sweep must time its incremental arm alone.
+func testChurn3InfeasibleConfig() experiments.Churn3Config {
+	return experiments.Churn3Config{MeshSize: 65, Faults: 6, Events: 8, BaseSeed: 5}
 }
 
 // testRouteConfig is a tiny, fast route scale for bench tests.
@@ -189,7 +243,8 @@ func TestTimeItCalibrates(t *testing.T) {
 func TestRunBenchSweepRejectsUnknownFigure(t *testing.T) {
 	cfg := experiments.Config{MeshSize: 10, FaultCounts: []int{5}, Trials: 1, BaseSeed: 1}
 	churn := experiments.ChurnConfig{MeshSize: 10, Faults: 2, Events: 4, BaseSeed: 1}
-	if _, err := runBenchSweep([]fault.Model{fault.Random}, []int{12}, cfg, churn, testChurn3Config(), testRouteConfig(), 1, 0); err == nil {
+	if _, err := runBenchSweep([]fault.Model{fault.Random}, []int{12}, cfg, churn,
+		[]experiments.Churn3Config{testChurn3Config()}, testRouteConfig(), 1, 0); err == nil {
 		t.Fatal("figure 12 should be rejected")
 	}
 }
@@ -198,7 +253,8 @@ func TestRunBenchSweepRejectsUnknownFigure(t *testing.T) {
 func TestRunBenchSweepHonorsWorkersCap(t *testing.T) {
 	cfg := experiments.Config{MeshSize: 15, FaultCounts: []int{5}, Trials: 1, BaseSeed: 3}
 	churn := experiments.ChurnConfig{MeshSize: 15, Faults: 2, Events: 4, BaseSeed: 3}
-	rep, err := runBenchSweep([]fault.Model{fault.Random}, []int{9}, cfg, churn, testChurn3Config(), testRouteConfig(), 1, 2)
+	rep, err := runBenchSweep([]fault.Model{fault.Random}, []int{9}, cfg, churn,
+		[]experiments.Churn3Config{testChurn3Config()}, testRouteConfig(), 1, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,5 +297,25 @@ func TestRunChurn3Report(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("churn3d report misses %q:\n%s", want, out)
 		}
+	}
+}
+
+// Past the rebuild feasibility bound the report must skip the rebuild arm
+// (and the speedup line) and still differentially check the final state
+// against one batch build.
+func TestRunChurn3ReportInfeasibleRebuild(t *testing.T) {
+	var buf strings.Builder
+	cfg := testChurn3InfeasibleConfig()
+	if err := runChurn3Report(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{cfg.Name(), "skipped (infeasible", "differential check:     OK"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("infeasible churn3d report misses %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "speedup:") {
+		t.Fatalf("infeasible churn3d report printed a speedup:\n%s", out)
 	}
 }

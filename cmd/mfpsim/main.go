@@ -13,6 +13,7 @@
 //	mfpsim -bench-json -bench-compare old.json  # fail on perf regressions
 //	mfpsim -churn 200                        # incremental vs rebuild speedup
 //	mfpsim -churn3d 200                      # the same scenario on a 3-D mesh
+//	mfpsim -churn3d-size 64                  # 3-D churn at the 64³ benchmark scale
 //	mfpsim -stress                           # multi-shard differential stress run
 //	mfpsim -stress -stress-shards 40 -stress-events 100000 -stress-clients 16
 //	mfpsim -stress -stress-crash             # durable run with kill/recover cycles
@@ -36,12 +37,19 @@
 // incremental engine and through a from-scratch core.Construct per event,
 // differentially checked and reported with the speedup.
 //
-// -churn3d N is the 3-D twin: the fixed 12×12×12 scenario (steady-state
-// fault count from the first -faults entry, default 20) replayed through
-// internal/engine3 and through a from-scratch mfp3d.Build per event,
-// differentially checked (polytopes, disabled union, cuboid unsafe set)
-// and reported with the speedup. Both scenarios also land in -bench-json
-// as the churn/* and churn3d/* records.
+// -churn3d N is the 3-D twin: the 3-D churn scenario (steady-state fault
+// count from the first -faults entry) replayed through internal/engine3
+// and through a from-scratch mfp3d.Build per event, differentially checked
+// (polytopes, disabled union, cuboid unsafe set) and reported with the
+// speedup. -churn3d-size selects the scale (12 is the historical default;
+// 64 and 128 are the benchmarked scales of the incremental cuboid block
+// model) and -churn3d-events the event count; either flag enters the mode
+// on its own with the scale's benchmark defaults. Past 64³ a per-event
+// rebuild is infeasible — that regime is the engine's reason to exist — so
+// the report skips the rebuild timing and checks the incremental result
+// against one final batch build instead. Both scenarios also land in
+// -bench-json as the churn/* and churn3d/* records (12³, 64³ and the
+// incremental-only 128³).
 //
 // -route runs the route-overhead sweep: every (faultCount, trial) cell
 // feeds its fault set through the incremental engine, builds a
@@ -99,7 +107,9 @@ func main() {
 	benchCompare := flag.String("bench-compare", "", "baseline report to diff the -bench-json run against; regressions exit non-zero")
 	benchTolerance := flag.Float64("bench-tolerance", 1.30, "slowdown ratio tolerated by -bench-compare")
 	churn := flag.Int("churn", 0, "run the fault-churn scenario with this many events and report the incremental-vs-rebuild speedup")
-	churn3d := flag.Int("churn3d", 0, "run the 3-D fault-churn scenario (12x12x12 mesh) with this many events and report the incremental-vs-rebuild speedup")
+	churn3d := flag.Int("churn3d", 0, "run the 3-D fault-churn scenario with this many events and report the incremental-vs-rebuild speedup")
+	churn3dSize := flag.Int("churn3d-size", 12, "mesh side length of the 3-D churn scenario (12, 64 and 128 are the benchmarked scales; past 64 the per-event rebuild baseline is skipped and the check runs against one final batch build)")
+	churn3dEvents := flag.Int("churn3d-events", 0, "churn events of the 3-D scenario (0 = the scale's benchmark default); implies -churn3d mode like -churn3d-size")
 	route := flag.Bool("route", false, "run the route-overhead sweep: routed stretch and abnormal-hop share vs fault density under the MFP model")
 	routeMessages := flag.Int("route-messages", experiments.DefaultRoute(fault.Random, 1).Messages, "routed source/destination pairs per sweep cell in -route mode")
 	// Flag defaults come from DefaultStress so the acceptance-scale floor
@@ -134,13 +144,32 @@ func main() {
 	if *churn3d < 0 {
 		fatal(fmt.Errorf("-churn3d must be >= 0, got %d", *churn3d))
 	}
-	if *churn3d > 0 && (*verify || *benchJSON || *churn > 0) {
+	// -churn3d-size and -churn3d-events select the 3-D scenario on their
+	// own; -churn3d N stays as the historical shorthand for "N events at
+	// the default scale". Either spelling enters the same mode.
+	churn3dMode := *churn3d > 0
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "churn3d-size", "churn3d-events":
+			churn3dMode = true
+		}
+	})
+	if *churn3dSize < 2 {
+		fatal(fmt.Errorf("-churn3d-size must be >= 2, got %d", *churn3dSize))
+	}
+	if *churn3dEvents < 0 {
+		fatal(fmt.Errorf("-churn3d-events must be >= 0, got %d", *churn3dEvents))
+	}
+	if *churn3d > 0 && *churn3dEvents > 0 {
+		fatal(fmt.Errorf("-churn3d and -churn3d-events both set the event count; use one"))
+	}
+	if churn3dMode && (*verify || *benchJSON || *churn > 0) {
 		fatal(fmt.Errorf("-churn3d cannot be combined with -verify, -bench-json or -churn"))
 	}
-	if *stress && (*verify || *benchJSON || *churn > 0 || *churn3d > 0) {
+	if *stress && (*verify || *benchJSON || *churn > 0 || churn3dMode) {
 		fatal(fmt.Errorf("-stress cannot be combined with -verify, -bench-json or -churn/-churn3d"))
 	}
-	if *route && (*verify || *benchJSON || *churn > 0 || *churn3d > 0 || *stress) {
+	if *route && (*verify || *benchJSON || *churn > 0 || churn3dMode || *stress) {
 		fatal(fmt.Errorf("-route cannot be combined with -verify, -bench-json, -churn, -churn3d or -stress"))
 	}
 	if !*route {
@@ -273,10 +302,15 @@ func main() {
 		return
 	}
 
-	if *churn3d > 0 {
-		cfg := experiments.DefaultChurn3()
-		cfg.Events = *churn3d
+	if churn3dMode {
+		cfg := experiments.DefaultChurn3At(*churn3dSize)
 		cfg.BaseSeed = *seed
+		if *churn3d > 0 {
+			cfg.Events = *churn3d
+		}
+		if *churn3dEvents > 0 {
+			cfg.Events = *churn3dEvents
+		}
 		if len(counts) > 0 {
 			cfg.Faults = counts[0]
 		}
@@ -301,7 +335,12 @@ func main() {
 		if len(counts) > 0 {
 			cfg.FaultCounts = counts
 		}
-		rep, err := runBenchSweepBest(models, figures, cfg, experiments.DefaultChurn(), experiments.DefaultChurn3(),
+		churn3s := []experiments.Churn3Config{
+			experiments.DefaultChurn3(),
+			experiments.DefaultChurn3At(64),
+			experiments.DefaultChurn3At(128),
+		}
+		rep, err := runBenchSweepBest(models, figures, cfg, experiments.DefaultChurn(), churn3s,
 			experiments.DefaultRoute(fault.Clustered, *trials), *benchIter, *workers)
 		if err != nil {
 			fatal(err)

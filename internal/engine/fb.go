@@ -50,7 +50,10 @@ type scheme1 struct {
 	queue    []grid.Coord
 }
 
-func newScheme1(m grid.Mesh, faults *nodeset.Set) kernel.BlockModel[grid.Coord, grid.Mesh] {
+// newScheme1 ignores the engine scratch: the fixpoint's working sets live
+// across events (they are fields, which the scratch pool's transient-use
+// contract forbids), so the model owns them outright.
+func newScheme1(m grid.Mesh, faults *nodeset.Set, _ *kernel.Scratch[grid.Coord, grid.Mesh]) kernel.BlockModel[grid.Coord, grid.Mesh] {
 	return &scheme1{mesh: m, faults: faults, unsafe: nodeset.New(m), seen: nodeset.New(m)}
 }
 
@@ -86,10 +89,12 @@ func (s *scheme1) propagate(queue []grid.Coord) {
 	s.queue = queue[:0] // keep the grown capacity for the next event
 }
 
-// Grow incorporates a new fault into the scheme-1 fixpoint. When the
-// fault lands on an already-unsafe node (inside an existing block) nothing
-// else can change; otherwise the change propagates outward from the fault.
-func (s *scheme1) Grow(c grid.Coord) {
+// Grow incorporates a new fault into the scheme-1 fixpoint. The touched
+// components are not needed — the fixpoint is defined on the fault set
+// alone. When the fault lands on an already-unsafe node (inside an
+// existing block) nothing else can change; otherwise the change propagates
+// outward from the fault.
+func (s *scheme1) Grow(c grid.Coord, _ []*nodeset.Set, _ *nodeset.Set) {
 	if !s.unsafe.Add(c) {
 		return
 	}
@@ -101,7 +106,7 @@ func (s *scheme1) Grow(c grid.Coord) {
 // regrown from the faults that remain in it; the result is the global
 // fixpoint for the reduced fault set because no other block borders the
 // region (see the package comment above).
-func (s *scheme1) Shrink(c grid.Coord) {
+func (s *scheme1) Shrink(c grid.Coord, _ *nodeset.Set, _ []*nodeset.Set) {
 	// Collect the block containing c. c itself is still unsafe: it was a
 	// fault a moment ago and faults are always unsafe.
 	region := append(s.region[:0], c)

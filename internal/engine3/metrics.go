@@ -1,0 +1,33 @@
+package engine3
+
+// Block-model metrics. The incremental cuboid model patches a persistent
+// unsafe set with row fills; these counters split that row traffic into
+// the cheap path (delta fills on fault arrivals) and the expensive one
+// (re-rasterization after a repair), so operators can see when a workload
+// degenerates to re-rasterizing large cuboids. Labeled by mesh dimension
+// like the kernel's engine counters — the vocabulary is constant ("3"
+// here; the 2-D scheme-1 fixpoint has no cuboid rows to count).
+
+import (
+	"repro/internal/obs"
+)
+
+var (
+	metricUnsafeDeltaRows = obs.Default.CounterVec("engine_unsafe_delta_rows_total",
+		"Unsafe-set rows (contiguous X runs) patched by word-parallel delta fills on fault arrivals.", "dim")
+	metricUnsafeRebuildRows = obs.Default.CounterVec("engine_unsafe_rebuild_rows_total",
+		"Unsafe-set rows cleared and re-filled when a repair forces re-rasterizing a component cuboid.", "dim")
+)
+
+// cuboidMetrics is one block model's pre-resolved instrument set.
+type cuboidMetrics struct {
+	deltaRows   *obs.Counter
+	rebuildRows *obs.Counter
+}
+
+func newCuboidMetrics() cuboidMetrics {
+	return cuboidMetrics{
+		deltaRows:   metricUnsafeDeltaRows.With("3"),
+		rebuildRows: metricUnsafeRebuildRows.With("3"),
+	}
+}

@@ -38,6 +38,34 @@ func DefaultChurn3() Churn3Config {
 	return Churn3Config{MeshSize: 12, Faults: 20, Events: 200, BaseSeed: 1}
 }
 
+// DefaultChurn3At returns the benchmark scenario for a given mesh side
+// length. Besides the historical 12³ default, the repository's BENCH
+// records carry the 64³ and 128³ scenarios that size the incremental
+// cuboid block model: event counts stay modest because the rebuild
+// baseline pays a full mfp3d.Build per event, and 128³ has no rebuild
+// record at all (see RebuildFeasible). Keep the configs fixed — the
+// record names derived from them are the workloads' identity for
+// -bench-compare.
+func DefaultChurn3At(size int) Churn3Config {
+	switch size {
+	case 64:
+		return Churn3Config{MeshSize: 64, Faults: 200, Events: 160, BaseSeed: 1}
+	case 128:
+		return Churn3Config{MeshSize: 128, Faults: 256, Events: 160, BaseSeed: 1}
+	default:
+		c := DefaultChurn3()
+		c.MeshSize = size
+		return c
+	}
+}
+
+// RebuildFeasible reports whether the per-event rebuild baseline is worth
+// running at this scale: a batch mfp3d.Build per event on meshes past 64³
+// takes minutes per replay, which is the point of the incremental engine —
+// benchmark sweeps and reports skip the rebuild arm above this bound and
+// verify the final state with one Churn3BatchBuild instead.
+func (c Churn3Config) RebuildFeasible() bool { return c.MeshSize <= 64 }
+
 // Name renders the config as the benchmark workload identity, e.g.
 // "churn3d/mesh12/faults20/events200/seed1".
 func (c Churn3Config) Name() string {
@@ -127,6 +155,17 @@ func Churn3Rebuild(c Churn3Config) *mfp3d.Result {
 		last = mfp3d.Build(m, faults)
 	}
 	return last
+}
+
+// Churn3BatchBuild replays the event stream onto a plain fault set and
+// runs one from-scratch mfp3d.Build on the final state — the differential
+// reference for scales where Churn3Rebuild (a Build per event) is not
+// feasible.
+func Churn3BatchBuild(c Churn3Config) *mfp3d.Result {
+	m := c.Mesh()
+	faults := nodeset3.New(m)
+	engine3.Replay(faults, c.Sequence()...)
+	return mfp3d.Build(m, faults)
 }
 
 // Churn3Diff asserts that an incremental 3-D snapshot and a from-scratch

@@ -291,6 +291,28 @@ func (b Box) Extend(c Coord) Box {
 	}
 }
 
+// Union returns the smallest box covering both boxes.
+func (b Box) Union(o Box) Box {
+	if b.Empty() {
+		return o
+	}
+	if o.Empty() {
+		return b
+	}
+	return Box{
+		Min: Coord{min(b.Min.X, o.Min.X), min(b.Min.Y, o.Min.Y), min(b.Min.Z, o.Min.Z)},
+		Max: Coord{max(b.Max.X, o.Max.X), max(b.Max.Y, o.Max.Y), max(b.Max.Z, o.Max.Z)},
+	}
+}
+
+// Intersect returns the nodes covered by both boxes (possibly empty).
+func (b Box) Intersect(o Box) Box {
+	return Box{
+		Min: Coord{max(b.Min.X, o.Min.X), max(b.Min.Y, o.Min.Y), max(b.Min.Z, o.Min.Z)},
+		Max: Coord{min(b.Max.X, o.Max.X), min(b.Max.Y, o.Max.Y), min(b.Max.Z, o.Max.Z)},
+	}
+}
+
 // Each calls fn for every node of the box.
 func (b Box) Each(fn func(Coord)) {
 	for z := b.Min.Z; z <= b.Max.Z; z++ {

@@ -114,6 +114,61 @@ func TestBoxBasics(t *testing.T) {
 	}
 }
 
+func TestBoxUnionIntersect(t *testing.T) {
+	a := Box{Min: XYZ(1, 1, 1), Max: XYZ(3, 4, 2)}
+	b := Box{Min: XYZ(2, 0, 2), Max: XYZ(5, 2, 6)}
+	u := a.Union(b)
+	if u.Min != XYZ(1, 0, 1) || u.Max != XYZ(5, 4, 6) {
+		t.Fatalf("Union = %v", u)
+	}
+	i := a.Intersect(b)
+	if i.Min != XYZ(2, 1, 2) || i.Max != XYZ(3, 2, 2) {
+		t.Fatalf("Intersect = %v", i)
+	}
+
+	// Empty is the identity of Union and absorbing for Intersect.
+	if got := EmptyBox().Union(a); got != a {
+		t.Fatalf("empty ∪ a = %v", got)
+	}
+	if got := a.Union(EmptyBox()); got != a {
+		t.Fatalf("a ∪ empty = %v", got)
+	}
+	if !a.Intersect(EmptyBox()).Empty() {
+		t.Fatal("a ∩ empty not empty")
+	}
+	// Disjoint boxes intersect to an empty box.
+	far := Box{Min: XYZ(10, 10, 10), Max: XYZ(11, 11, 11)}
+	if !a.Intersect(far).Empty() {
+		t.Fatal("disjoint intersection not empty")
+	}
+
+	// Membership semantics, exhaustively over a small universe.
+	rng := rand.New(rand.NewSource(5))
+	rb := func() Box {
+		p, q := XYZ(rng.Intn(6), rng.Intn(6), rng.Intn(6)), XYZ(rng.Intn(6), rng.Intn(6), rng.Intn(6))
+		return EmptyBox().Extend(p).Extend(q)
+	}
+	for trial := 0; trial < 100; trial++ {
+		a, b := rb(), rb()
+		u, i := a.Union(b), a.Intersect(b)
+		for z := 0; z < 6; z++ {
+			for y := 0; y < 6; y++ {
+				for x := 0; x < 6; x++ {
+					c := XYZ(x, y, z)
+					if a.Contains(c) || b.Contains(c) {
+						if !u.Contains(c) {
+							t.Fatalf("%v ∪ %v misses %v", a, b, c)
+						}
+					}
+					if got, want := i.Contains(c), a.Contains(c) && b.Contains(c); got != want {
+						t.Fatalf("(%v ∩ %v).Contains(%v) = %v, want %v", a, b, c, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
 func TestStrings(t *testing.T) {
 	if New(2, 3, 4).String() != "mesh 2x3x4" || NewTorus(2, 3, 4).String() != "torus 2x3x4" {
 		t.Fatal("mesh strings")

@@ -63,15 +63,28 @@ func (e Event[C]) String() string { return fmt.Sprintf("%s%v", e.Op, e.Node) }
 // BlockModel maintains a topology's faulty-block ("unsafe") construction
 // alongside the engine's polygons. The 2-D model is labelling scheme 1
 // (rectangular faulty blocks kept at a fixpoint by local propagation); the
-// 3-D analogue is the union of component bounding cuboids. The engine calls
-// Grow/Shrink under its lock right after the fault set changes, and Unsafe
-// at snapshot publication with the current components (index order).
+// 3-D analogue is the union of component bounding cuboids, maintained
+// incrementally from per-component bounds. The engine calls Grow/Shrink
+// under its lock right after the fault set changes, and Unsafe at snapshot
+// publication with the current components (index order).
+//
+// Grow and Shrink receive the touched components so stateful models can
+// key per-component state by seed (Set.FirstIndex) instead of rescanning
+// the component list. The component sets passed to them are owned by the
+// engine and valid only for the duration of the call — unpublished sets
+// are recycled into the scratch pool right after — so models must copy
+// whatever they need (bounds, seeds) and never retain the sets.
 type BlockModel[C any, T Topology[C]] interface {
 	// Grow incorporates a fault arrival at c (already in the fault set).
-	Grow(c C)
+	// merged lists the node sets of the components the arrival merged away
+	// (empty when c seeds a new component) and result is the component
+	// that replaced them, c included.
+	Grow(c C, merged []*Set[C, T], result *Set[C, T])
 	// Shrink incorporates a repair at c (already removed from the fault
-	// set).
-	Shrink(c C)
+	// set). removed is the node set of the component that contained c
+	// (c still included) and fragments are the components it split into —
+	// empty when c was the component's last fault.
+	Shrink(c C, removed *Set[C, T], fragments []*Set[C, T])
 	// Unsafe returns a fresh unsafe set for the current state; comps are
 	// the current faulty components in seed order. The result is owned by
 	// the caller (it is published in an immutable snapshot).
@@ -119,6 +132,7 @@ type Engine[C any, T Topology[C]] struct {
 	neigh       []C
 	neighIdx    []int
 	merged      []*entry[C, T]
+	mergedSets  []*Set[C, T]
 	deadOne     [1]*entry[C, T]
 	freeEntries []*entry[C, T]
 
@@ -127,10 +141,12 @@ type Engine[C any, T Topology[C]] struct {
 
 // NewEngine returns an engine over an empty fault set, with the given
 // block-model factory (called with the engine's live fault set, which the
-// model may read but must not mutate). Topology restrictions — the 2-D
-// engine rejects tori, for example — belong in the instantiating package's
-// constructor.
-func NewEngine[C any, T Topology[C]](mesh T, blocks func(T, *Set[C, T]) BlockModel[C, T]) (*Engine[C, T], error) {
+// model may read but must not mutate, and the engine's scratch, through
+// which rasterizing models may recycle transient sets — pooled sets must
+// be put back before the call returns, never stored). Topology
+// restrictions — the 2-D engine rejects tori, for example — belong in the
+// instantiating package's constructor.
+func NewEngine[C any, T Topology[C]](mesh T, blocks func(T, *Set[C, T], *Scratch[C, T]) BlockModel[C, T]) (*Engine[C, T], error) {
 	if mesh.Size() == 0 {
 		return nil, fmt.Errorf("engine: empty mesh")
 	}
@@ -140,7 +156,7 @@ func NewEngine[C any, T Topology[C]](mesh T, blocks func(T, *Set[C, T]) BlockMod
 		faults:  NewSet[C](mesh),
 		scr:     NewScratch[C](mesh),
 	}
-	e.blocks = blocks(mesh, e.faults)
+	e.blocks = blocks(mesh, e.faults, e.scr)
 	e.publish(true)
 	return e, nil
 }
@@ -278,9 +294,15 @@ func (e *Engine[C, T]) addLocked(c C) bool {
 
 	nodes := e.scr.take(e.mesh)
 	nodes.AddIndex(e.mesh.Index(c))
+	e.mergedSets = e.mergedSets[:0]
 	for _, en := range merged {
 		nodes.UnionWith(en.nodes)
+		e.mergedSets = append(e.mergedSets, en.nodes)
 	}
+	// The block model sees the merge before removeEntries may recycle the
+	// replaced components' sets: Grow's contract is that merged/result are
+	// readable only during the call.
+	e.blocks.Grow(c, e.mergedSets, nodes)
 	e.removeEntries(merged)
 	e.merged = merged[:0]
 	poly, passes := e.scr.Closure(nodes)
@@ -288,8 +310,6 @@ func (e *Engine[C, T]) addLocked(c C) bool {
 	e.metrics.componentsTouched.Add(uint64(len(merged)) + 1)
 	e.metrics.closures.Inc()
 	e.metrics.closurePasses.Add(uint64(passes))
-
-	e.blocks.Grow(c)
 	return true
 }
 
@@ -317,19 +337,22 @@ func (e *Engine[C, T]) clearLocked(c C) bool {
 	remaining := e.scr.take(e.mesh)
 	remaining.CopyFrom(owner.nodes)
 	remaining.RemoveIndex(ci)
+	fragments := e.scr.Regions(remaining)
+	// The block model sees the split while the dying component's set is
+	// still intact: Shrink's contract is that removed/fragments are
+	// readable only during the call.
+	e.blocks.Shrink(c, owner.nodes, fragments)
 	e.deadOne[0] = owner
 	e.removeEntries(e.deadOne[:])
 	e.deadOne[0] = nil
 	e.metrics.componentsTouched.Inc()
-	for _, region := range e.scr.Regions(remaining) {
+	for _, region := range fragments {
 		poly, passes := e.scr.Closure(region)
 		e.insertEntry(e.newEntry(region, poly))
 		e.metrics.closures.Inc()
 		e.metrics.closurePasses.Add(uint64(passes))
 	}
 	e.scr.put(remaining)
-
-	e.blocks.Shrink(c)
 	return true
 }
 

@@ -154,7 +154,7 @@ func TestEventWireFormat(t *testing.T) {
 // split on clear, deterministic component order, validated snapshots.
 func TestEngineGeneric3D(t *testing.T) {
 	m := grid3.New(6, 6, 6)
-	eng, err := kernel.NewEngine(m, func(mesh grid3.Mesh, _ *kernel.Set[grid3.Coord, grid3.Mesh]) kernel.BlockModel[grid3.Coord, grid3.Mesh] {
+	eng, err := kernel.NewEngine(m, func(mesh grid3.Mesh, _ *kernel.Set[grid3.Coord, grid3.Mesh], _ *kernel.Scratch[grid3.Coord, grid3.Mesh]) kernel.BlockModel[grid3.Coord, grid3.Mesh] {
 		return boxModel{mesh}
 	})
 	if err != nil {
@@ -183,8 +183,10 @@ func TestEngineGeneric3D(t *testing.T) {
 
 type boxModel struct{ mesh grid3.Mesh }
 
-func (boxModel) Grow(grid3.Coord)   {}
-func (boxModel) Shrink(grid3.Coord) {}
+func (boxModel) Grow(grid3.Coord, []*kernel.Set[grid3.Coord, grid3.Mesh], *kernel.Set[grid3.Coord, grid3.Mesh]) {
+}
+func (boxModel) Shrink(grid3.Coord, *kernel.Set[grid3.Coord, grid3.Mesh], []*kernel.Set[grid3.Coord, grid3.Mesh]) {
+}
 func (b boxModel) Unsafe(comps []*kernel.Set[grid3.Coord, grid3.Mesh]) *kernel.Set[grid3.Coord, grid3.Mesh] {
 	out := kernel.NewSet[grid3.Coord](b.mesh)
 	for _, c := range comps {

@@ -153,6 +153,37 @@ func (s *Set[C, T]) FillRange(lo, hi int) int {
 	return added
 }
 
+// ClearRange removes every node with a dense index in the half-open range
+// [lo, hi) and returns how many were removed. It AND-NOTs whole masked
+// words — FillRange's counterpart, used by the 3-D cuboid block model to
+// re-rasterize only the rows a shrunk component's bounding cuboid covered.
+// The range must lie within [0, Size).
+func (s *Set[C, T]) ClearRange(lo, hi int) int {
+	if lo >= hi {
+		return 0
+	}
+	loW, hiW := lo>>6, (hi-1)>>6
+	loMask := ^uint64(0) << (lo & 63)
+	hiMask := ^uint64(0) >> (63 - (hi-1)&63)
+	removed := 0
+	if loW == hiW {
+		m := loMask & hiMask
+		removed = bits.OnesCount64(m & s.words[loW])
+		s.words[loW] &^= m
+	} else {
+		removed = bits.OnesCount64(loMask & s.words[loW])
+		s.words[loW] &^= loMask
+		for w := loW + 1; w < hiW; w++ {
+			removed += bits.OnesCount64(s.words[w])
+			s.words[w] = 0
+		}
+		removed += bits.OnesCount64(hiMask & s.words[hiW])
+		s.words[hiW] &^= hiMask
+	}
+	s.n -= removed
+	return removed
+}
+
 // SpanOfRange scans the half-open dense-index range [lo, hi) word-wise and
 // returns the first and last set indices inside it plus the number of set
 // nodes. first and last are -1 when the range holds no node. For a

@@ -51,6 +51,91 @@ func TestFillRange(t *testing.T) {
 	}
 }
 
+func TestClearRange(t *testing.T) {
+	m := grid.New(67, 3) // 201 nodes: partial trailing word
+	size := m.Size()
+	ranges := [][2]int{
+		{0, 0}, {5, 5}, {3, 9}, {0, 64}, {0, 65}, {63, 65},
+		{60, 130}, {1, 200}, {0, size}, {128, size}, {size - 1, size},
+	}
+	for _, r := range ranges {
+		lo, hi := r[0], r[1]
+		s := NewSet[grid.Coord](m)
+		s.FillRange(0, size)
+		removed := s.ClearRange(lo, hi)
+		if want := hi - lo; removed != want {
+			t.Fatalf("ClearRange(%d,%d) on full set removed %d, want %d", lo, hi, removed, want)
+		}
+		if s.Len() != size-(hi-lo) {
+			t.Fatalf("ClearRange(%d,%d): Len = %d, want %d", lo, hi, s.Len(), size-(hi-lo))
+		}
+		for i := 0; i < size; i++ {
+			if got, want := s.HasIndex(i), i < lo || i >= hi; got != want {
+				t.Fatalf("ClearRange(%d,%d): HasIndex(%d) = %v, want %v", lo, hi, i, got, want)
+			}
+		}
+		// Idempotent: a second clear removes nothing.
+		if again := s.ClearRange(lo, hi); again != 0 {
+			t.Fatalf("ClearRange(%d,%d) twice removed %d more", lo, hi, again)
+		}
+	}
+
+	// Partial overlap returns only the actually removed count.
+	s := NewSet[grid.Coord](m)
+	s.FillRange(10, 20)
+	if removed := s.ClearRange(15, 80); removed != 5 {
+		t.Fatalf("overlapping ClearRange removed %d, want 5", removed)
+	}
+	if s.Len() != 5 {
+		t.Fatalf("Len after partial clear = %d, want 5", s.Len())
+	}
+}
+
+func TestFillClearRangeRandomMatchesScan(t *testing.T) {
+	m := grid.New(100, 3)
+	rng := rand.New(rand.NewSource(17))
+	s := NewSet[grid.Coord](m)
+	ref := make([]bool, m.Size())
+	for trial := 0; trial < 300; trial++ {
+		lo := rng.Intn(m.Size())
+		hi := lo + rng.Intn(m.Size()-lo+1)
+		wantDelta := 0
+		if rng.Intn(2) == 0 {
+			for i := lo; i < hi; i++ {
+				if !ref[i] {
+					ref[i] = true
+					wantDelta++
+				}
+			}
+			if added := s.FillRange(lo, hi); added != wantDelta {
+				t.Fatalf("FillRange(%d,%d) added %d, want %d", lo, hi, added, wantDelta)
+			}
+		} else {
+			for i := lo; i < hi; i++ {
+				if ref[i] {
+					ref[i] = false
+					wantDelta++
+				}
+			}
+			if removed := s.ClearRange(lo, hi); removed != wantDelta {
+				t.Fatalf("ClearRange(%d,%d) removed %d, want %d", lo, hi, removed, wantDelta)
+			}
+		}
+		wantLen := 0
+		for i, b := range ref {
+			if b != s.HasIndex(i) {
+				t.Fatalf("trial %d: HasIndex(%d) = %v, want %v", trial, i, s.HasIndex(i), b)
+			}
+			if b {
+				wantLen++
+			}
+		}
+		if s.Len() != wantLen {
+			t.Fatalf("trial %d: Len = %d, want %d", trial, s.Len(), wantLen)
+		}
+	}
+}
+
 func TestSpanOfRange(t *testing.T) {
 	m := grid.New(130, 2) // X lines span three words
 	s := SetOf(m, grid.XY(3, 0), grid.XY(70, 0), grid.XY(129, 0), grid.XY(0, 1), grid.XY(129, 1))

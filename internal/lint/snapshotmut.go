@@ -28,7 +28,8 @@ import (
 // Kept in sync with internal/kernel/set.go by TestSetMutatorsCurrent.
 var setMutators = map[string]bool{
 	"Add": true, "AddIndex": true, "Remove": true, "RemoveIndex": true,
-	"Clear": true, "CopyFrom": true, "FillRange": true, "UnionWith": true,
+	"Clear": true, "CopyFrom": true, "FillRange": true, "ClearRange": true,
+	"UnionWith":     true,
 	"IntersectWith": true, "SubtractWith": true, "orWithNoCount": true,
 	"recount": true,
 }

@@ -53,6 +53,52 @@ func Closure(s *nodeset3.Set) (*nodeset3.Set, int) { return kernel.Closure(s) }
 // deterministic order.
 func Components(faults *nodeset3.Set) []*nodeset3.Set { return kernel.Regions(faults) }
 
+// RasterizeBox ORs every node of the box into dst and returns the number
+// of rows (contiguous X runs in the row-major index space) it touched. A
+// cuboid is a stack of such runs, so it fills with whole-word ORs
+// (Set.FillRange) instead of per-node adds — the shared rasterizer of the
+// batch Build and internal/engine3's incremental cuboid block model. The
+// box must lie inside the mesh, which must not be a torus (row-major X
+// contiguity is what makes the runs whole-word).
+func RasterizeBox(dst *nodeset3.Set, b grid3.Box) int {
+	if b.Empty() {
+		return 0
+	}
+	m := dst.Mesh()
+	w := b.Max.X - b.Min.X + 1
+	rows := 0
+	for z := b.Min.Z; z <= b.Max.Z; z++ {
+		base := m.Index(grid3.XYZ(b.Min.X, b.Min.Y, z))
+		for y := b.Min.Y; y <= b.Max.Y; y++ {
+			dst.FillRange(base, base+w)
+			base += m.W
+			rows++
+		}
+	}
+	return rows
+}
+
+// ClearBox removes every node of the box from dst and returns the number
+// of rows it touched — RasterizeBox's counterpart (Set.ClearRange per
+// row), used when a shrunk component's cuboid must be re-rasterized.
+func ClearBox(dst *nodeset3.Set, b grid3.Box) int {
+	if b.Empty() {
+		return 0
+	}
+	m := dst.Mesh()
+	w := b.Max.X - b.Min.X + 1
+	rows := 0
+	for z := b.Min.Z; z <= b.Max.Z; z++ {
+		base := m.Index(grid3.XYZ(b.Min.X, b.Min.Y, z))
+		for y := b.Min.Y; y <= b.Max.Y; y++ {
+			dst.ClearRange(base, base+w)
+			base += m.W
+			rows++
+		}
+	}
+	return rows
+}
+
 // Result holds the 3-D construction: per-component minimum polytopes and,
 // for comparison, the cuboid (3-D faulty block) model.
 type Result struct {
@@ -92,7 +138,7 @@ func Build(m grid3.Mesh, faults *nodeset3.Set) *Result {
 		res.DisabledPolytope.UnionWith(poly)
 		box := nodeset3.Bounds(c)
 		res.Cuboids = append(res.Cuboids, box)
-		box.Each(func(cc grid3.Coord) { res.DisabledCuboid.Add(cc) })
+		RasterizeBox(res.DisabledCuboid, box)
 	}
 	return res
 }
